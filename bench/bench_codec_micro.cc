@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark): codec compression/decompression
+// throughput on characteristic line corpora. Not a paper figure —
+// engineering sanity for the library itself.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/word_io.h"
+#include "compression/codec_set.h"
+
+namespace {
+
+using namespace mgcomp;
+
+enum class Corpus { kZero, kSparse, kNarrow, kLowDynamicRange, kRandom };
+
+std::vector<Line> make_corpus(Corpus kind, std::size_t n) {
+  Rng rng(0xc0de + static_cast<std::uint64_t>(kind));
+  std::vector<Line> lines(n);
+  for (Line& l : lines) {
+    l.fill(0);
+    switch (kind) {
+      case Corpus::kZero:
+        break;
+      case Corpus::kSparse:
+        for (std::size_t w = 0; w < 16; ++w) {
+          if (rng.chance(0.15)) {
+            store_le<std::uint32_t>(l, w * 4, static_cast<std::uint32_t>(rng.below(40)));
+          }
+        }
+        break;
+      case Corpus::kNarrow:
+        for (std::size_t w = 0; w < 16; ++w) {
+          store_le<std::uint32_t>(
+              l, w * 4, static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                            rng.below(30000)) - 15000));
+        }
+        break;
+      case Corpus::kLowDynamicRange: {
+        const std::uint32_t base = 70000 + static_cast<std::uint32_t>(rng.below(1000));
+        for (std::size_t w = 0; w < 16; ++w) {
+          store_le<std::uint32_t>(l, w * 4, base + static_cast<std::uint32_t>(rng.below(100)));
+        }
+        break;
+      }
+      case Corpus::kRandom:
+        for (auto& b : l) b = static_cast<std::uint8_t>(rng.next());
+        break;
+    }
+  }
+  return lines;
+}
+
+const char* corpus_name(Corpus c) {
+  switch (c) {
+    case Corpus::kZero: return "zero";
+    case Corpus::kSparse: return "sparse";
+    case Corpus::kNarrow: return "narrow";
+    case Corpus::kLowDynamicRange: return "ldr";
+    case Corpus::kRandom: return "random";
+  }
+  return "?";
+}
+
+void BM_Compress(benchmark::State& state) {
+  static CodecSet set;
+  const auto id = static_cast<CodecId>(state.range(0));
+  const auto corpus = static_cast<Corpus>(state.range(1));
+  const Codec& codec = set.get(id);
+  const std::vector<Line> lines = make_corpus(corpus, 256);
+
+  std::uint64_t total_bits = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Compressed c = codec.compress(lines[i % lines.size()]);
+    benchmark::DoNotOptimize(c.size_bits);
+    total_bits += c.size_bits;
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+  state.SetLabel(std::string(codec.name()) + "/" + corpus_name(corpus) + " avg_bits=" +
+                 std::to_string(i == 0 ? 0 : total_bits / i));
+}
+
+void BM_RoundTrip(benchmark::State& state) {
+  static CodecSet set;
+  const auto id = static_cast<CodecId>(state.range(0));
+  const Codec& codec = set.get(id);
+  const std::vector<Line> lines = make_corpus(Corpus::kNarrow, 256);
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Compressed c = codec.compress(lines[i % lines.size()]);
+    const Line back = codec.decompress(c);
+    benchmark::DoNotOptimize(back);
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+}
+
+void register_all() {
+  for (const int codec : {1, 2, 3}) {  // FPC, BDI, C-Pack+Z
+    for (int corpus = 0; corpus <= 4; ++corpus) {
+      benchmark::RegisterBenchmark("BM_Compress", &BM_Compress)->Args({codec, corpus});
+    }
+    benchmark::RegisterBenchmark("BM_RoundTrip", &BM_RoundTrip)->Args({codec, 0});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure). Each binary accepts an optional scale factor:
+//
+//   ./bench_fig5 [scale]      # default 1.0; smaller = faster, same shapes
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "workloads/all_workloads.h"
+
+namespace mgcomp::bench {
+
+inline double parse_scale(int argc, char** argv, double fallback = 1.0) {
+  if (argc > 1) {
+    const double s = std::atof(argv[1]);
+    if (s > 0.0) return s;
+  }
+  return fallback;
+}
+
+/// Runs `abbrev` under `policy`; characterization/tracing per flags.
+inline RunResult run(std::string_view abbrev, double scale, PolicyFactory policy,
+                     bool characterize = false, std::size_t trace_samples = 0) {
+  SystemConfig cfg;
+  cfg.policy = std::move(policy);
+  cfg.characterize = characterize;
+  cfg.trace_samples = trace_samples;
+  auto wl = make_workload(abbrev, scale);
+  RunResult r = run_workload(std::move(cfg), *wl);
+  return r;
+}
+
+/// A (label, policy factory) pair for sweep tables.
+struct PolicyCase {
+  std::string label;
+  PolicyFactory factory;
+};
+
+inline std::vector<PolicyCase> static_policies() {
+  std::vector<PolicyCase> v;
+  v.push_back({"None", make_no_compression_policy()});
+  v.push_back({"FPC", make_static_policy(CodecId::kFpc)});
+  v.push_back({"BDI", make_static_policy(CodecId::kBdi)});
+  v.push_back({"C-Pack+Z", make_static_policy(CodecId::kCpackZ)});
+  return v;
+}
+
+inline std::vector<PolicyCase> adaptive_policies() {
+  std::vector<PolicyCase> v;
+  v.push_back({"Adaptive l=0", make_adaptive_policy(AdaptiveParams{.lambda = 0.0})});
+  v.push_back({"Adaptive l=6", make_adaptive_policy(AdaptiveParams{.lambda = 6.0})});
+  v.push_back({"Adaptive l=32", make_adaptive_policy(AdaptiveParams{.lambda = 32.0})});
+  return v;
+}
+
+/// Geometric mean (the conventional mean for normalized ratios).
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace mgcomp::bench

@@ -1,0 +1,70 @@
+// Fig. 1: Per-transfer compressed size and entropy for the first 500
+// consecutive inter-GPU payloads of SC (a, b) and FIR (c, d).
+//
+// Emits the four series as aligned columns (sample index, per-codec
+// compressed bits, per-line normalized entropy) plus a compact ASCII
+// sparkline per codec so the phase changes are visible in a terminal.
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace {
+
+void print_series(const char* bench, const std::vector<mgcomp::TraceSample>& trace) {
+  using namespace mgcomp;
+  std::printf("--- %s: first %zu inter-GPU transfers ---\n", bench, trace.size());
+  std::printf("%6s %9s %9s %9s %9s\n", "sample", "FPC(b)", "BDI(b)", "CPack(b)", "entropy");
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    // Print every 10th row to keep output readable; full resolution feeds
+    // the sparklines below.
+    if (i % 40 != 0) continue;
+    const TraceSample& s = trace[i];
+    std::printf("%6zu %9u %9u %9u %9.3f\n", i,
+                s.size_bits[static_cast<std::size_t>(CodecId::kFpc)],
+                s.size_bits[static_cast<std::size_t>(CodecId::kBdi)],
+                s.size_bits[static_cast<std::size_t>(CodecId::kCpackZ)], s.entropy);
+  }
+
+  // Sparklines: 100 buckets of 5 samples, scaled 0..512 bits -> 0..7.
+  const char* levels = " .:-=+*#";
+  auto spark = [&](auto value_of) {
+    std::string line;
+    const std::size_t bucket = std::max<std::size_t>(1, trace.size() / 100);
+    for (std::size_t b = 0; b + bucket <= trace.size(); b += bucket) {
+      double acc = 0.0;
+      for (std::size_t i = b; i < b + bucket; ++i) acc += value_of(trace[i]);
+      const double avg = acc / static_cast<double>(bucket);
+      const int idx = std::min(7, static_cast<int>(avg * 8.0));
+      line += levels[idx];
+    }
+    return line;
+  };
+  for (const CodecId id : {CodecId::kFpc, CodecId::kBdi, CodecId::kCpackZ}) {
+    std::printf("%9s |%s|\n", std::string(codec_name(id)).c_str(),
+                spark([&](const TraceSample& s) {
+                  return static_cast<double>(s.size_bits[static_cast<std::size_t>(id)]) /
+                         static_cast<double>(kLineBits);
+                }).c_str());
+  }
+  std::printf("%9s |%s|\n\n", "entropy",
+              spark([](const TraceSample& s) { return s.entropy; }).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mgcomp;
+  const double scale = bench::parse_scale(argc, argv);
+  constexpr std::size_t kSamples = 2000;
+
+  std::printf("Fig. 1: compressed size and entropy over consecutive inter-GPU "
+              "transfers (scale %.2f)\n\n", scale);
+  for (const char* abbrev : {"SC", "FIR"}) {
+    const RunResult r = bench::run(abbrev, scale, make_no_compression_policy(),
+                                   /*characterize=*/false, kSamples);
+    print_series(abbrev, r.trace);
+  }
+  std::printf("Expected shape (paper): SC phase 1 favors C-Pack+Z, phase 2 favors BDI;\n"
+              "FIR phase 1 compresses with FPC/C-Pack+Z, phase 2 favors BDI.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 5: Inter-GPU traffic and execution time with static compression
+// algorithms, normalized to the no-compression baseline.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mgcomp;
+  const double scale = bench::parse_scale(argc, argv);
+
+  std::printf("Fig. 5: Normalized inter-GPU traffic / execution time, static codecs "
+              "(scale %.2f)\n\n", scale);
+  std::printf("%-6s | %-21s | %-21s | %-21s\n", "", "FPC", "BDI", "C-Pack+Z");
+  std::printf("%-6s | %10s %10s | %10s %10s | %10s %10s\n", "Bench", "traffic", "time",
+              "traffic", "time", "traffic", "time");
+
+  std::vector<std::vector<double>> traffic(3), time(3);
+  for (const auto abbrev : workload_abbrevs()) {
+    const RunResult base = bench::run(abbrev, scale, make_no_compression_policy());
+    double t[3], x[3];
+    int i = 0;
+    for (const CodecId id : {CodecId::kFpc, CodecId::kBdi, CodecId::kCpackZ}) {
+      const RunResult r = bench::run(abbrev, scale, make_static_policy(id));
+      t[i] = static_cast<double>(r.inter_gpu_traffic_bytes()) /
+             static_cast<double>(base.inter_gpu_traffic_bytes());
+      x[i] = static_cast<double>(r.exec_ticks) / static_cast<double>(base.exec_ticks);
+      traffic[static_cast<std::size_t>(i)].push_back(t[i]);
+      time[static_cast<std::size_t>(i)].push_back(x[i]);
+      ++i;
+    }
+    std::printf("%-6s | %10.3f %10.3f | %10.3f %10.3f | %10.3f %10.3f\n",
+                std::string(abbrev).c_str(), t[0], x[0], t[1], x[1], t[2], x[2]);
+  }
+
+  std::printf("%-6s | %10.3f %10.3f | %10.3f %10.3f | %10.3f %10.3f\n", "gmean",
+              bench::geomean(traffic[0]), bench::geomean(time[0]), bench::geomean(traffic[1]),
+              bench::geomean(time[1]), bench::geomean(traffic[2]), bench::geomean(time[2]));
+  std::printf("\n(1.0 = no compression; lower is better. Expected shape: large cuts on\n"
+              "BS/KM, BDI cuts on FIR/SC/MT, ~1.0 on AES with C-Pack+Z time > 1.)\n");
+  return 0;
+}

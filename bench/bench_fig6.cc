@@ -1,0 +1,46 @@
+// Fig. 6: Inter-GPU traffic and execution time under the adaptive scheme
+// for lambda in {0, 6, 32}, normalized to no compression.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mgcomp;
+  const double scale = bench::parse_scale(argc, argv);
+  const double lambdas[3] = {0.0, 6.0, 32.0};
+
+  std::printf("Fig. 6: Normalized inter-GPU traffic / execution time, adaptive scheme "
+              "(scale %.2f)\n", scale);
+  std::printf("Sampling: 7 transfers; running phase: 300 transfers (paper defaults).\n\n");
+  std::printf("%-6s | %-21s | %-21s | %-21s\n", "", "lambda=0", "lambda=6", "lambda=32");
+  std::printf("%-6s | %10s %10s | %10s %10s | %10s %10s\n", "Bench", "traffic", "time",
+              "traffic", "time", "traffic", "time");
+
+  std::vector<std::vector<double>> traffic(3), time(3);
+  for (const auto abbrev : workload_abbrevs()) {
+    const RunResult base = bench::run(abbrev, scale, make_no_compression_policy());
+    double t[3], x[3];
+    for (int i = 0; i < 3; ++i) {
+      const RunResult r = bench::run(
+          abbrev, scale, make_adaptive_policy(AdaptiveParams{.lambda = lambdas[i]}));
+      t[i] = static_cast<double>(r.inter_gpu_traffic_bytes()) /
+             static_cast<double>(base.inter_gpu_traffic_bytes());
+      x[i] = static_cast<double>(r.exec_ticks) / static_cast<double>(base.exec_ticks);
+      traffic[static_cast<std::size_t>(i)].push_back(t[i]);
+      time[static_cast<std::size_t>(i)].push_back(x[i]);
+    }
+    std::printf("%-6s | %10.3f %10.3f | %10.3f %10.3f | %10.3f %10.3f\n",
+                std::string(abbrev).c_str(), t[0], x[0], t[1], x[1], t[2], x[2]);
+  }
+
+  std::printf("%-6s | %10.3f %10.3f | %10.3f %10.3f | %10.3f %10.3f\n", "gmean",
+              bench::geomean(traffic[0]), bench::geomean(time[0]), bench::geomean(traffic[1]),
+              bench::geomean(time[1]), bench::geomean(traffic[2]), bench::geomean(time[2]));
+
+  std::printf("\nHeadline check (paper: lambda=6 cuts traffic ~62%% and improves average\n"
+              "performance ~33%%, best case 53%%):\n");
+  std::printf("  traffic reduction @ l=6 : %.1f%%\n", 100.0 * (1.0 - bench::geomean(traffic[1])));
+  std::printf("  time reduction    @ l=6 : %.1f%%\n", 100.0 * (1.0 - bench::geomean(time[1])));
+  double best = 1.0;
+  for (const double v : time[1]) best = std::min(best, v);
+  std::printf("  best-case speedup @ l=6 : %.1f%%\n", 100.0 * (1.0 - best));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 7: Normalized energy of the compressors plus the communication
+// fabric (MCM tier, 1-2 pJ/b), for the three static codecs and the
+// adaptive scheme at lambda in {0, 6, 32}. 1.0 = no compression.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mgcomp;
+  const double scale = bench::parse_scale(argc, argv);
+
+  std::vector<bench::PolicyCase> cases;
+  for (auto& c : bench::static_policies()) {
+    if (c.label != "None") cases.push_back(std::move(c));
+  }
+  for (auto& c : bench::adaptive_policies()) cases.push_back(std::move(c));
+
+  std::printf("Fig. 7: Normalized energy (compressors + fabric, MCM tier) "
+              "(scale %.2f)\n\n", scale);
+  std::printf("%-6s", "Bench");
+  for (const auto& c : cases) std::printf(" %13s", c.label.c_str());
+  std::printf("\n");
+
+  std::vector<std::vector<double>> energy(cases.size());
+  for (const auto abbrev : workload_abbrevs()) {
+    const RunResult base = bench::run(abbrev, scale, make_no_compression_policy());
+    std::printf("%-6s", std::string(abbrev).c_str());
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      // PolicyFactory is copyable (std::function); reuse per workload.
+      const RunResult r = bench::run(abbrev, scale, cases[i].factory);
+      const double e = r.total_link_energy_pj() / base.total_link_energy_pj();
+      energy[i].push_back(e);
+      std::printf(" %13.3f", e);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-6s", "gmean");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::printf(" %13.3f", bench::geomean(energy[i]));
+  }
+  std::printf("\n\nHeadline check (paper: adaptive lambda=6 saves ~45%% of fabric energy):\n");
+  std::printf("  energy reduction @ l=6 : %.1f%%\n",
+              100.0 * (1.0 - bench::geomean(energy[4])));
+  return 0;
+}

@@ -1,0 +1,79 @@
+// One-shot Markdown summary of the whole reproduction: regenerates the
+// headline numbers of every table/figure and emits a report suitable for
+// pasting into EXPERIMENTS.md or a CI artifact.
+//
+//   ./bench_summary [scale]     (default 0.5 — headline shapes, faster)
+#include "analysis/report.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mgcomp;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+
+  std::printf("# mgcomp reproduction summary (scale %.2f)\n\n", scale);
+
+  // --- Table V ---------------------------------------------------------
+  std::printf("## Table V — inter-GPU data characteristics\n\n");
+  MarkdownTable t5({"Bench", "Read(K)", "Write(K)", "Entropy", "BDI", "FPC", "C-Pack+Z"});
+  std::vector<RunResult> bases;
+  for (const auto abbrev : workload_abbrevs()) {
+    const RunResult r = bench::run(abbrev, scale, make_no_compression_policy(),
+                                   /*characterize=*/true);
+    t5.add_row({std::string(abbrev), fmt(static_cast<double>(r.remote_reads()) / 1e3, 1),
+                fmt(static_cast<double>(r.remote_writes()) / 1e3, 1),
+                fmt(r.characterization.entropy.normalized(), 2),
+                fmt(r.characterization.ratio(CodecId::kBdi), 2),
+                fmt(r.characterization.ratio(CodecId::kFpc), 2),
+                fmt(r.characterization.ratio(CodecId::kCpackZ), 2)});
+    bases.push_back(r);  // reuse as the no-compression baseline below
+  }
+  std::printf("%s\n", t5.to_string().c_str());
+
+  // --- Fig. 5 / Fig. 6 / Fig. 7 ---------------------------------------
+  std::printf("## Figs. 5-7 — normalized traffic / time / energy\n\n");
+  MarkdownTable figs({"Policy", "gmean traffic", "gmean time", "gmean energy"});
+
+  struct Case {
+    std::string label;
+    PolicyFactory factory;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"FPC", make_static_policy(CodecId::kFpc)});
+  cases.push_back({"BDI", make_static_policy(CodecId::kBdi)});
+  cases.push_back({"C-Pack+Z", make_static_policy(CodecId::kCpackZ)});
+  cases.push_back({"Adaptive l=0", make_adaptive_policy(AdaptiveParams{.lambda = 0.0})});
+  cases.push_back({"Adaptive l=6", make_adaptive_policy(AdaptiveParams{.lambda = 6.0})});
+  cases.push_back({"Adaptive l=32", make_adaptive_policy(AdaptiveParams{.lambda = 32.0})});
+
+  double adaptive6_time = 1.0;
+  double adaptive6_energy = 1.0;
+  for (const Case& c : cases) {
+    std::vector<double> traffic, time, energy;
+    std::size_t i = 0;
+    for (const auto abbrev : workload_abbrevs()) {
+      const RunResult r = bench::run(abbrev, scale, c.factory);
+      traffic.push_back(static_cast<double>(r.inter_gpu_traffic_bytes()) /
+                        static_cast<double>(bases[i].inter_gpu_traffic_bytes()));
+      time.push_back(static_cast<double>(r.exec_ticks) /
+                     static_cast<double>(bases[i].exec_ticks));
+      energy.push_back(r.total_link_energy_pj() / bases[i].total_link_energy_pj());
+      ++i;
+    }
+    figs.add_row({c.label, fmt(bench::geomean(traffic)), fmt(bench::geomean(time)),
+                  fmt(bench::geomean(energy))});
+    if (c.label == "Adaptive l=6") {
+      adaptive6_time = bench::geomean(time);
+      adaptive6_energy = bench::geomean(energy);
+    }
+  }
+  std::printf("%s\n", figs.to_string().c_str());
+
+  std::printf("## Headline vs paper\n\n");
+  MarkdownTable headline({"Metric", "This repo", "Paper"});
+  headline.add_row({"mean exec-time reduction @ l=6",
+                    fmt(100.0 * (1.0 - adaptive6_time), 1) + "%", "33%"});
+  headline.add_row({"mean link-energy reduction @ l=6",
+                    fmt(100.0 * (1.0 - adaptive6_energy), 1) + "%", "~45%"});
+  std::printf("%s\n", headline.to_string().c_str());
+  return 0;
+}

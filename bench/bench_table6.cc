@@ -1,0 +1,56 @@
+// Table VI: The three most-detected Table II patterns per compression
+// algorithm per benchmark (pattern number, percentage of detections).
+#include <algorithm>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace mgcomp;
+  const double scale = bench::parse_scale(argc, argv);
+
+  std::printf("Table VI: Three most detected patterns by compression algorithm "
+              "(scale %.2f)\n", scale);
+  std::printf("Pattern numbers refer to Table II of the paper (per codec).\n\n");
+
+  struct Row {
+    std::string bench;
+    Characterization charz;
+  };
+  std::vector<Row> rows;
+  for (const auto abbrev : workload_abbrevs()) {
+    const RunResult r = bench::run(abbrev, scale, make_no_compression_policy(),
+                                   /*characterize=*/true);
+    rows.push_back({std::string(abbrev), r.characterization});
+  }
+
+  for (const CodecId id : {CodecId::kFpc, CodecId::kCpackZ, CodecId::kBdi}) {
+    std::printf("%s\n", std::string(codec_name(id)).c_str());
+    std::printf("  %-6s  %-12s %-12s %-12s\n", "Bench", "1st (#),%", "2nd (#),%",
+                "3rd (#),%");
+    for (const Row& row : rows) {
+      const PatternStats& ps = row.charz.patterns[static_cast<std::size_t>(id)];
+      const double total = static_cast<double>(ps.total());
+      // Rank patterns by count, descending.
+      std::vector<std::size_t> order;
+      for (std::size_t p = 1; p <= kMaxPatternId; ++p) order.push_back(p);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return ps.counts[a] > ps.counts[b];
+      });
+      std::printf("  %-6s", row.bench.c_str());
+      for (int rank = 0; rank < 3; ++rank) {
+        const std::size_t p = order[static_cast<std::size_t>(rank)];
+        if (ps.counts[p] == 0 || total == 0.0) {
+          std::printf("  %-12s", "NA");
+        } else {
+          char cell[32];
+          std::snprintf(cell, sizeof cell, "(%zu), %.0f%%", p,
+                        100.0 * static_cast<double>(ps.counts[p]) / total);
+          std::printf("  %-12s", cell);
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Example: bringing your own workload to the simulator.
+//
+// Implements a small stencil workload (1D 3-point Jacobi relaxation)
+// directly against the Workload interface — the pattern to copy when
+// adding new benchmarks: real data in setup(), real computation plus a
+// line-granularity access trace in generate_kernel(), and a functional
+// check in verify().
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/system.h"
+#include "workloads/emit.h"
+
+namespace {
+
+using namespace mgcomp;
+
+/// x'[i] = (x[i-1] + 2*x[i] + x[i+1]) / 4 over int32, double-buffered,
+/// a fixed number of sweeps. Each sweep is one kernel launch.
+class JacobiWorkload final : public Workload {
+ public:
+  JacobiWorkload(std::uint32_t n, std::uint32_t sweeps) : n_(n), sweeps_(sweeps) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "1D Jacobi"; }
+  [[nodiscard]] std::string_view abbrev() const noexcept override { return "JAC"; }
+
+  void setup(GlobalMemory& mem) override {
+    a_ = mem.alloc(static_cast<std::size_t>(n_) * 4, "JAC.a");
+    b_ = mem.alloc(static_cast<std::size_t>(n_) * 4, "JAC.b");
+    params_ = mem.alloc(sweeps_ * kLineBytes, "JAC.params");
+    Rng rng(0x1ac0b1);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      // A narrow hot spot in a cold field; diffusion must flatten it.
+      const std::int32_t v =
+          (i > n_ / 2 - 3 && i < n_ / 2 + 3) ? 1 << 20 : static_cast<std::int32_t>(rng.below(16));
+      mem.store<std::int32_t>(a_ + static_cast<Addr>(i) * 4, v);
+    }
+  }
+
+  [[nodiscard]] std::size_t kernel_count() const override { return sweeps_; }
+
+  KernelTrace generate_kernel(std::size_t k, GlobalMemory& mem) override {
+    const Addr src = (k % 2 == 0) ? a_ : b_;
+    const Addr dst = (k % 2 == 0) ? b_ : a_;
+
+    KernelTrace trace;
+    trace.name = "jacobi.sweep" + std::to_string(k);
+    trace.compute_cycles_per_op = 1;
+    trace.param_addr = write_param_line(mem, params_, k, {src, dst, n_});
+
+    constexpr std::uint32_t kPointsPerWg = 256;
+    for (std::uint32_t base = 0; base < n_; base += kPointsPerWg) {
+      WorkgroupTrace wg;
+      // Input window including the +/-1 halo.
+      const std::uint32_t lo = base == 0 ? 0 : base - 1;
+      const std::uint32_t hi = std::min(base + kPointsPerWg + 1, n_);
+      for (std::uint32_t i = lo; i < hi; i += kLineBytes / 4) {
+        emit_read(wg, src + static_cast<Addr>(i) * 4);
+      }
+      // Functional sweep + output lines.
+      for (std::uint32_t i = base; i < std::min(base + kPointsPerWg, n_); ++i) {
+        const auto left = i == 0 ? 0 : mem.load<std::int32_t>(src + static_cast<Addr>(i - 1) * 4);
+        const auto mid = mem.load<std::int32_t>(src + static_cast<Addr>(i) * 4);
+        const auto right =
+            i + 1 == n_ ? 0 : mem.load<std::int32_t>(src + static_cast<Addr>(i + 1) * 4);
+        mem.store<std::int32_t>(dst + static_cast<Addr>(i) * 4,
+                                (left + 2 * mid + right) / 4);
+        if (i % (kLineBytes / 4) == 0) emit_write(wg, dst + static_cast<Addr>(i) * 4);
+      }
+      trace.workgroups.push_back(std::move(wg));
+    }
+    return trace;
+  }
+
+  [[nodiscard]] bool verify(const GlobalMemory& mem) const override {
+    // Diffusion conserves the field's rough total and flattens the peak.
+    const Addr final_buf = (sweeps_ % 2 == 0) ? a_ : b_;
+    std::int64_t peak = 0;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      peak = std::max<std::int64_t>(peak, mem.load<std::int32_t>(final_buf + static_cast<Addr>(i) * 4));
+    }
+    return peak > 0 && peak < (1 << 20);  // flattened but not vanished
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t sweeps_;
+  Addr a_{0}, b_{0}, params_{0};
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Custom workload demo: 1D Jacobi stencil on the 4-GPU system\n\n");
+
+  JacobiWorkload base_wl(256 * 1024, 6);
+  SystemConfig base_cfg;
+  const RunResult base = run_workload(std::move(base_cfg), base_wl);
+
+  JacobiWorkload ad_wl(256 * 1024, 6);
+  SystemConfig ad_cfg;
+  ad_cfg.policy = make_adaptive_policy(AdaptiveParams{.lambda = 6.0});
+  const RunResult ad = run_workload(std::move(ad_cfg), ad_wl);
+
+  std::printf("%-26s %14s %14s\n", "", "baseline", "adaptive l=6");
+  std::printf("%-26s %14llu %14llu\n", "execution (cycles)",
+              static_cast<unsigned long long>(base.exec_ticks),
+              static_cast<unsigned long long>(ad.exec_ticks));
+  std::printf("%-26s %14llu %14llu\n", "inter-GPU traffic (B)",
+              static_cast<unsigned long long>(base.inter_gpu_traffic_bytes()),
+              static_cast<unsigned long long>(ad.inter_gpu_traffic_bytes()));
+  std::printf("\nA smooth stencil field is BDI's best case: the halo exchanges between\n"
+              "GPUs compress to the base+delta form, and the adaptive scheme finds\n"
+              "that without being told.\n");
+  return 0;
+}

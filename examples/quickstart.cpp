@@ -1,0 +1,49 @@
+// Quickstart: run one workload on the 4-GPU system, with and without
+// adaptive inter-GPU compression, and print the headline numbers.
+//
+//   $ ./quickstart [scale]
+//
+// This is the 20-line version of what the bench_* binaries do per
+// table/figure.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/system.h"
+#include "workloads/all_workloads.h"
+
+int main(int argc, char** argv) {
+  using namespace mgcomp;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+
+  std::printf("mgcomp quickstart: Bitonic Sort on 4 simulated GPUs (scale %.2f)\n\n", scale);
+
+  // Baseline: no compression.
+  SystemConfig base_cfg;
+  auto wl = make_workload("BS", scale);
+  const RunResult base = run_workload(std::move(base_cfg), *wl);
+
+  // Adaptive compression, the paper's lambda = 6 operating point.
+  SystemConfig adaptive_cfg;
+  adaptive_cfg.policy = make_adaptive_policy(AdaptiveParams{.lambda = 6.0});
+  wl = make_workload("BS", scale);
+  const RunResult adaptive = run_workload(std::move(adaptive_cfg), *wl);
+
+  std::printf("%-28s %15s %15s\n", "", "no compression", "adaptive l=6");
+  std::printf("%-28s %15llu %15llu\n", "execution time (cycles)",
+              static_cast<unsigned long long>(base.exec_ticks),
+              static_cast<unsigned long long>(adaptive.exec_ticks));
+  std::printf("%-28s %15llu %15llu\n", "inter-GPU traffic (bytes)",
+              static_cast<unsigned long long>(base.inter_gpu_traffic_bytes()),
+              static_cast<unsigned long long>(adaptive.inter_gpu_traffic_bytes()));
+  std::printf("%-28s %15.2f %15.2f\n", "link energy (uJ)", base.total_link_energy_pj() / 1e6,
+              adaptive.total_link_energy_pj() / 1e6);
+
+  std::printf("\nspeedup            : %.2fx\n",
+              static_cast<double>(base.exec_ticks) / static_cast<double>(adaptive.exec_ticks));
+  std::printf("traffic reduction  : %.1f%%\n",
+              100.0 * (1.0 - static_cast<double>(adaptive.inter_gpu_traffic_bytes()) /
+                                 static_cast<double>(base.inter_gpu_traffic_bytes())));
+  std::printf("energy reduction   : %.1f%%\n",
+              100.0 * (1.0 - adaptive.total_link_energy_pj() / base.total_link_energy_pj()));
+  return 0;
+}

@@ -1,0 +1,293 @@
+// Command-line simulation driver: run any workload under any policy and
+// print a full report. This is the "do one experiment by hand" tool the
+// bench_* binaries are built from.
+//
+//   simulate [options]
+//     --workload  AES|BS|FIR|GD|KM|MT|SC     (default MT)
+//     --policy    none|fpc|bdi|cpack|adaptive (default adaptive)
+//     --lambda    <float>                     (default 6)
+//     --scale     <float>                     (default 1.0)
+//     --gpus      <int>                       (default 4)
+//     --bus       <bytes/cycle>               (default 20)
+//     --samples   <sampling transfers>        (default 7)
+//     --running   <running transfers>         (default 300)
+//     --tier      chip|die|package|node       (default die)
+//     --characterize                          (adds Table V-style columns)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/report.h"
+#include "core/system.h"
+#include "workloads/all_workloads.h"
+
+namespace {
+
+using namespace mgcomp;
+
+struct Options {
+  std::string workload{"MT"};
+  std::string policy{"adaptive"};
+  double lambda{6.0};
+  double scale{1.0};
+  std::uint32_t gpus{4};
+  std::uint32_t bus{20};
+  std::uint32_t samples{7};
+  std::uint32_t running{300};
+  std::string tier{"die"};
+  bool characterize{false};
+  bool json{false};
+  std::string dump_trace;  ///< CSV path for Fig.1-style per-transfer series
+};
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--workload") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.workload = v;
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.policy = v;
+    } else if (arg == "--lambda") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.lambda = std::atof(v);
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.scale = std::atof(v);
+    } else if (arg == "--gpus") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.gpus = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--bus") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.bus = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--samples") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.samples = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--running") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.running = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--tier") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.tier = v;
+    } else if (arg == "--characterize") {
+      o.characterize = true;
+    } else if (arg == "--json") {
+      o.json = true;
+    } else if (arg == "--dump-trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.dump_trace = v;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void usage() {
+  std::puts(
+      "usage: simulate [--workload AES|BS|FIR|GD|KM|MT|SC] "
+      "[--policy none|fpc|bdi|cpack|adaptive]\n"
+      "                [--lambda F] [--scale F] [--gpus N] [--bus B/cyc]\n"
+      "                [--samples N] [--running N] [--tier chip|die|package|node]\n"
+      "                [--characterize] [--json] [--dump-trace out.csv]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage();
+    return 2;
+  }
+
+  SystemConfig cfg;
+  cfg.num_gpus = o.gpus;
+  cfg.bus.bytes_per_cycle = o.bus;
+  cfg.characterize = o.characterize;
+  if (!o.dump_trace.empty()) cfg.trace_samples = 5000;
+  cfg.energy_tier = o.tier == "chip"      ? FabricTier::kOnChip
+                    : o.tier == "package" ? FabricTier::kInterPackage
+                    : o.tier == "node"    ? FabricTier::kInterNode
+                                          : FabricTier::kInterDie;
+  if (o.policy == "none") {
+    cfg.policy = make_no_compression_policy();
+  } else if (o.policy == "fpc") {
+    cfg.policy = make_static_policy(CodecId::kFpc);
+  } else if (o.policy == "bdi") {
+    cfg.policy = make_static_policy(CodecId::kBdi);
+  } else if (o.policy == "cpack") {
+    cfg.policy = make_static_policy(CodecId::kCpackZ);
+  } else if (o.policy == "adaptive") {
+    cfg.policy = make_adaptive_policy(AdaptiveParams{
+        .lambda = o.lambda, .sample_transfers = o.samples, .running_transfers = o.running});
+  } else {
+    usage();
+    return 2;
+  }
+
+  auto wl = make_workload(o.workload, o.scale);
+  if (wl == nullptr) {
+    std::fprintf(stderr, "unknown workload: %s\n", o.workload.c_str());
+    return 2;
+  }
+
+  if (!o.json) {
+    std::printf("%s (%s), policy %s, %u GPUs, %u B/cycle, scale %.2f\n",
+                std::string(wl->name()).c_str(), std::string(wl->abbrev()).c_str(),
+                o.policy.c_str(), o.gpus, o.bus, o.scale);
+  }
+
+  const RunResult r = run_workload(std::move(cfg), *wl);
+
+  if (o.json) {
+    JsonObject out;
+    out.field("workload", o.workload)
+        .field("policy", o.policy)
+        .field("scale", o.scale)
+        .field("gpus", static_cast<std::uint64_t>(o.gpus))
+        .field("exec_cycles", static_cast<std::uint64_t>(r.exec_ticks))
+        .field("bus_busy_cycles", static_cast<std::uint64_t>(r.bus.busy_cycles))
+        .field("remote_reads", r.remote_reads())
+        .field("remote_writes", r.remote_writes())
+        .field("inter_gpu_traffic_bytes", r.inter_gpu_traffic_bytes())
+        .field("payload_raw_bits", r.bus.inter_gpu_payload_raw_bits)
+        .field("payload_wire_bits", r.bus.inter_gpu_payload_wire_bits)
+        .field("fabric_energy_pj", r.fabric_energy_pj)
+        .field("compressor_energy_pj", r.compressor_energy_pj)
+        .field("decompressor_energy_pj", r.decompressor_energy_pj)
+        .field("l1v_hit_rate", r.l1v.hit_rate())
+        .field("l2_hit_rate", r.l2.hit_rate());
+    std::printf("%s\n", out.to_string().c_str());
+    return 0;
+  }
+
+  std::printf("\nexecution time        %12llu cycles (%.3f ms @ 1 GHz)\n",
+              static_cast<unsigned long long>(r.exec_ticks),
+              static_cast<double>(r.exec_ticks) / 1e6);
+  std::printf("bus busy              %12llu cycles (%.1f%% utilization)\n",
+              static_cast<unsigned long long>(r.bus.busy_cycles),
+              100.0 * static_cast<double>(r.bus.busy_cycles) /
+                  static_cast<double>(r.exec_ticks));
+  std::printf("remote reads/writes   %12llu / %llu\n",
+              static_cast<unsigned long long>(r.remote_reads()),
+              static_cast<unsigned long long>(r.remote_writes()));
+  std::printf("inter-GPU traffic     %12llu bytes\n",
+              static_cast<unsigned long long>(r.inter_gpu_traffic_bytes()));
+  std::printf("payload raw -> wire   %12llu -> %llu bits (%.2fx)\n",
+              static_cast<unsigned long long>(r.bus.inter_gpu_payload_raw_bits),
+              static_cast<unsigned long long>(r.bus.inter_gpu_payload_wire_bits),
+              r.bus.inter_gpu_payload_wire_bits > 0
+                  ? static_cast<double>(r.bus.inter_gpu_payload_raw_bits) /
+                        static_cast<double>(r.bus.inter_gpu_payload_wire_bits)
+                  : 1.0);
+  std::printf("link energy           %15.2f uJ (fabric %.2f + comp %.2f + decomp %.2f)\n",
+              r.total_link_energy_pj() / 1e6, r.fabric_energy_pj / 1e6,
+              r.compressor_energy_pj / 1e6, r.decompressor_energy_pj / 1e6);
+  std::printf("caches (hit rates)    L1V %.1f%%  L1S %.1f%%  L2 %.1f%%\n",
+              100.0 * r.l1v.hit_rate(), 100.0 * r.l1s.hit_rate(), 100.0 * r.l2.hit_rate());
+
+  std::printf("\nwire payloads by codec:\n");
+  for (const CodecId id :
+       {CodecId::kNone, CodecId::kFpc, CodecId::kBdi, CodecId::kCpackZ}) {
+    const auto i = static_cast<std::size_t>(id);
+    if (r.policy_stats.wire_counts[i] == 0) continue;
+    std::printf("  %-10s %12llu\n", std::string(codec_name(id)).c_str(),
+                static_cast<unsigned long long>(r.policy_stats.wire_counts[i]));
+  }
+  if (r.policy_stats.votes_taken > 0) {
+    std::printf("adaptive votes: %llu (wins:",
+                static_cast<unsigned long long>(r.policy_stats.votes_taken));
+    for (const CodecId id :
+         {CodecId::kNone, CodecId::kFpc, CodecId::kBdi, CodecId::kCpackZ}) {
+      const auto i = static_cast<std::size_t>(id);
+      if (r.policy_stats.vote_wins[i] > 0) {
+        std::printf(" %s=%llu", std::string(codec_name(id)).c_str(),
+                    static_cast<unsigned long long>(r.policy_stats.vote_wins[i]));
+      }
+    }
+    std::printf(")\n");
+  }
+
+  if (r.bus.endpoints > 0) {
+    std::printf("\ntraffic matrix (wire KB, src row -> dst col; endpoint 0 = CPU):\n");
+    std::printf("      ");
+    for (std::size_t d = 0; d < r.bus.endpoints; ++d) std::printf("%8zu", d);
+    std::printf("\n");
+    for (std::size_t s = 0; s < r.bus.endpoints; ++s) {
+      std::printf("  %3zu ", s);
+      for (std::size_t d = 0; d < r.bus.endpoints; ++d) {
+        std::printf("%8.0f", static_cast<double>(r.bus.pair_bytes(s, d)) / 1024.0);
+      }
+      std::printf("\n");
+    }
+  }
+
+  {
+    // Fabric utilization timeline (one char per 8192-cycle bucket,
+    // downsampled to <= 100 chars).
+    const auto& hist = r.bus.busy_by_bucket;
+    if (!hist.empty()) {
+      const char* levels = " .:-=+*#";
+      const std::size_t group = hist.size() > 100 ? (hist.size() + 99) / 100 : 1;
+      std::string line;
+      for (std::size_t b = 0; b < hist.size(); b += group) {
+        double acc = 0.0;
+        std::size_t n = 0;
+        for (std::size_t i = b; i < std::min(b + group, hist.size()); ++i, ++n) {
+          acc += r.bus.utilization(i);
+        }
+        const int idx = std::min(7, static_cast<int>(acc / static_cast<double>(n) * 8.0));
+        line += levels[idx];
+      }
+      std::printf("\nfabric utilization timeline:\n  |%s|\n", line.c_str());
+    }
+  }
+
+  if (!o.dump_trace.empty()) {
+    CsvWriter csv({"sample", "entropy", "fpc_bits", "bdi_bits", "cpack_bits"});
+    for (std::size_t i = 0; i < r.trace.size(); ++i) {
+      const TraceSample& s = r.trace[i];
+      csv.add_row({std::to_string(i), fmt(s.entropy, 4),
+                   std::to_string(s.size_bits[static_cast<std::size_t>(CodecId::kFpc)]),
+                   std::to_string(s.size_bits[static_cast<std::size_t>(CodecId::kBdi)]),
+                   std::to_string(s.size_bits[static_cast<std::size_t>(CodecId::kCpackZ)])});
+    }
+    if (std::FILE* f = std::fopen(o.dump_trace.c_str(), "w")) {
+      std::fwrite(csv.str().data(), 1, csv.str().size(), f);
+      std::fclose(f);
+      if (!o.json) {
+        std::printf("\nwrote %zu trace samples to %s\n", r.trace.size(),
+                    o.dump_trace.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", o.dump_trace.c_str());
+    }
+  }
+
+  if (o.characterize) {
+    std::printf("\ncharacterization (all payloads recompressed offline):\n");
+    std::printf("  entropy %.2f | ratios: BDI %.2f  FPC %.2f  C-Pack+Z %.2f\n",
+                r.characterization.entropy.normalized(),
+                r.characterization.ratio(CodecId::kBdi),
+                r.characterization.ratio(CodecId::kFpc),
+                r.characterization.ratio(CodecId::kCpackZ));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Example: distributed training step with gradient all-reduce.
+//
+// The Gradient Descent workload shards mini-batches over the 4 GPUs; every
+// iteration ends with an all-reduce where each GPU reads the others'
+// partial gradients (the paper's motivating communication pattern for
+// multi-GPU training). This example shows the convergence curve coming out
+// of the *functional* simulation and how much of the fabric time
+// compression buys back on float-heavy traffic.
+#include <cstdio>
+
+#include "core/system.h"
+#include "workloads/gradient_descent.h"
+
+int main(int argc, char** argv) {
+  using namespace mgcomp;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  GradientDescentWorkload::Params params;
+  params.n = static_cast<std::uint32_t>(params.n * (scale > 0 ? scale : 1.0)) / 128 * 128;
+  if (params.n < 512) params.n = 512;
+
+  std::printf("Mini-batch gradient descent: %u samples x %u features, %u iterations, "
+              "4 GPUs\n\n", params.n, params.d, params.iterations);
+
+  // Baseline.
+  GradientDescentWorkload base_wl(params);
+  SystemConfig base_cfg;
+  const RunResult base = run_workload(std::move(base_cfg), base_wl);
+
+  // Adaptive compression.
+  GradientDescentWorkload ad_wl(params);
+  SystemConfig ad_cfg;
+  ad_cfg.policy = make_adaptive_policy(AdaptiveParams{.lambda = 6.0});
+  const RunResult ad = run_workload(std::move(ad_cfg), ad_wl);
+
+  std::printf("convergence (loss per iteration, functional result):\n");
+  for (std::size_t i = 0; i < base_wl.losses().size(); ++i) {
+    std::printf("  iter %2zu  loss %10.6f\n", i, base_wl.losses()[i]);
+  }
+
+  std::printf("\n%-24s %16s %16s\n", "", "no compression", "adaptive l=6");
+  std::printf("%-24s %16llu %16llu\n", "execution (cycles)",
+              static_cast<unsigned long long>(base.exec_ticks),
+              static_cast<unsigned long long>(ad.exec_ticks));
+  std::printf("%-24s %16llu %16llu\n", "inter-GPU traffic (B)",
+              static_cast<unsigned long long>(base.inter_gpu_traffic_bytes()),
+              static_cast<unsigned long long>(ad.inter_gpu_traffic_bytes()));
+  std::printf("%-24s %16llu %16llu\n", "remote reads",
+              static_cast<unsigned long long>(base.remote_reads()),
+              static_cast<unsigned long long>(ad.remote_reads()));
+  std::printf("%-24s %16.2f %16.2f\n", "link energy (uJ)",
+              base.total_link_energy_pj() / 1e6, ad.total_link_energy_pj() / 1e6);
+  std::printf("\nFloat gradient/feature payloads compress only mildly (Table V's GD row),\n"
+              "so the win here is modest — exactly the paper's point that the benefit\n"
+              "is workload-dependent, which is why the scheme adapts per phase.\n");
+  return 0;
+}

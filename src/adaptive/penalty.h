@@ -1,0 +1,33 @@
+// Eq. (1) of the paper: P = N + lambda * (L_C + L_D).
+//
+// N is the encoded size in bits, L_C/L_D the codec's compression and
+// decompression latencies in cycles. lambda trades bandwidth (lambda = 0:
+// pick the smallest encoding regardless of codec speed) against latency
+// (large lambda: prefer fast codecs like BDI). The paper selects lambda
+// statically per system; lambda = 6 is its best-balance operating point.
+#pragma once
+
+#include "compression/codec.h"
+#include "compression/cost_model.h"
+
+namespace mgcomp {
+
+class PenaltyFunction {
+ public:
+  explicit constexpr PenaltyFunction(double lambda) noexcept : lambda_(lambda) {}
+
+  /// Penalty of sending a line encoded to `size_bits` with codec `id`.
+  /// Sending raw (id == kNone) costs exactly 512: no codec latency.
+  [[nodiscard]] constexpr double operator()(std::uint32_t size_bits, CodecId id) const noexcept {
+    const CodecCost c = codec_cost(id);
+    return static_cast<double>(size_bits) +
+           lambda_ * static_cast<double>(c.compress_cycles + c.decompress_cycles);
+  }
+
+  [[nodiscard]] constexpr double lambda() const noexcept { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+}  // namespace mgcomp

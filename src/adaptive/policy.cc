@@ -1,0 +1,265 @@
+#include "adaptive/policy.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "adaptive/penalty.h"
+#include "common/assert.h"
+
+namespace mgcomp {
+namespace {
+
+/// Fills in the latency/energy fields of a decision for the case where one
+/// codec ran and produced `comp`. When the codec failed to shrink the line
+/// the data goes raw, but the compressor still burned its latency and
+/// energy (the hardware ran); the receiver-side decompressor is bypassed.
+CompressionDecision single_codec_decision(const Compressed& comp, CodecId attempted) {
+  const CodecCost cost = codec_cost(attempted);
+  CompressionDecision d;
+  d.compress_latency = cost.compress_cycles;
+  d.compress_occupancy = cost.compress_ii;
+  d.compress_energy_pj = cost.compress_energy_pj();
+  if (comp.is_compressed()) {
+    d.wire_codec = attempted;
+    d.payload_bits = comp.size_bits;
+    d.decompress_latency = cost.decompress_cycles;
+    d.decompress_occupancy = cost.decompress_ii;
+    d.decompress_energy_pj = cost.decompress_energy_pj();
+  } else {
+    d.wire_codec = CodecId::kNone;
+    d.payload_bits = kLineBits;
+  }
+  return d;
+}
+
+class NoCompressionPolicy final : public CompressionPolicy {
+ public:
+  [[nodiscard]] CompressionDecision decide(LineView line) override {
+    (void)line;
+    CompressionDecision d;  // defaults: raw, zero cost
+    ++stats_.wire_counts[static_cast<std::size_t>(CodecId::kNone)];
+    return d;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "None"; }
+};
+
+class StaticPolicy final : public CompressionPolicy {
+ public:
+  StaticPolicy(const CodecSet& codecs, CodecId codec)
+      : codec_(&codecs.get(codec)), id_(codec) {}
+
+  [[nodiscard]] CompressionDecision decide(LineView line) override {
+    const Compressed comp = codec_->compress(line);
+    CompressionDecision d = single_codec_decision(comp, id_);
+    ++stats_.wire_counts[static_cast<std::size_t>(d.wire_codec)];
+    return d;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override { return codec_->name(); }
+
+ private:
+  const Codec* codec_;
+  CodecId id_;
+};
+
+/// Section V state machine. Starts in the sampling phase. Each sampling
+/// transfer runs all three compressors concurrently (latency = max of the
+/// three, energy = sum of the three) and records which candidate —
+/// including "send raw" — minimizes Eq. (1). After `sample_transfers`
+/// samples, the candidate with the most wins is locked in for
+/// `running_transfers` transfers, then sampling repeats.
+class AdaptivePolicy final : public CompressionPolicy {
+ public:
+  AdaptivePolicy(const CodecSet& codecs, AdaptiveParams params)
+      : codecs_(&codecs), params_(params), penalty_(params.lambda) {
+    MGCOMP_CHECK(params_.sample_transfers > 0);
+    if (params_.candidates.empty()) {
+      real_ = codecs.real_codecs();
+    } else {
+      for (const CodecId id : params_.candidates) {
+        MGCOMP_CHECK_MSG(id != CodecId::kNone, "kNone is implicit, not a candidate");
+        real_.push_back(&codecs.get(id));
+      }
+    }
+    // Latency/energy of running all candidate compressors concurrently.
+    for (const Codec* c : real_) {
+      const CodecCost cost = codec_cost(c->id());
+      sample_latency_ = std::max(sample_latency_, cost.compress_cycles);
+      sample_occupancy_ = std::max(sample_occupancy_, cost.compress_ii);
+      sample_energy_pj_ += cost.compress_energy_pj();
+    }
+  }
+
+  [[nodiscard]] CompressionDecision decide(LineView line) override {
+    CompressionDecision d =
+        phase_ == Phase::kSampling ? decide_sampling(line) : decide_running(line);
+    ++stats_.wire_counts[static_cast<std::size_t>(d.wire_codec)];
+    return d;
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return params_.dynamic_lambda ? "Adaptive(dyn-l)" : "Adaptive";
+  }
+
+  void set_pressure_probe(PressureProbe probe) override { probe_ = std::move(probe); }
+
+  /// Candidate currently locked in (meaningful during the running phase).
+  [[nodiscard]] CodecId selected() const noexcept { return selected_; }
+
+  [[nodiscard]] bool in_sampling_phase() const noexcept { return phase_ == Phase::kSampling; }
+
+ private:
+  enum class Phase : std::uint8_t { kSampling, kRunning };
+
+  /// Scores a candidate under the configured criterion; lower wins.
+  [[nodiscard]] double score(std::uint32_t size_bits, CodecId id) const {
+    const CodecCost cost = codec_cost(id);
+    switch (params_.criterion) {
+      case SelectionCriterion::kPenalty:
+        return penalty_(size_bits, id);
+      case SelectionCriterion::kSize:
+        return static_cast<double>(size_bits);
+      case SelectionCriterion::kEnergy:
+        return static_cast<double>(size_bits) * fabric_pj_per_bit(params_.energy_tier) +
+               cost.total_energy_pj();
+      case SelectionCriterion::kEnergyDelayProduct: {
+        const double energy =
+            static_cast<double>(size_bits) * fabric_pj_per_bit(params_.energy_tier) +
+            cost.total_energy_pj();
+        const double delay =
+            static_cast<double>(cost.compress_cycles + cost.decompress_cycles) +
+            static_cast<double>(size_bits) / 8.0 / params_.fabric_bytes_per_cycle;
+        return energy * delay;
+      }
+    }
+    return penalty_(size_bits, id);
+  }
+
+  CompressionDecision decide_sampling(LineView line) {
+    // Run every real compressor; the best candidate under the selection
+    // criterion gets this transfer's vote and carries this transfer's
+    // data.
+    double best_penalty = score(kLineBits, CodecId::kNone);  // "send raw"
+    CodecId best = CodecId::kNone;
+    std::uint32_t best_bits = kLineBits;
+    for (const Codec* c : real_) {
+      const Compressed comp = c->compress(line);
+      const double p = score(comp.size_bits, c->id());
+      if (comp.is_compressed() && p < best_penalty) {
+        best_penalty = p;
+        best = c->id();
+        best_bits = comp.size_bits;
+      }
+    }
+
+    ++votes_[static_cast<std::size_t>(best)];
+    penalty_sums_[static_cast<std::size_t>(best)] += best_penalty;
+    ++stats_.sampled_transfers;
+
+    CompressionDecision d;
+    d.sampled = true;
+    d.wire_codec = best;
+    d.payload_bits = best_bits;
+    d.compress_latency = sample_latency_;   // all compressors ran concurrently
+    d.compress_occupancy = sample_occupancy_;
+    d.compress_energy_pj = sample_energy_pj_;
+    if (best != CodecId::kNone) {
+      const CodecCost cost = codec_cost(best);
+      d.decompress_latency = cost.decompress_cycles;
+      d.decompress_occupancy = cost.decompress_ii;
+      d.decompress_energy_pj = cost.decompress_energy_pj();
+    }
+
+    if (++sample_count_ >= params_.sample_transfers) take_vote();
+    return d;
+  }
+
+  void take_vote() {
+    // Congestion-aware lambda (extension): linearly interpolate between
+    // lambda_min (fabric saturated, bandwidth-critical) and lambda_max
+    // (fabric idle, latency-critical) from utilization since the last
+    // vote.
+    if (params_.dynamic_lambda && probe_) {
+      const FabricPressure p = probe_();
+      const Tick dt = p.now - last_pressure_.now;
+      if (dt > 0) {
+        const double u = static_cast<double>(p.busy_cycles - last_pressure_.busy_cycles) /
+                         static_cast<double>(dt);
+        const double x = std::clamp((u - 0.3) / 0.6, 0.0, 1.0);  // 0.3..0.9 band
+        penalty_ = PenaltyFunction(params_.lambda_max -
+                                   (params_.lambda_max - params_.lambda_min) * x);
+      }
+      last_pressure_ = p;
+    }
+
+    // Winner = most per-sample wins; ties break toward the lower
+    // accumulated penalty, then the lower codec id.
+    std::size_t winner = 0;
+    for (std::size_t i = 1; i < kNumCodecIds; ++i) {
+      if (votes_[i] > votes_[winner] ||
+          (votes_[i] == votes_[winner] && penalty_sums_[i] < penalty_sums_[winner])) {
+        winner = i;
+      }
+    }
+    selected_ = static_cast<CodecId>(winner);
+    ++stats_.votes_taken;
+    ++stats_.vote_wins[winner];
+
+    votes_.fill(0);
+    penalty_sums_.fill(0.0);
+    sample_count_ = 0;
+    run_count_ = 0;
+    phase_ = params_.running_transfers > 0 ? Phase::kRunning : Phase::kSampling;
+  }
+
+  CompressionDecision decide_running(LineView line) {
+    CompressionDecision d;
+    if (selected_ == CodecId::kNone) {
+      // Bypass: no compressor runs at all (saves latency *and* energy).
+      d.wire_codec = CodecId::kNone;
+      d.payload_bits = kLineBits;
+    } else {
+      const Compressed comp = codecs_->get(selected_).compress(line);
+      d = single_codec_decision(comp, selected_);
+    }
+    if (++run_count_ >= params_.running_transfers) phase_ = Phase::kSampling;
+    return d;
+  }
+
+  const CodecSet* codecs_;
+  AdaptiveParams params_;
+  PenaltyFunction penalty_;
+  std::vector<const Codec*> real_;
+  Tick sample_latency_{0};
+  Tick sample_occupancy_{0};
+  double sample_energy_pj_{0.0};
+
+  PressureProbe probe_;
+  FabricPressure last_pressure_{};
+
+  Phase phase_{Phase::kSampling};
+  CodecId selected_{CodecId::kNone};
+  std::uint32_t sample_count_{0};
+  std::uint32_t run_count_{0};
+  std::array<std::uint32_t, kNumCodecIds> votes_{};
+  std::array<double, kNumCodecIds> penalty_sums_{};
+};
+
+}  // namespace
+
+PolicyFactory make_no_compression_policy() {
+  return [](const CodecSet&) { return std::make_unique<NoCompressionPolicy>(); };
+}
+
+PolicyFactory make_static_policy(CodecId codec) {
+  return [codec](const CodecSet& set) { return std::make_unique<StaticPolicy>(set, codec); };
+}
+
+PolicyFactory make_adaptive_policy(AdaptiveParams params) {
+  return
+      [params](const CodecSet& set) { return std::make_unique<AdaptivePolicy>(set, params); };
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,159 @@
+// Compression policies: the per-link logic that decides, for every outgoing
+// payload, whether and how to compress it.
+//
+// A policy instance is stateful and owned by one sender (one GPU's RDMA
+// engine); the receiver needs no coordination because every message header
+// carries the Comp Alg field (Fig. 4), with value 0 = "not compressed"
+// bypassing the decompressor entirely (Section V).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "compression/codec.h"
+#include "compression/codec_set.h"
+#include "compression/cost_model.h"
+
+namespace mgcomp {
+
+/// Outcome of a policy's decision for one outgoing line.
+struct CompressionDecision {
+  /// Codec id to put in the message header; kNone when the line travels
+  /// raw (either by policy or because compression did not shrink it).
+  CodecId wire_codec{CodecId::kNone};
+  /// Payload size on the wire in bits (512 when raw).
+  std::uint32_t payload_bits{kLineBits};
+  /// Cycles spent compressing before the message can enter the fabric.
+  /// During a sampling transfer all candidate compressors run concurrently,
+  /// so this is the max of their latencies.
+  Tick compress_latency{0};
+  /// Cycles this line occupies the compressor pipeline (initiation
+  /// interval); the sender's unit cannot accept another line sooner.
+  Tick compress_occupancy{0};
+  /// Cycles the receiver must spend decompressing (0 when raw: the
+  /// decompressor is bypassed).
+  Tick decompress_latency{0};
+  /// Cycles this line occupies the receiver's decompressor pipeline.
+  Tick decompress_occupancy{0};
+  /// Energy burned by compressor hardware at the sender (includes every
+  /// codec that ran, e.g. all three during sampling).
+  double compress_energy_pj{0.0};
+  /// Energy the receiver will burn decompressing.
+  double decompress_energy_pj{0.0};
+  /// True if this transfer was a sampling transfer (all codecs ran).
+  bool sampled{false};
+};
+
+/// Running totals a policy keeps about its own decisions.
+struct PolicyStats {
+  /// Transfers that went on the wire with each codec id (index by CodecId).
+  std::array<std::uint64_t, kNumCodecIds> wire_counts{};
+  /// Number of sampling transfers.
+  std::uint64_t sampled_transfers{0};
+  /// Number of completed sampling phases (i.e. votes taken).
+  std::uint64_t votes_taken{0};
+  /// How often each codec won a vote (index by CodecId).
+  std::array<std::uint64_t, kNumCodecIds> vote_wins{};
+
+  [[nodiscard]] std::uint64_t total_transfers() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto c : wire_counts) t += c;
+    return t;
+  }
+};
+
+/// Snapshot of fabric load, used by congestion-aware policies.
+struct FabricPressure {
+  Tick busy_cycles{0};  ///< cumulative fabric-busy cycles
+  Tick now{0};          ///< current simulation time
+};
+
+/// Supplies the current FabricPressure; installed by the system on
+/// policies that ask for it.
+using PressureProbe = std::function<FabricPressure()>;
+
+/// Abstract per-link compression policy.
+class CompressionPolicy {
+ public:
+  virtual ~CompressionPolicy() = default;
+
+  /// Decides how to send `line`. Called once per outgoing payload, in
+  /// transfer order (adaptive policies rely on this ordering).
+  [[nodiscard]] virtual CompressionDecision decide(LineView line) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Installs a fabric-load probe. Default: ignored (static policies and
+  /// the paper's fixed-lambda scheme don't look at the fabric).
+  virtual void set_pressure_probe(PressureProbe probe) { (void)probe; }
+
+  [[nodiscard]] const PolicyStats& stats() const noexcept { return stats_; }
+
+ protected:
+  PolicyStats stats_;
+};
+
+/// Creates a fresh policy instance for one link/sender.
+using PolicyFactory = std::function<std::unique_ptr<CompressionPolicy>(const CodecSet&)>;
+
+/// Never compresses; the baseline the paper normalizes against.
+[[nodiscard]] PolicyFactory make_no_compression_policy();
+
+/// Always runs one fixed codec; sends raw when the codec does not shrink
+/// the line (Fig. 5's "static" configurations).
+[[nodiscard]] PolicyFactory make_static_policy(CodecId codec);
+
+/// What the sampling vote minimizes (Section V: "one of the algorithms is
+/// selected based on a predefined criteria (i.e., energy consumption,
+/// compressed data size, energy-delay product, etc.)").
+enum class SelectionCriterion : std::uint8_t {
+  /// Eq. (1): P = N + lambda * (Lc + Ld). The paper's evaluated scheme.
+  kPenalty,
+  /// Pure compressed size (equivalent to kPenalty with lambda = 0).
+  kSize,
+  /// Transfer energy: fabric pJ/b for the encoded bits plus codec energy.
+  kEnergy,
+  /// Energy-delay product: transfer energy x (codec latency + wire time).
+  kEnergyDelayProduct,
+};
+
+/// Parameters of the adaptive scheme (Section V defaults).
+struct AdaptiveParams {
+  SelectionCriterion criterion{SelectionCriterion::kPenalty};
+  double lambda{6.0};
+  /// Transfers profiled per sampling phase (paper: 7).
+  std::uint32_t sample_transfers{7};
+  /// Transfers the winning codec is kept for after a vote (paper: 300).
+  std::uint32_t running_transfers{300};
+  /// Compressors integrated in the hardware. Empty = all three. With a
+  /// single entry the scheme degenerates to the paper's on/off gating of
+  /// one compression circuit (Section V, last paragraph).
+  std::vector<CodecId> candidates{};
+
+  /// Extension beyond the paper (it fixes lambda statically and notes the
+  /// "additional complexity of dynamic selection"): re-derive lambda at
+  /// every vote from measured fabric utilization. A saturated fabric is
+  /// bandwidth-critical (lambda -> lambda_min favors small encodings); an
+  /// idle fabric is latency-critical (lambda -> lambda_max favors fast
+  /// codecs). Requires the system to install a PressureProbe.
+  bool dynamic_lambda{false};
+  double lambda_min{0.0};
+  double lambda_max{32.0};
+
+  /// Fabric energy tier used by the kEnergy / kEnergyDelayProduct
+  /// criteria (must match the system's tier for coherent decisions).
+  FabricTier energy_tier{FabricTier::kInterDie};
+  /// Fabric bytes/cycle used by kEnergyDelayProduct's wire-time term.
+  double fabric_bytes_per_cycle{20.0};
+};
+
+/// The paper's adaptive scheme: sample -> vote under Eq. (1) -> run.
+[[nodiscard]] PolicyFactory make_adaptive_policy(AdaptiveParams params);
+
+}  // namespace mgcomp

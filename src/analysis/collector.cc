@@ -1,0 +1,28 @@
+#include "analysis/collector.h"
+
+namespace mgcomp {
+
+void Collector::on_payload_sent(LineView line, const CompressionDecision& d) {
+  compressor_energy_pj_ += d.compress_energy_pj;
+
+  const bool tracing = trace_.size() < trace_limit_;
+  if (!characterize_ && !tracing) return;
+
+  TraceSample sample;
+  sample.entropy = byte_entropy_normalized(line);
+  sample.size_bits[static_cast<std::size_t>(CodecId::kNone)] = kLineBits;
+  for (const Codec* codec : codecs_->real_codecs()) {
+    const auto idx = static_cast<std::size_t>(codec->id());
+    const Compressed comp =
+        codec->compress(line, characterize_ ? &charz_.patterns[idx] : nullptr);
+    sample.size_bits[idx] = comp.size_bits;
+    if (characterize_) charz_.compressed_bits[idx] += comp.size_bits;
+  }
+  if (characterize_) {
+    ++charz_.payloads;
+    charz_.entropy.add(line);
+  }
+  if (tracing) trace_.push_back(sample);
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,92 @@
+// Measurement hooks and aggregation for a simulation run.
+//
+// The RDMA engines call into one shared Collector as payloads leave and
+// arrive. Besides the always-on energy tally, two optional instruments
+// exist:
+//   * characterization — re-compresses EVERY inter-GPU payload with all
+//     three codecs to measure per-codec compression ratios, Table II
+//     pattern usage (Table VI) and aggregate byte entropy (Table V). This
+//     is measurement-only tooling: it never affects timing or the policy.
+//   * tracing — records the first N payloads' per-line entropy and
+//     per-codec compressed sizes, reproducing the Fig. 1 time series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/policy.h"
+#include "common/entropy.h"
+#include "common/types.h"
+#include "compression/codec_set.h"
+#include "compression/cost_model.h"
+
+namespace mgcomp {
+
+/// Per-codec whole-run characterization results (Table V / Table VI).
+struct Characterization {
+  /// Index by CodecId (kNone slot unused).
+  std::array<std::uint64_t, kNumCodecIds> compressed_bits{};
+  std::array<PatternStats, kNumCodecIds> patterns{};
+  std::uint64_t payloads{0};
+  EntropyAccumulator entropy;
+
+  /// Compression ratio of codec `id`: raw bits / compressed bits.
+  [[nodiscard]] double ratio(CodecId id) const noexcept {
+    const auto bits = compressed_bits[static_cast<std::size_t>(id)];
+    if (bits == 0) return 1.0;
+    return static_cast<double>(payloads) * static_cast<double>(kLineBits) /
+           static_cast<double>(bits);
+  }
+};
+
+/// One Fig. 1 sample: a single inter-GPU payload.
+struct TraceSample {
+  double entropy{0.0};  ///< per-line normalized byte entropy
+  /// Compressed size in bits under each codec (index by CodecId; the kNone
+  /// slot holds the raw 512).
+  std::array<std::uint32_t, kNumCodecIds> size_bits{};
+};
+
+class Collector {
+ public:
+  /// Turns on per-payload characterization (slows simulation ~3x).
+  void enable_characterization(const CodecSet& codecs) {
+    codecs_ = &codecs;
+    characterize_ = true;
+  }
+
+  /// Records the first `max_samples` payloads for Fig. 1-style series.
+  void enable_trace(const CodecSet& codecs, std::size_t max_samples) {
+    codecs_ = &codecs;
+    trace_limit_ = max_samples;
+    trace_.reserve(max_samples);
+  }
+
+  /// Sender-side hook: an inter-GPU payload is leaving under decision `d`.
+  void on_payload_sent(LineView line, const CompressionDecision& d);
+
+  /// Receiver-side hook: a payload arrived and (if compressed) was
+  /// decompressed at the given energy cost.
+  void on_payload_received(double decompress_energy_pj) {
+    decompressor_energy_pj_ += decompress_energy_pj;
+  }
+
+  [[nodiscard]] double compressor_energy_pj() const noexcept { return compressor_energy_pj_; }
+  [[nodiscard]] double decompressor_energy_pj() const noexcept {
+    return decompressor_energy_pj_;
+  }
+  [[nodiscard]] const Characterization& characterization() const noexcept { return charz_; }
+  [[nodiscard]] const std::vector<TraceSample>& trace() const noexcept { return trace_; }
+
+ private:
+  const CodecSet* codecs_{nullptr};
+  bool characterize_{false};
+  std::size_t trace_limit_{0};
+
+  double compressor_energy_pj_{0.0};
+  double decompressor_energy_pj_{0.0};
+  Characterization charz_;
+  std::vector<TraceSample> trace_;
+};
+
+}  // namespace mgcomp

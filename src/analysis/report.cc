@@ -1,0 +1,101 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace mgcomp {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string MarkdownTable::to_string() const {
+  // Column widths for cosmetic alignment.
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      line += " " + cell + std::string(widths[c] - std::min(widths[c], cell.size()), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = emit_row(headers_);
+  out += "|";
+  for (const std::size_t w : widths) out += std::string(w + 2, '-') + "|";
+  out += "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : columns_(headers.size()) {
+  append_line(headers);
+}
+
+CsvWriter& CsvWriter::add_row(const std::vector<std::string>& cells) {
+  MGCOMP_CHECK_MSG(cells.size() == columns_, "CSV row width mismatch");
+  append_line(cells);
+  return *this;
+}
+
+void CsvWriter::append_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ += ',';
+    const bool needs_quotes =
+        cells[i].find_first_of(",\"\n") != std::string::npos;
+    if (needs_quotes) {
+      out_ += '"';
+      for (const char ch : cells[i]) {
+        if (ch == '"') out_ += '"';
+        out_ += ch;
+      }
+      out_ += '"';
+    } else {
+      out_ += cells[i];
+    }
+  }
+  out_ += '\n';
+}
+
+void JsonObject::key(const std::string& k) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"" + k + "\":";
+}
+
+JsonObject& JsonObject::field(const std::string& k, const std::string& value) {
+  key(k);
+  body_ += "\"";
+  for (const char ch : value) {
+    if (ch == '"' || ch == '\\') body_ += '\\';
+    body_ += ch;
+  }
+  body_ += "\"";
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& k, double value) {
+  key(k);
+  body_ += fmt(value, 6);
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& k, std::uint64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,65 @@
+// Small report writers (Markdown tables, CSV, flat JSON) used by the
+// bench harnesses and the simulate CLI to emit machine- and
+// human-readable results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mgcomp {
+
+/// Fixed-precision double formatting without locale surprises.
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+/// GitHub-flavored Markdown table builder.
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  MarkdownTable& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Renders the table with aligned columns (padding is cosmetic; the
+  /// output is valid Markdown either way).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Comma-separated values with minimal quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  CsvWriter& add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void append_line(const std::vector<std::string>& cells);
+  std::size_t columns_;
+  std::string out_;
+};
+
+/// Flat (non-nested) JSON object writer: string and numeric fields only,
+/// enough for run summaries consumed by scripts.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& value);
+  JsonObject& field(const std::string& key, double value);
+  JsonObject& field(const std::string& key, std::uint64_t value);
+
+  [[nodiscard]] std::string to_string() const { return "{" + body_ + "}"; }
+
+ private:
+  void key(const std::string& k);
+  std::string body_;
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,63 @@
+// Results of one full simulation run, assembled by MultiGpuSystem.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "adaptive/policy.h"
+#include "analysis/collector.h"
+#include "compression/cost_model.h"
+#include "fabric/bus.h"
+#include "memory/cache.h"
+
+namespace mgcomp {
+
+struct RunResult {
+  std::string workload;
+  std::string policy;
+
+  /// End-to-end execution time in 1 GHz cycles.
+  Tick exec_ticks{0};
+
+  BusStats bus;
+
+  /// GPU->GPU requests (the Table V Read/Write columns).
+  [[nodiscard]] std::uint64_t remote_reads() const noexcept {
+    return bus.inter_gpu_by_type[static_cast<std::size_t>(MsgType::kReadReq)];
+  }
+  [[nodiscard]] std::uint64_t remote_writes() const noexcept {
+    return bus.inter_gpu_by_type[static_cast<std::size_t>(MsgType::kWriteReq)];
+  }
+
+  /// Fabric energy at the configured tier (pJ).
+  double fabric_energy_pj{0.0};
+  /// Sender-side compressor energy across the run (pJ).
+  double compressor_energy_pj{0.0};
+  /// Receiver-side decompressor energy across the run (pJ).
+  double decompressor_energy_pj{0.0};
+
+  [[nodiscard]] double total_link_energy_pj() const noexcept {
+    return fabric_energy_pj + compressor_energy_pj + decompressor_energy_pj;
+  }
+
+  /// Aggregated policy decisions across all senders.
+  PolicyStats policy_stats;
+
+  /// Aggregated cache behavior (vector L1s, scalar L1s, L2 banks).
+  CacheStats l1v;
+  CacheStats l1s;
+  CacheStats l2;
+
+  /// Filled only when the run had characterization enabled.
+  Characterization characterization;
+  /// Filled only when the run had tracing enabled.
+  std::vector<TraceSample> trace;
+
+  /// Fabric wire traffic between GPUs, in bytes (Fig. 5/6 metric).
+  [[nodiscard]] std::uint64_t inter_gpu_traffic_bytes() const noexcept {
+    return bus.inter_gpu_wire_bytes;
+  }
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,30 @@
+// Always-on invariant checking.
+//
+// Simulator correctness bugs silently corrupt results (traffic counts, cycle
+// accounting), so invariants stay enabled in release builds. The cost is
+// negligible next to event-queue work.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mgcomp::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "mgcomp: invariant violated: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace mgcomp::detail
+
+/// Checks `expr` in all build types; aborts with location info on failure.
+#define MGCOMP_CHECK(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::mgcomp::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+/// Like MGCOMP_CHECK but with an explanatory message.
+#define MGCOMP_CHECK_MSG(expr, msg)                                      \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::mgcomp::detail::assert_fail(#expr, __FILE__, __LINE__, msg))

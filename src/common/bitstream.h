@@ -1,0 +1,88 @@
+// Bit-granular writer/reader used by the compression codecs.
+//
+// Compressed lines are measured in *bits* (Table II of the paper counts
+// 3-bit prefixes, 4-bit deltas, ...), so codecs serialize through these
+// helpers and the size accounting falls out of the stream position.
+// Bits are packed LSB-first within each byte; multi-bit fields are written
+// least-significant bit first, which makes read/write symmetric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace mgcomp {
+
+/// Appends bit fields to a growable byte buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `nbits` bits of `value` (0 <= nbits <= 64).
+  void put(std::uint64_t value, unsigned nbits) {
+    MGCOMP_CHECK(nbits <= 64);
+    for (unsigned i = 0; i < nbits; ++i) {
+      const unsigned byte = static_cast<unsigned>(bit_count_ >> 3);
+      if (byte >= bytes_.size()) bytes_.push_back(0);
+      if ((value >> i) & 1ULL) {
+        bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | (1U << (bit_count_ & 7U)));
+      }
+      ++bit_count_;
+    }
+  }
+
+  /// Number of bits written so far.
+  [[nodiscard]] std::uint32_t bit_count() const noexcept {
+    return static_cast<std::uint32_t>(bit_count_);
+  }
+
+  /// Underlying packed bytes (last byte may be partially used).
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+  /// Moves the packed bytes out; the writer is left empty.
+  [[nodiscard]] std::vector<std::uint8_t> take_bytes() noexcept {
+    bit_count_ = 0;
+    return std::move(bytes_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t bit_count_{0};
+};
+
+/// Reads bit fields previously produced by BitWriter.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::uint64_t bit_count) noexcept
+      : data_(data), bit_count_(bit_count) {}
+
+  explicit BitReader(const std::vector<std::uint8_t>& bytes) noexcept
+      : BitReader(bytes.data(), static_cast<std::uint64_t>(bytes.size()) * 8) {}
+
+  /// Reads `nbits` bits; aborts if the stream is exhausted.
+  std::uint64_t get(unsigned nbits) {
+    MGCOMP_CHECK(nbits <= 64);
+    MGCOMP_CHECK_MSG(pos_ + nbits <= bit_count_, "bitstream underrun");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+      const std::uint64_t bit = (data_[pos_ >> 3] >> (pos_ & 7U)) & 1U;
+      v |= bit << i;
+      ++pos_;
+    }
+    return v;
+  }
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::uint64_t position() const noexcept { return pos_; }
+
+  /// Bits remaining.
+  [[nodiscard]] std::uint64_t remaining() const noexcept { return bit_count_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::uint64_t bit_count_;
+  std::uint64_t pos_{0};
+};
+
+}  // namespace mgcomp

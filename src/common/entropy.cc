@@ -1,0 +1,36 @@
+#include "common/entropy.h"
+
+#include <cmath>
+
+namespace mgcomp {
+namespace {
+
+double entropy_from_counts(const std::uint64_t (&counts)[256], std::uint64_t total) noexcept {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double inv_total = 1.0 / static_cast<double>(total);
+  for (const std::uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) * inv_total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double byte_entropy_bits(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t counts[256]{};
+  for (const std::uint8_t b : data) ++counts[b];
+  return entropy_from_counts(counts, data.size());
+}
+
+double byte_entropy_normalized(std::span<const std::uint8_t> data) noexcept {
+  return byte_entropy_bits(data) / 8.0;
+}
+
+double EntropyAccumulator::normalized() const noexcept {
+  return entropy_from_counts(counts_, total_) / 8.0;
+}
+
+}  // namespace mgcomp

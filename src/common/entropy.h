@@ -1,0 +1,38 @@
+// Byte-level Shannon entropy, the metric used throughout the paper's
+// characterization (Table V, Fig. 1) to explain compressibility.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mgcomp {
+
+/// Shannon entropy of the byte distribution of `data`, in bits per byte
+/// (range [0, 8]). Empty input yields 0.
+double byte_entropy_bits(std::span<const std::uint8_t> data) noexcept;
+
+/// Entropy normalized to [0, 1] (the paper's convention: 1 = incompressible
+/// random bytes, 0 = a single repeated byte value).
+double byte_entropy_normalized(std::span<const std::uint8_t> data) noexcept;
+
+/// Streaming accumulator: feed many lines, query aggregate entropy at the
+/// end. Used to report the whole-run entropy column of Table V.
+class EntropyAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> data) noexcept {
+    for (const std::uint8_t b : data) ++counts_[b];
+    total_ += data.size();
+  }
+
+  /// Aggregate normalized entropy over everything added so far.
+  [[nodiscard]] double normalized() const noexcept;
+
+  /// Total bytes observed.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_; }
+
+ private:
+  std::uint64_t counts_[256]{};
+  std::uint64_t total_{0};
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,74 @@
+// Core value types shared by every mgcomp module.
+//
+// The whole system is expressed in terms of 64-byte cache lines (the paper's
+// inter-GPU transfer granularity), 1 GHz clock ticks, and small strong-ID
+// types that keep GPU/CU/channel indices from being mixed up silently.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mgcomp {
+
+/// Simulation time in cycles of the 1 GHz system clock.
+using Tick = std::uint64_t;
+
+/// Physical byte address (the paper's message headers carry 48-bit
+/// addresses; we store them in 64 bits and mask on the wire).
+using Addr = std::uint64_t;
+
+/// Size of a cache line in bytes / bits. All inter-GPU payloads are one line.
+inline constexpr std::size_t kLineBytes = 64;
+inline constexpr std::size_t kLineBits = kLineBytes * 8;  // 512
+
+/// Size of an interleaved DRAM page in bytes (Table VII layout: 4 KB pages
+/// interleaved over 32 memory controllers).
+inline constexpr std::size_t kPageBytes = 4096;
+
+/// A cache line payload. Value semantics; trivially copyable.
+using Line = std::array<std::uint8_t, kLineBytes>;
+
+/// Read-only view of exactly one line worth of bytes.
+using LineView = std::span<const std::uint8_t, kLineBytes>;
+
+/// Mutable view of exactly one line worth of bytes.
+using LineSpan = std::span<std::uint8_t, kLineBytes>;
+
+/// Returns a zero-filled line.
+constexpr Line zero_line() noexcept { return Line{}; }
+
+/// Strongly typed small index. Tag types below disambiguate use sites.
+template <typename Tag>
+struct StrongId {
+  std::uint32_t value{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t v) noexcept : value(v) {}
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+};
+
+struct GpuTag {};
+struct CuTag {};
+struct ChannelTag {};
+struct EndpointTag {};
+
+/// Identifies one GPU in the system (0..num_gpus-1).
+using GpuId = StrongId<GpuTag>;
+/// Identifies one compute unit within a GPU (0..cus_per_gpu-1).
+using CuId = StrongId<CuTag>;
+/// Identifies one DRAM channel within a GPU.
+using ChannelId = StrongId<ChannelTag>;
+/// Identifies one endpoint on the inter-GPU fabric (CPU or a GPU).
+using EndpointId = StrongId<EndpointTag>;
+
+/// Address of the line containing `a`.
+constexpr Addr line_base(Addr a) noexcept { return a & ~static_cast<Addr>(kLineBytes - 1); }
+
+/// Index of the 4 KB page containing `a`.
+constexpr std::uint64_t page_index(Addr a) noexcept { return a / kPageBytes; }
+
+}  // namespace mgcomp

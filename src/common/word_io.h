@@ -1,0 +1,45 @@
+// Little-endian word accessors over raw line bytes.
+//
+// Codecs view a 64-byte line as 8/16/32 fixed-width little-endian integers.
+// Accessors are branch-free and avoid strict-aliasing issues.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/assert.h"
+
+namespace mgcomp {
+
+/// Loads a little-endian unsigned integer of Width bytes at byte offset `off`.
+template <typename T>
+[[nodiscard]] inline T load_le(std::span<const std::uint8_t> bytes, std::size_t off) noexcept {
+  MGCOMP_CHECK(off + sizeof(T) <= bytes.size());
+  T v{};
+  std::memcpy(&v, bytes.data() + off, sizeof(T));
+  return v;  // host is little-endian on all supported platforms
+}
+
+/// Stores a little-endian unsigned integer at byte offset `off`.
+template <typename T>
+inline void store_le(std::span<std::uint8_t> bytes, std::size_t off, T v) noexcept {
+  MGCOMP_CHECK(off + sizeof(T) <= bytes.size());
+  std::memcpy(bytes.data() + off, &v, sizeof(T));
+}
+
+/// Sign-extends the low `bits` bits of `v` to 64 bits.
+[[nodiscard]] constexpr std::int64_t sign_extend(std::uint64_t v, unsigned bits) noexcept {
+  const std::uint64_t m = 1ULL << (bits - 1);
+  v &= (bits == 64) ? ~0ULL : ((1ULL << bits) - 1);
+  return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+/// True if signed value `v` is representable in `bits` bits (two's complement).
+[[nodiscard]] constexpr bool fits_signed(std::int64_t v, unsigned bits) noexcept {
+  const std::int64_t lo = -(static_cast<std::int64_t>(1) << (bits - 1));
+  const std::int64_t hi = (static_cast<std::int64_t>(1) << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+}  // namespace mgcomp

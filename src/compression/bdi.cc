@@ -1,0 +1,222 @@
+#include "compression/bdi.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.h"
+#include "common/bitstream.h"
+#include "common/word_io.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr unsigned kPrefixBits = 4;
+
+struct Form {
+  BdiCodec::Pattern pattern;
+  unsigned base_bytes;   // k
+  unsigned delta_bytes;  // d
+};
+
+// Candidate (k, d) forms, Table II patterns 3..8.
+constexpr Form kForms[] = {
+    {BdiCodec::kBase8Delta1, 8, 1}, {BdiCodec::kBase8Delta2, 8, 2},
+    {BdiCodec::kBase8Delta4, 8, 4}, {BdiCodec::kBase4Delta1, 4, 1},
+    {BdiCodec::kBase4Delta2, 4, 2}, {BdiCodec::kBase2Delta1, 2, 1},
+};
+
+std::uint64_t element_mask(unsigned k) noexcept {
+  return k == 8 ? ~0ULL : ((1ULL << (8 * k)) - 1);
+}
+
+std::uint64_t load_element(LineView line, unsigned k, std::size_t i) noexcept {
+  switch (k) {
+    case 8: return load_le<std::uint64_t>(line, i * 8);
+    case 4: return load_le<std::uint32_t>(line, i * 4);
+    default: return load_le<std::uint16_t>(line, i * 2);
+  }
+}
+
+// Two's-complement difference a - b within a k-byte domain, sign-extended
+// to 64 bits.
+std::int64_t wrapped_delta(std::uint64_t a, std::uint64_t b, unsigned k) noexcept {
+  const std::uint64_t d = (a - b) & element_mask(k);
+  return sign_extend(d, 8 * k);
+}
+
+// Whether element `e` is encodable against base `base` (or the implicit
+// zero base) with a d-byte delta. Returns {valid, use_zero_base}.
+struct DeltaChoice {
+  bool valid{false};
+  bool zero_base{false};
+};
+
+DeltaChoice choose_delta(std::uint64_t e, std::uint64_t base, unsigned k, unsigned d) noexcept {
+  const unsigned bits = 8 * d;
+  if (fits_signed(wrapped_delta(e, 0, k), bits)) return {true, true};
+  if (fits_signed(wrapped_delta(e, base, k), bits)) return {true, false};
+  return {false, false};
+}
+
+bool all_zero(LineView line) noexcept {
+  return std::all_of(line.begin(), line.end(), [](std::uint8_t b) { return b == 0; });
+}
+
+}  // namespace
+
+std::uint32_t BdiCodec::form_bits(Pattern p) noexcept {
+  switch (p) {
+    case kZeroBlock: return 4;           // 0 data + 4-bit prefix
+    case kRepeatedWords: return 68;      // 64 data + 4-bit prefix
+    case kBase8Delta1: return 140;       // 128 data + 12 meta
+    case kBase8Delta2: return 204;       // 192 data + 12 meta
+    case kBase8Delta4: return 332;       // 320 data + 12 meta
+    case kBase4Delta1: return 180;       // 160 data + 20 meta
+    case kBase4Delta2: return 308;       // 288 data + 20 meta
+    case kBase2Delta1: return 308;       // 272 data + 36 meta
+    case kUncompressed: return kLineBits;
+  }
+  return kLineBits;
+}
+
+bool BdiCodec::form_valid(LineView line, unsigned k, unsigned d) noexcept {
+  const std::size_t n = kLineBytes / k;
+  const std::uint64_t base = load_element(line, k, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!choose_delta(load_element(line, k, i), base, k, d).valid) return false;
+  }
+  return true;
+}
+
+Compressed BdiCodec::compress(LineView line, PatternStats* stats) const {
+  Compressed out;
+  out.codec = CodecId::kBdi;
+
+  if (all_zero(line)) {
+    out.mode = EncodingMode::kZeroBlock;
+    out.size_bits = form_bits(kZeroBlock);
+    if (stats != nullptr) stats->add(kZeroBlock);
+    return out;
+  }
+
+  // Repeated 64-bit words (pattern 2).
+  {
+    const std::uint64_t w0 = load_le<std::uint64_t>(line, 0);
+    bool repeated = true;
+    for (std::size_t i = 1; i < 8 && repeated; ++i) {
+      repeated = load_le<std::uint64_t>(line, i * 8) == w0;
+    }
+    if (repeated) {
+      BitWriter bw;
+      bw.put(kRepeatedWords, kPrefixBits);
+      bw.put(w0, 64);
+      out.mode = EncodingMode::kStream;
+      out.size_bits = form_bits(kRepeatedWords);
+      MGCOMP_CHECK(bw.bit_count() == out.size_bits);
+      out.payload = bw.take_bytes();
+      if (stats != nullptr) stats->add(kRepeatedWords);
+      return out;
+    }
+  }
+
+  // Pick the smallest valid (k, d) form; ties resolve to the lower pattern
+  // number (kForms is not size-ordered, so scan all).
+  const Form* best = nullptr;
+  std::uint32_t best_bits = kLineBits;
+  for (const Form& f : kForms) {
+    const std::uint32_t bits = form_bits(f.pattern);
+    if (bits >= best_bits) continue;
+    if (form_valid(line, f.base_bytes, f.delta_bytes)) {
+      best = &f;
+      best_bits = bits;
+    }
+  }
+
+  if (best == nullptr) {
+    out.mode = EncodingMode::kRaw;
+    out.size_bits = kLineBits;
+    out.payload.assign(line.begin(), line.end());
+    if (stats != nullptr) stats->add(kUncompressed);
+    return out;
+  }
+
+  const unsigned k = best->base_bytes;
+  const unsigned d = best->delta_bytes;
+  const std::size_t n = kLineBytes / k;
+  const std::uint64_t base = load_element(line, k, 0);
+
+  BitWriter bw;
+  bw.put(best->pattern, kPrefixBits);
+  bw.put(base, 8 * k);
+  // Base-choice mask: bit i set => element i uses the explicit base.
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeltaChoice c = choose_delta(load_element(line, k, i), base, k, d);
+    MGCOMP_CHECK(c.valid);
+    if (!c.zero_base) mask |= 1ULL << i;
+  }
+  bw.put(mask, static_cast<unsigned>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t e = load_element(line, k, i);
+    const std::uint64_t b = (mask >> i) & 1ULL ? base : 0;
+    const auto delta = static_cast<std::uint64_t>(wrapped_delta(e, b, k));
+    bw.put(delta & ((d == 8) ? ~0ULL : ((1ULL << (8 * d)) - 1)), 8 * d);
+  }
+
+  out.mode = EncodingMode::kStream;
+  out.size_bits = form_bits(best->pattern);
+  MGCOMP_CHECK(bw.bit_count() == out.size_bits);
+  out.payload = bw.take_bytes();
+  if (stats != nullptr) stats->add(best->pattern);
+  return out;
+}
+
+Line BdiCodec::decompress(const Compressed& c) const {
+  MGCOMP_CHECK(c.codec == CodecId::kBdi);
+  Line line = zero_line();
+  switch (c.mode) {
+    case EncodingMode::kZeroBlock:
+      return line;
+    case EncodingMode::kRaw:
+      MGCOMP_CHECK(c.payload.size() == kLineBytes);
+      std::copy(c.payload.begin(), c.payload.end(), line.begin());
+      return line;
+    case EncodingMode::kStream:
+      break;
+  }
+
+  BitReader br(c.payload.data(), c.size_bits);
+  const auto pattern = static_cast<Pattern>(br.get(kPrefixBits));
+
+  if (pattern == kRepeatedWords) {
+    const std::uint64_t w = br.get(64);
+    for (std::size_t i = 0; i < 8; ++i) store_le<std::uint64_t>(line, i * 8, w);
+    return line;
+  }
+
+  const Form* form = nullptr;
+  for (const Form& f : kForms) {
+    if (f.pattern == pattern) form = &f;
+  }
+  MGCOMP_CHECK_MSG(form != nullptr, "corrupt BDI stream");
+
+  const unsigned k = form->base_bytes;
+  const unsigned d = form->delta_bytes;
+  const std::size_t n = kLineBytes / k;
+  const std::uint64_t base = br.get(8 * k);
+  const std::uint64_t mask = br.get(static_cast<unsigned>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto delta = static_cast<std::uint64_t>(sign_extend(br.get(8 * d), 8 * d));
+    const std::uint64_t b = (mask >> i) & 1ULL ? base : 0;
+    const std::uint64_t e = (b + delta) & element_mask(k);
+    switch (k) {
+      case 8: store_le<std::uint64_t>(line, i * 8, e); break;
+      case 4: store_le<std::uint32_t>(line, i * 4, static_cast<std::uint32_t>(e)); break;
+      default: store_le<std::uint16_t>(line, i * 2, static_cast<std::uint16_t>(e)); break;
+    }
+  }
+  MGCOMP_CHECK(br.position() == c.size_bits);
+  return line;
+}
+
+}  // namespace mgcomp

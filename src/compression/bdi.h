@@ -1,0 +1,50 @@
+// Base-Delta-Immediate compression (Pekhimenko et al.), per-paper variant.
+//
+// BDI views the 64-byte line as n = 64/k elements of k bytes and stores one
+// explicit base (the first element, per the paper) plus per-element deltas.
+// Every element must be within delta range of either the explicit base or
+// the implicit zero base; a per-element bit mask records which base was
+// used. Six (k, delta) forms from Table II are tried plus the zero-block
+// and repeated-word special cases; the smallest valid encoding wins.
+#pragma once
+
+#include "compression/codec.h"
+
+namespace mgcomp {
+
+class BdiCodec final : public Codec {
+ public:
+  /// BDI pattern numbers from Table II.
+  enum Pattern : std::uint8_t {
+    kZeroBlock = 1,
+    kRepeatedWords = 2,
+    kBase8Delta1 = 3,
+    kBase8Delta2 = 4,
+    kBase8Delta4 = 5,
+    kBase4Delta1 = 6,
+    kBase4Delta2 = 7,
+    kBase2Delta1 = 8,
+    kUncompressed = 9,
+  };
+
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::kBdi; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "BDI"; }
+  [[nodiscard]] Compressed compress(LineView line, PatternStats* stats = nullptr) const override;
+  [[nodiscard]] Line decompress(const Compressed& c) const override;
+
+  [[nodiscard]] PatternSupport support() const noexcept override {
+    return PatternSupport{.zero = Support::kYes,
+                          .repeated = Support::kYes,
+                          .narrow = Support::kPartial,
+                          .low_dynamic_range = Support::kYes,
+                          .spatial_similarity = Support::kNo};
+  }
+
+  /// Total encoded bits (data + metadata) of a form, per Table II.
+  [[nodiscard]] static std::uint32_t form_bits(Pattern p) noexcept;
+
+  /// True if `line` is encodable with base size `k` bytes / delta `d` bytes.
+  [[nodiscard]] static bool form_valid(LineView line, unsigned k, unsigned d) noexcept;
+};
+
+}  // namespace mgcomp

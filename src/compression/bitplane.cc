@@ -1,0 +1,82 @@
+#include "compression/bitplane.h"
+
+#include "common/bitstream.h"
+#include "common/word_io.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr std::size_t kWords = kLineBytes / 4;   // 16
+constexpr std::size_t kDeltas = kWords - 1;      // 15
+constexpr unsigned kPlanes = 32;
+
+struct Planes {
+  std::uint32_t base;
+  std::uint32_t plane[kPlanes];  // each holds kDeltas significant bits
+};
+
+Planes to_planes(LineView line) noexcept {
+  Planes p{};
+  std::uint32_t words[kWords];
+  for (std::size_t i = 0; i < kWords; ++i) words[i] = load_le<std::uint32_t>(line, i * 4);
+  p.base = words[0];
+
+  std::uint32_t deltas[kDeltas];
+  for (std::size_t i = 0; i < kDeltas; ++i) deltas[i] = words[i + 1] - words[i];
+
+  for (unsigned b = 0; b < kPlanes; ++b) {
+    std::uint32_t row = 0;
+    for (std::size_t i = 0; i < kDeltas; ++i) row |= ((deltas[i] >> b) & 1U) << i;
+    p.plane[b] = row;
+  }
+  return p;
+}
+
+Line from_planes(const Planes& p) noexcept {
+  std::uint32_t deltas[kDeltas]{};
+  for (unsigned b = 0; b < kPlanes; ++b) {
+    for (std::size_t i = 0; i < kDeltas; ++i) {
+      deltas[i] |= ((p.plane[b] >> i) & 1U) << b;
+    }
+  }
+  Line line{};
+  std::uint32_t w = p.base;
+  store_le<std::uint32_t>(line, 0, w);
+  for (std::size_t i = 0; i < kDeltas; ++i) {
+    w += deltas[i];
+    store_le<std::uint32_t>(line, (i + 1) * 4, w);
+  }
+  return line;
+}
+
+}  // namespace
+
+Line bitplane_transform(LineView line) noexcept {
+  Planes p = to_planes(line);
+  // DBX: XOR each plane with the next-higher plane (the MSB plane is kept
+  // verbatim), turning runs of identical planes into zeros.
+  for (unsigned b = 0; b + 1 < kPlanes; ++b) p.plane[b] ^= p.plane[b + 1];
+
+  BitWriter bw;
+  bw.put(p.base, 32);
+  for (unsigned b = 0; b < kPlanes; ++b) bw.put(p.plane[b], kDeltas);
+  // 32 + 32*15 = 512 bits: exactly one line.
+  Line out{};
+  const auto& bytes = bw.bytes();
+  for (std::size_t i = 0; i < kLineBytes; ++i) out[i] = bytes[i];
+  return out;
+}
+
+Line bitplane_inverse(LineView line) noexcept {
+  BitReader br(line.data(), kLineBits);
+  Planes p{};
+  p.base = static_cast<std::uint32_t>(br.get(32));
+  for (unsigned b = 0; b < kPlanes; ++b) {
+    p.plane[b] = static_cast<std::uint32_t>(br.get(kDeltas));
+  }
+  // Undo DBX from the MSB plane downward.
+  for (unsigned b = kPlanes - 1; b-- > 0;) p.plane[b] ^= p.plane[b + 1];
+  return from_planes(p);
+}
+
+}  // namespace mgcomp

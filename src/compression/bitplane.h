@@ -1,0 +1,60 @@
+// Bit-Plane pre-coding (after Kim et al.'s BPC), the orthogonal layer the
+// paper's related-work section singles out: "Bit-plane transformations
+// provide a general approach to pre-code the data and improve
+// compressibility ... This is orthogonal to our approach, and can be used
+// to improve data compressibility by adding an extra layer before the
+// compression algorithm."
+//
+// The transform used here is the classic delta + bit-plane rotation + XOR:
+//   1. Delta: keep word 0 as a base, replace word i (i >= 1) with
+//      word[i] - word[i-1] (mod 2^32). Smoothly varying data collapses
+//      toward small two's-complement deltas.
+//   2. Bit-plane transpose over the 15 delta words: plane b collects bit b
+//      of every delta (a 15-bit row). Correlated deltas make most planes
+//      all-zeros or all-ones.
+//   3. XOR adjacent planes (DBX): runs of identical planes become zero
+//      words.
+// The result is re-packed as a 64-byte line and handed to any inner codec;
+// the whole pipeline is exactly invertible.
+//
+// BitplaneCodec wraps an inner codec with this transform. It reuses the
+// inner codec's CodecId on the wire (a real system would burn one more
+// Comp Alg value); cost-model numbers are the inner codec's — the
+// transform itself is wiring plus XOR gates, negligible next to Table III.
+#pragma once
+
+#include "compression/codec.h"
+
+namespace mgcomp {
+
+/// Forward bit-plane transform (delta + transpose + DBX). Invertible.
+[[nodiscard]] Line bitplane_transform(LineView line) noexcept;
+
+/// Exact inverse of bitplane_transform.
+[[nodiscard]] Line bitplane_inverse(LineView line) noexcept;
+
+class BitplaneCodec final : public Codec {
+ public:
+  /// Wraps `inner` (borrowed; must outlive this codec).
+  explicit BitplaneCodec(const Codec& inner) noexcept : inner_(&inner) {}
+
+  [[nodiscard]] CodecId id() const noexcept override { return inner_->id(); }
+  [[nodiscard]] std::string_view name() const noexcept override { return "BPC+inner"; }
+
+  [[nodiscard]] Compressed compress(LineView line, PatternStats* stats = nullptr) const override {
+    const Line t = bitplane_transform(line);
+    return inner_->compress(t, stats);
+  }
+
+  [[nodiscard]] Line decompress(const Compressed& c) const override {
+    const Line t = inner_->decompress(c);
+    return bitplane_inverse(t);
+  }
+
+  [[nodiscard]] PatternSupport support() const noexcept override { return inner_->support(); }
+
+ private:
+  const Codec* inner_;
+};
+
+}  // namespace mgcomp

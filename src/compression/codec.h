@@ -1,0 +1,129 @@
+// Hardware memory-compression codec interface.
+//
+// Each codec compresses one 64-byte (512-bit) cache line into a bit-exact
+// encoded stream whose size follows Table II of the paper, including
+// per-pattern metadata bits. Decompression reconstructs the original line
+// exactly (all codecs here are lossless).
+//
+// Codecs also report *which* encoded pattern was used for each word/line so
+// the analysis layer can regenerate the paper's Table VI (three most
+// detected patterns per algorithm per benchmark).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgcomp {
+
+/// Identifies a compression algorithm. kNone is the reserved "not
+/// compressed" value carried in the message header's Comp Alg field
+/// (value 0 bypasses the decompressor at the receiver, Section V).
+enum class CodecId : std::uint8_t {
+  kNone = 0,
+  kFpc = 1,
+  kBdi = 2,
+  kCpackZ = 3,
+};
+
+/// Number of distinct CodecId values (including kNone).
+inline constexpr std::size_t kNumCodecIds = 4;
+
+[[nodiscard]] constexpr std::string_view codec_name(CodecId id) noexcept {
+  switch (id) {
+    case CodecId::kNone: return "None";
+    case CodecId::kFpc: return "FPC";
+    case CodecId::kBdi: return "BDI";
+    case CodecId::kCpackZ: return "C-Pack+Z";
+  }
+  return "?";
+}
+
+/// How the encoded stream should be interpreted when decompressing.
+enum class EncodingMode : std::uint8_t {
+  kRaw,        ///< Line did not compress; payload is the original 512 bits.
+  kZeroBlock,  ///< Entire line is zero; payload is empty.
+  kStream,     ///< Codec-specific bit stream in `payload`.
+};
+
+/// Result of compressing one line.
+struct Compressed {
+  CodecId codec{CodecId::kNone};
+  EncodingMode mode{EncodingMode::kRaw};
+  /// Total encoded size in bits, *including* prefix/metadata bits, exactly
+  /// as accounted in Table II. Raw lines are 512 bits.
+  std::uint32_t size_bits{kLineBits};
+  /// Bit-packed encoded data (LSB-first). For kRaw this holds the original
+  /// 64 bytes; for kZeroBlock it is empty.
+  std::vector<std::uint8_t> payload;
+
+  /// True when the codec actually reduced the line below 512 bits.
+  [[nodiscard]] bool is_compressed() const noexcept { return size_bits < kLineBits; }
+};
+
+/// Maximum pattern number used by any codec's Table II encoding (1-based).
+inline constexpr std::size_t kMaxPatternId = 9;
+
+/// Tallies of Table II pattern usage. Index i counts detections of pattern
+/// number i (1-based; index 0 unused). Word-granularity codecs (FPC,
+/// C-Pack+Z) count once per compressed word; line-granularity events
+/// (zero block, uncompressed, all BDI forms) count once per line —
+/// mirroring how the paper reports Table VI.
+struct PatternStats {
+  std::array<std::uint64_t, kMaxPatternId + 1> counts{};
+
+  void add(std::size_t pattern, std::uint64_t n = 1) noexcept { counts[pattern] += n; }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto c : counts) t += c;
+    return t;
+  }
+
+  PatternStats& operator+=(const PatternStats& o) noexcept {
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += o.counts[i];
+    return *this;
+  }
+};
+
+/// Degree of support for a data-pattern class (Table I).
+enum class Support : std::uint8_t { kNo, kPartial, kYes };
+
+/// Table I row: which of the five data-pattern classes a codec exploits.
+struct PatternSupport {
+  Support zero{Support::kNo};
+  Support repeated{Support::kNo};
+  Support narrow{Support::kNo};
+  Support low_dynamic_range{Support::kNo};
+  Support spatial_similarity{Support::kNo};
+};
+
+/// Abstract compression algorithm over single cache lines.
+///
+/// Implementations are stateless across lines (C-Pack's dictionary is
+/// rebuilt per line, matching the paper: "the dictionary can be generated
+/// on-the-fly, based on the compressed block"), so one instance can be
+/// shared by all links and threads.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual CodecId id() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Compresses `line`. If `stats` is non-null, Table II pattern usage for
+  /// this line is accumulated into it (including pattern counts for lines
+  /// that end up raw).
+  [[nodiscard]] virtual Compressed compress(LineView line, PatternStats* stats = nullptr) const = 0;
+
+  /// Reconstructs the original line from `c`. `c.codec` must match id().
+  [[nodiscard]] virtual Line decompress(const Compressed& c) const = 0;
+
+  /// Table I capability row.
+  [[nodiscard]] virtual PatternSupport support() const noexcept = 0;
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,33 @@
+#include "compression/codec_set.h"
+
+#include "common/assert.h"
+#include "compression/bdi.h"
+#include "compression/cpackz.h"
+#include "compression/fpc.h"
+#include "compression/null_codec.h"
+
+namespace mgcomp {
+
+CodecSet::CodecSet() {
+  codecs_[static_cast<std::size_t>(CodecId::kNone)] = std::make_unique<NullCodec>();
+  codecs_[static_cast<std::size_t>(CodecId::kFpc)] = std::make_unique<FpcCodec>();
+  codecs_[static_cast<std::size_t>(CodecId::kBdi)] = std::make_unique<BdiCodec>();
+  codecs_[static_cast<std::size_t>(CodecId::kCpackZ)] = std::make_unique<CpackZCodec>();
+}
+
+const Codec& CodecSet::get(CodecId id) const noexcept {
+  const auto idx = static_cast<std::size_t>(id);
+  MGCOMP_CHECK(idx < codecs_.size() && codecs_[idx] != nullptr);
+  return *codecs_[idx];
+}
+
+std::vector<const Codec*> CodecSet::real_codecs() const {
+  return {&get(CodecId::kFpc), &get(CodecId::kBdi), &get(CodecId::kCpackZ)};
+}
+
+std::vector<const Codec*> CodecSet::all_codecs() const {
+  return {&get(CodecId::kNone), &get(CodecId::kFpc), &get(CodecId::kBdi),
+          &get(CodecId::kCpackZ)};
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,32 @@
+// Ownership and lookup of the codec instances used by a system.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "compression/codec.h"
+
+namespace mgcomp {
+
+/// Owns one instance of every codec (including the NullCodec) and provides
+/// lookup by CodecId. Instances are stateless and shared freely.
+class CodecSet {
+ public:
+  CodecSet();
+
+  /// The codec registered under `id`. Never null.
+  [[nodiscard]] const Codec& get(CodecId id) const noexcept;
+
+  /// The three real compressors (FPC, BDI, C-Pack+Z), in CodecId order.
+  [[nodiscard]] std::vector<const Codec*> real_codecs() const;
+
+  /// All four candidates including "None" — the adaptive selector's
+  /// candidate set.
+  [[nodiscard]] std::vector<const Codec*> all_codecs() const;
+
+ private:
+  std::array<std::unique_ptr<Codec>, kNumCodecIds> codecs_;
+};
+
+}  // namespace mgcomp

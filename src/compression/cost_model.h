@@ -1,0 +1,104 @@
+// Hardware cost constants for the three compressors (paper Table III).
+//
+// The paper scales synthesized RTL results (C-Pack+Z @32nm, FPC @45nm,
+// BDI @65nm) to a 7 nm process at 1 GHz with constant-voltage scaling.
+// We carry those end numbers as constants; at 1 GHz, 1 cycle = 1 ns, so
+// power in mW times latency in cycles gives energy in pJ directly.
+#pragma once
+
+#include "common/types.h"
+#include "compression/codec.h"
+
+namespace mgcomp {
+
+/// Per-codec hardware cost (Table III).
+struct CodecCost {
+  Tick compress_cycles{0};
+  Tick decompress_cycles{0};
+  /// Unit occupancy per line (initiation interval). FPC and BDI are
+  /// narrow-latency units we model as busy for their full latency;
+  /// C-Pack processes 2 words per cycle (Chen et al.), so a 16-word line
+  /// occupies its unit for 8 cycles although the end-to-end latency is
+  /// 16 (compress) / 9 (decompress) cycles.
+  Tick compress_ii{1};
+  Tick decompress_ii{1};
+  double area_um2{0.0};
+  double compressor_power_mw{0.0};
+  double decompressor_power_mw{0.0};
+
+  /// Energy to compress one 512-bit line (pJ).
+  [[nodiscard]] constexpr double compress_energy_pj() const noexcept {
+    return compressor_power_mw * static_cast<double>(compress_cycles);
+  }
+  /// Energy to decompress one 512-bit line (pJ).
+  [[nodiscard]] constexpr double decompress_energy_pj() const noexcept {
+    return decompressor_power_mw * static_cast<double>(decompress_cycles);
+  }
+  /// Combined round-trip energy (Table III's rightmost column).
+  [[nodiscard]] constexpr double total_energy_pj() const noexcept {
+    return compress_energy_pj() + decompress_energy_pj();
+  }
+};
+
+/// Returns the Table III cost row for `id`. kNone costs nothing.
+[[nodiscard]] constexpr CodecCost codec_cost(CodecId id) noexcept {
+  switch (id) {
+    case CodecId::kFpc:
+      return CodecCost{.compress_cycles = 3,
+                       .decompress_cycles = 5,
+                       .compress_ii = 3,
+                       .decompress_ii = 5,
+                       .area_um2 = 4428.0,
+                       .compressor_power_mw = 4.6,
+                       .decompressor_power_mw = 4.6};
+    case CodecId::kBdi:
+      return CodecCost{.compress_cycles = 2,
+                       .decompress_cycles = 1,
+                       .compress_ii = 2,
+                       .decompress_ii = 1,
+                       .area_um2 = 162.0,
+                       .compressor_power_mw = 0.6,
+                       .decompressor_power_mw = 0.2};
+    case CodecId::kCpackZ:
+      return CodecCost{.compress_cycles = 16,
+                       .decompress_cycles = 9,
+                       .compress_ii = 8,
+                       .decompress_ii = 8,
+                       .area_um2 = 766.0,
+                       .compressor_power_mw = 1.8,
+                       .decompressor_power_mw = 1.3};
+    case CodecId::kNone:
+      return CodecCost{};
+  }
+  return CodecCost{};
+}
+
+/// Die area of one R9-Nano-class GPU scaled to 7 nm (Section VII-C).
+inline constexpr double kGpuDieAreaUm2 = 37.25e6;  // 37.25 mm^2
+
+/// Fractional die-area overhead of integrating codec `id` (Section VII-C).
+[[nodiscard]] constexpr double area_overhead_fraction(CodecId id) noexcept {
+  return codec_cost(id).area_um2 / kGpuDieAreaUm2;
+}
+
+/// Energy cost of moving one bit over the inter-GPU fabric, by integration
+/// tier (Section II / Section VII-B). The paper's energy evaluation uses
+/// the MCM (inter-die) tier.
+enum class FabricTier : std::uint8_t {
+  kOnChip,       ///< monolithic on-die interconnect
+  kInterDie,     ///< MCM / interposer (the paper's evaluation tier)
+  kInterPackage, ///< NVLink/PCIe class board-level links
+  kInterNode,    ///< Infiniband class
+};
+
+[[nodiscard]] constexpr double fabric_pj_per_bit(FabricTier tier) noexcept {
+  switch (tier) {
+    case FabricTier::kOnChip: return 0.1;
+    case FabricTier::kInterDie: return 2.0;      // 1-2 pJ/b, take upper
+    case FabricTier::kInterPackage: return 10.0; // ~10-12 pJ/b
+    case FabricTier::kInterNode: return 250.0;
+  }
+  return 2.0;
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,213 @@
+#include "compression/cpackz.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/bitstream.h"
+#include "common/word_io.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr std::size_t kWordsPerLine = kLineBytes / 4;  // 16
+
+// Canonical 2-bit top tags of the bit stream (sizes match Table II; the
+// exact bit patterns are an implementation choice since the stream is
+// self-describing end to end).
+enum Tag : std::uint64_t { kTagZero = 0, kTagNew = 1, kTagExt = 2 };
+enum SubTag : std::uint64_t { kSubFull = 0, kSubHalf = 1, kSubNarrow = 2, kSubThreeByte = 3 };
+
+// FIFO dictionary rebuilt per line; identical logic runs at both ends.
+class Dictionary {
+ public:
+  /// Returns index of first entry equal to `w` at full-word granularity,
+  /// or -1.
+  [[nodiscard]] int find_full(std::uint32_t w) const noexcept { return find(w, 0); }
+  /// High-24-bit match.
+  [[nodiscard]] int find_three_byte(std::uint32_t w) const noexcept { return find(w, 8); }
+  /// High-16-bit match.
+  [[nodiscard]] int find_half(std::uint32_t w) const noexcept { return find(w, 16); }
+
+  void insert(std::uint32_t w) noexcept {
+    if (size_ < CpackZCodec::kDictEntries) {
+      entries_[size_++] = w;
+    } else {
+      entries_[next_victim_] = w;  // FIFO replacement
+      next_victim_ = (next_victim_ + 1) % CpackZCodec::kDictEntries;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t at(std::size_t i) const noexcept {
+    MGCOMP_CHECK(i < size_);
+    return entries_[i];
+  }
+
+ private:
+  [[nodiscard]] int find(std::uint32_t w, unsigned low_bits_ignored) const noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if ((entries_[i] >> low_bits_ignored) == (w >> low_bits_ignored)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  std::uint32_t entries_[CpackZCodec::kDictEntries]{};
+  std::size_t size_{0};
+  std::size_t next_victim_{0};
+};
+
+bool all_zero(LineView line) noexcept {
+  return std::all_of(line.begin(), line.end(), [](std::uint8_t b) { return b == 0; });
+}
+
+}  // namespace
+
+unsigned CpackZCodec::pattern_bits(Pattern p) noexcept {
+  switch (p) {
+    case kZeroBlock: return 2;
+    case kZeroWord: return 2;
+    case kNewWord: return 34;
+    case kFullMatch: return 8;
+    case kHalfwordMatch: return 24;
+    case kNarrowByte: return 12;
+    case kThreeByteMatch: return 16;
+    case kUncompressed: return kLineBits;
+  }
+  return kLineBits;
+}
+
+Compressed CpackZCodec::compress(LineView line, PatternStats* stats) const {
+  Compressed out;
+  out.codec = CodecId::kCpackZ;
+
+  if (all_zero(line)) {
+    out.mode = EncodingMode::kZeroBlock;
+    out.size_bits = pattern_bits(kZeroBlock);
+    if (stats != nullptr) stats->add(kZeroBlock);
+    return out;
+  }
+
+  Dictionary dict;
+  BitWriter bw;
+  PatternStats local;
+  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
+    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
+
+    // Cheapest-first candidate order: zero (2b) < full match (8b) <
+    // narrow byte (12b) < three-byte match (16b) < halfword match (24b)
+    // < literal insert (34b).
+    if (w == 0) {
+      bw.put(kTagZero, 2);
+      local.add(kZeroWord);
+      continue;
+    }
+    if (const int idx = dict.find_full(w); idx >= 0) {
+      bw.put(kTagExt, 2);
+      bw.put(kSubFull, 2);
+      bw.put(static_cast<std::uint64_t>(idx), 4);
+      local.add(kFullMatch);
+      continue;
+    }
+    if ((w & 0xFFFFFF00U) == 0) {
+      bw.put(kTagExt, 2);
+      bw.put(kSubNarrow, 2);
+      bw.put(w & 0xFFU, 8);
+      local.add(kNarrowByte);
+      continue;
+    }
+    if (const int idx = dict.find_three_byte(w); idx >= 0) {
+      bw.put(kTagExt, 2);
+      bw.put(kSubThreeByte, 2);
+      bw.put(static_cast<std::uint64_t>(idx), 4);
+      bw.put(w & 0xFFU, 8);
+      local.add(kThreeByteMatch);
+      continue;
+    }
+    if (const int idx = dict.find_half(w); idx >= 0) {
+      bw.put(kTagExt, 2);
+      bw.put(kSubHalf, 2);
+      bw.put(static_cast<std::uint64_t>(idx), 4);
+      bw.put(w & 0xFFFFU, 16);
+      local.add(kHalfwordMatch);
+      continue;
+    }
+    bw.put(kTagNew, 2);
+    bw.put(w, 32);
+    dict.insert(w);
+    local.add(kNewWord);
+  }
+
+  if (bw.bit_count() >= kLineBits) {
+    out.mode = EncodingMode::kRaw;
+    out.size_bits = kLineBits;
+    out.payload.assign(line.begin(), line.end());
+    if (stats != nullptr) stats->add(kUncompressed);
+    return out;
+  }
+
+  out.mode = EncodingMode::kStream;
+  out.size_bits = bw.bit_count();
+  out.payload = bw.take_bytes();
+  if (stats != nullptr) *stats += local;
+  return out;
+}
+
+Line CpackZCodec::decompress(const Compressed& c) const {
+  MGCOMP_CHECK(c.codec == CodecId::kCpackZ);
+  Line line = zero_line();
+  switch (c.mode) {
+    case EncodingMode::kZeroBlock:
+      return line;
+    case EncodingMode::kRaw:
+      MGCOMP_CHECK(c.payload.size() == kLineBytes);
+      std::copy(c.payload.begin(), c.payload.end(), line.begin());
+      return line;
+    case EncodingMode::kStream:
+      break;
+  }
+
+  Dictionary dict;
+  BitReader br(c.payload.data(), c.size_bits);
+  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
+    const std::uint64_t tag = br.get(2);
+    std::uint32_t w = 0;
+    switch (tag) {
+      case kTagZero:
+        break;
+      case kTagNew:
+        w = static_cast<std::uint32_t>(br.get(32));
+        dict.insert(w);
+        break;
+      case kTagExt: {
+        const std::uint64_t sub = br.get(2);
+        switch (sub) {
+          case kSubFull:
+            w = dict.at(br.get(4));
+            break;
+          case kSubHalf: {
+            const std::uint32_t hi = dict.at(br.get(4)) & 0xFFFF0000U;
+            w = hi | static_cast<std::uint32_t>(br.get(16));
+            break;
+          }
+          case kSubNarrow:
+            w = static_cast<std::uint32_t>(br.get(8));
+            break;
+          case kSubThreeByte: {
+            const std::uint32_t hi = dict.at(br.get(4)) & 0xFFFFFF00U;
+            w = hi | static_cast<std::uint32_t>(br.get(8));
+            break;
+          }
+          default: MGCOMP_CHECK_MSG(false, "corrupt C-Pack+Z stream");
+        }
+        break;
+      }
+      default: MGCOMP_CHECK_MSG(false, "corrupt C-Pack+Z stream");
+    }
+    store_le<std::uint32_t>(line, i * 4, w);
+  }
+  MGCOMP_CHECK(br.position() == c.size_bits);
+  return line;
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,52 @@
+// C-Pack+Z: Cache Packer (Chen et al.) with the zero-block extension
+// (Sardashti & Wood), per-paper variant.
+//
+// C-Pack walks the line as 16 32-bit words, maintaining a 16-entry
+// dictionary that starts empty for every line and is populated with each
+// word that fails to match (the dictionary never travels with the data —
+// the decompressor regenerates it from the stream). Matches are attempted
+// at full-word, three-byte, and halfword granularity (Table II, C-Pack+Z
+// section); zero words and one-byte narrow words have dedicated codes; the
+// "+Z" extension adds a 2-bit whole-line zero-block code.
+#pragma once
+
+#include "compression/codec.h"
+
+namespace mgcomp {
+
+class CpackZCodec final : public Codec {
+ public:
+  /// C-Pack+Z pattern numbers from Table II.
+  enum Pattern : std::uint8_t {
+    kZeroBlock = 1,
+    kZeroWord = 2,
+    kNewWord = 3,
+    kFullMatch = 4,
+    kHalfwordMatch = 5,
+    kNarrowByte = 6,
+    kThreeByteMatch = 7,
+    kUncompressed = 8,
+  };
+
+  /// Dictionary capacity (entries), per the original C-Pack design.
+  static constexpr std::size_t kDictEntries = 16;
+
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::kCpackZ; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "C-Pack+Z"; }
+  [[nodiscard]] Compressed compress(LineView line, PatternStats* stats = nullptr) const override;
+  [[nodiscard]] Line decompress(const Compressed& c) const override;
+
+  [[nodiscard]] PatternSupport support() const noexcept override {
+    return PatternSupport{.zero = Support::kYes,
+                          .repeated = Support::kYes,
+                          .narrow = Support::kPartial,
+                          .low_dynamic_range = Support::kNo,
+                          .spatial_similarity = Support::kYes};
+  }
+
+  /// Encoded bits for one word under pattern `p` (prefix + payload),
+  /// per Table II.
+  [[nodiscard]] static unsigned pattern_bits(Pattern p) noexcept;
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,163 @@
+#include "compression/fpc.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/bitstream.h"
+#include "common/word_io.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr std::size_t kWordsPerLine = kLineBytes / 4;  // 16
+constexpr unsigned kPrefixBits = 3;
+
+bool all_zero(LineView line) noexcept {
+  return std::all_of(line.begin(), line.end(), [](std::uint8_t b) { return b == 0; });
+}
+
+}  // namespace
+
+unsigned FpcCodec::payload_bits(Pattern p) noexcept {
+  switch (p) {
+    case kZeroWord: return 0;
+    case kRepeatedBytes: return 8;
+    case kSignExt4: return 4;
+    case kSignExt8: return 8;
+    case kSignExt16: return 16;
+    case kHalfwordPadded: return 16;
+    case kTwoHalfwordsSignExt8: return 16;
+    default: return 0;
+  }
+}
+
+FpcCodec::Pattern FpcCodec::classify_word(std::uint32_t w) noexcept {
+  const auto sw = static_cast<std::int32_t>(w);
+  if (w == 0) return kZeroWord;
+  if (fits_signed(sw, 4)) return kSignExt4;
+  const std::uint32_t b = w & 0xFFU;
+  if (w == (b | (b << 8) | (b << 16) | (b << 24))) return kRepeatedBytes;
+  if (fits_signed(sw, 8)) return kSignExt8;
+  if (fits_signed(sw, 16)) return kSignExt16;
+  if ((w & 0xFFFFU) == 0) return kHalfwordPadded;
+  const auto hi = static_cast<std::int16_t>(w >> 16);
+  const auto lo = static_cast<std::int16_t>(w & 0xFFFFU);
+  if (fits_signed(hi, 8) && fits_signed(lo, 8)) return kTwoHalfwordsSignExt8;
+  return kUncompressed;
+}
+
+Compressed FpcCodec::compress(LineView line, PatternStats* stats) const {
+  Compressed out;
+  out.codec = CodecId::kFpc;
+
+  if (all_zero(line)) {
+    out.mode = EncodingMode::kZeroBlock;
+    out.size_bits = kPrefixBits;  // single 3-bit "zero block" code
+    if (stats != nullptr) stats->add(kZeroBlock);
+    return out;
+  }
+
+  // First pass: classify every word; a single unmatched word forces the
+  // whole line to go raw (no literal-word escape exists in Table II).
+  std::array<Pattern, kWordsPerLine> patterns{};
+  std::uint32_t total_bits = 0;
+  bool compressible = true;
+  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
+    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
+    patterns[i] = classify_word(w);
+    if (patterns[i] == kUncompressed) {
+      compressible = false;
+      break;
+    }
+    total_bits += kPrefixBits + payload_bits(patterns[i]);
+  }
+
+  if (!compressible || total_bits >= kLineBits) {
+    out.mode = EncodingMode::kRaw;
+    out.size_bits = kLineBits;
+    out.payload.assign(line.begin(), line.end());
+    if (stats != nullptr) stats->add(kUncompressed);
+    return out;
+  }
+
+  // Second pass: emit the bit stream.
+  BitWriter bw;
+  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
+    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
+    const Pattern p = patterns[i];
+    bw.put(static_cast<std::uint64_t>(p) - kZeroWord, kPrefixBits);  // 0..6
+    switch (p) {
+      case kZeroWord: break;
+      case kRepeatedBytes: bw.put(w & 0xFFU, 8); break;
+      case kSignExt4: bw.put(w & 0xFU, 4); break;
+      case kSignExt8: bw.put(w & 0xFFU, 8); break;
+      case kSignExt16: bw.put(w & 0xFFFFU, 16); break;
+      case kHalfwordPadded: bw.put(w >> 16, 16); break;
+      case kTwoHalfwordsSignExt8:
+        bw.put((w >> 16) & 0xFFU, 8);
+        bw.put(w & 0xFFU, 8);
+        break;
+      default: MGCOMP_CHECK_MSG(false, "unreachable FPC pattern");
+    }
+    if (stats != nullptr) stats->add(p);
+  }
+
+  MGCOMP_CHECK(bw.bit_count() == total_bits);
+  out.mode = EncodingMode::kStream;
+  out.size_bits = total_bits;
+  out.payload = bw.take_bytes();
+  return out;
+}
+
+Line FpcCodec::decompress(const Compressed& c) const {
+  MGCOMP_CHECK(c.codec == CodecId::kFpc);
+  Line line = zero_line();
+  switch (c.mode) {
+    case EncodingMode::kZeroBlock:
+      return line;
+    case EncodingMode::kRaw:
+      MGCOMP_CHECK(c.payload.size() == kLineBytes);
+      std::copy(c.payload.begin(), c.payload.end(), line.begin());
+      return line;
+    case EncodingMode::kStream:
+      break;
+  }
+
+  BitReader br(c.payload.data(), c.size_bits);
+  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
+    const auto p = static_cast<Pattern>(br.get(kPrefixBits) + kZeroWord);
+    std::uint32_t w = 0;
+    switch (p) {
+      case kZeroWord: break;
+      case kRepeatedBytes: {
+        const auto b = static_cast<std::uint32_t>(br.get(8));
+        w = b | (b << 8) | (b << 16) | (b << 24);
+        break;
+      }
+      case kSignExt4:
+        w = static_cast<std::uint32_t>(sign_extend(br.get(4), 4));
+        break;
+      case kSignExt8:
+        w = static_cast<std::uint32_t>(sign_extend(br.get(8), 8));
+        break;
+      case kSignExt16:
+        w = static_cast<std::uint32_t>(sign_extend(br.get(16), 16));
+        break;
+      case kHalfwordPadded:
+        w = static_cast<std::uint32_t>(br.get(16)) << 16;
+        break;
+      case kTwoHalfwordsSignExt8: {
+        const auto hi = static_cast<std::uint32_t>(sign_extend(br.get(8), 8)) & 0xFFFFU;
+        const auto lo = static_cast<std::uint32_t>(sign_extend(br.get(8), 8)) & 0xFFFFU;
+        w = (hi << 16) | lo;
+        break;
+      }
+      default: MGCOMP_CHECK_MSG(false, "corrupt FPC stream");
+    }
+    store_le<std::uint32_t>(line, i * 4, w);
+  }
+  MGCOMP_CHECK(br.position() == c.size_bits);
+  return line;
+}
+
+}  // namespace mgcomp

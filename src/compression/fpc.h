@@ -1,0 +1,53 @@
+// Frequent Pattern Compression (Alameldeen & Wood), per-paper variant.
+//
+// FPC walks the line as 16 32-bit words and replaces each with a 3-bit
+// prefix plus a narrow payload when the word matches one of seven frequent
+// patterns (Table II, FPC section). Two line-level cases exist: an
+// all-zero line compresses to a single 3-bit code (pattern 1), and a line
+// containing any word that matches no pattern is transmitted raw
+// (pattern 9, 512 bits) — the paper's table reserves all eight prefixes
+// for patterns, leaving no escape code for a literal word.
+#pragma once
+
+#include "compression/codec.h"
+
+namespace mgcomp {
+
+class FpcCodec final : public Codec {
+ public:
+  /// FPC pattern numbers from Table II.
+  enum Pattern : std::uint8_t {
+    kZeroBlock = 1,
+    kZeroWord = 2,
+    kRepeatedBytes = 3,
+    kSignExt4 = 4,
+    kSignExt8 = 5,
+    kSignExt16 = 6,
+    kHalfwordPadded = 7,
+    kTwoHalfwordsSignExt8 = 8,
+    kUncompressed = 9,
+  };
+
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::kFpc; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "FPC"; }
+  [[nodiscard]] Compressed compress(LineView line, PatternStats* stats = nullptr) const override;
+  [[nodiscard]] Line decompress(const Compressed& c) const override;
+
+  [[nodiscard]] PatternSupport support() const noexcept override {
+    return PatternSupport{.zero = Support::kYes,
+                          .repeated = Support::kYes,
+                          .narrow = Support::kYes,
+                          .low_dynamic_range = Support::kNo,
+                          .spatial_similarity = Support::kNo};
+  }
+
+  /// Classifies a single 32-bit word into the cheapest matching pattern
+  /// (2..8), or kUncompressed if none matches. Exposed for tests and for
+  /// the characterization tooling.
+  [[nodiscard]] static Pattern classify_word(std::uint32_t w) noexcept;
+
+  /// Encoded payload bits (excluding the 3-bit prefix) for a word pattern.
+  [[nodiscard]] static unsigned payload_bits(Pattern p) noexcept;
+};
+
+}  // namespace mgcomp

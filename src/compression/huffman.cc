@@ -1,0 +1,179 @@
+#include "compression/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.h"
+#include "common/bitstream.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr unsigned kMaxCodeLength = 31;
+
+/// Plain Huffman code lengths from (nonzero) counts.
+std::array<std::uint8_t, 256> huffman_lengths(std::array<std::uint64_t, 256> counts) {
+  struct Node {
+    std::uint64_t weight;
+    int index;  // < 256: leaf symbol; >= 256: internal
+  };
+  struct Heavier {
+    bool operator()(const Node& a, const Node& b) const {
+      // Deterministic tie-break keeps tables reproducible.
+      return a.weight != b.weight ? a.weight > b.weight : a.index > b.index;
+    }
+  };
+
+  std::array<std::uint8_t, 256> lengths{};
+  for (;;) {
+    std::priority_queue<Node, std::vector<Node>, Heavier> heap;
+    std::vector<std::pair<int, int>> children;  // internal node -> (l, r)
+    for (int s = 0; s < 256; ++s) heap.push(Node{counts[static_cast<std::size_t>(s)], s});
+    while (heap.size() > 1) {
+      const Node a = heap.top();
+      heap.pop();
+      const Node b = heap.top();
+      heap.pop();
+      const int internal = 256 + static_cast<int>(children.size());
+      children.emplace_back(a.index, b.index);
+      heap.push(Node{a.weight + b.weight, internal});
+    }
+
+    // Depth-first depths from the root.
+    lengths.fill(0);
+    unsigned max_len = 0;
+    std::vector<std::pair<int, unsigned>> stack{{heap.top().index, 0}};
+    while (!stack.empty()) {
+      const auto [idx, depth] = stack.back();
+      stack.pop_back();
+      if (idx < 256) {
+        lengths[static_cast<std::size_t>(idx)] = static_cast<std::uint8_t>(depth);
+        max_len = std::max(max_len, depth);
+      } else {
+        const auto [l, r] = children[static_cast<std::size_t>(idx - 256)];
+        stack.emplace_back(l, depth + 1);
+        stack.emplace_back(r, depth + 1);
+      }
+    }
+    if (max_len <= kMaxCodeLength) return lengths;
+    // Length-limit by flattening the distribution and retrying.
+    for (auto& c : counts) c = (c >> 1) | 1;
+  }
+}
+
+}  // namespace
+
+HuffmanTable HuffmanTable::from_counts(const std::array<std::uint64_t, 256>& raw_counts) {
+  // +1 smoothing: every byte value stays encodable.
+  std::array<std::uint64_t, 256> counts;
+  for (std::size_t s = 0; s < 256; ++s) counts[s] = raw_counts[s] + 1;
+
+  HuffmanTable t;
+  t.lengths_ = huffman_lengths(counts);
+
+  // Canonical code assignment: sort symbols by (length, value).
+  std::array<int, 256> order;
+  for (int s = 0; s < 256; ++s) order[static_cast<std::size_t>(s)] = s;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto la = t.lengths_[static_cast<std::size_t>(a)];
+    const auto lb = t.lengths_[static_cast<std::size_t>(b)];
+    return la != lb ? la < lb : a < b;
+  });
+  std::uint32_t code = 0;
+  unsigned prev_len = 0;
+  for (const int s : order) {
+    const unsigned len = t.lengths_[static_cast<std::size_t>(s)];
+    MGCOMP_CHECK(len > 0 && len <= kMaxCodeLength);
+    code <<= (len - prev_len);
+    t.codes_[static_cast<std::size_t>(s)] = code;
+    ++code;
+    prev_len = len;
+    t.max_length_ = std::max(t.max_length_, len);
+  }
+  return t;
+}
+
+HuffmanTable HuffmanTable::from_samples(std::span<const std::uint8_t> samples) {
+  std::array<std::uint64_t, 256> counts{};
+  for (const std::uint8_t b : samples) ++counts[b];
+  return from_counts(counts);
+}
+
+std::uint64_t HuffmanTable::encoded_bits(std::span<const std::uint8_t> data) const noexcept {
+  std::uint64_t bits = 0;
+  for (const std::uint8_t b : data) bits += lengths_[b];
+  return bits;
+}
+
+HuffmanCompressed HuffmanLineCodec::compress(LineView line) const {
+  const std::uint64_t bits = table_.encoded_bits(line);
+  HuffmanCompressed out;
+  if (bits >= kLineBits) {
+    out.raw = true;
+    out.size_bits = kLineBits;
+    out.payload.assign(line.begin(), line.end());
+    return out;
+  }
+  BitWriter bw;
+  for (const std::uint8_t b : line) {
+    const std::uint32_t code = table_.codes_[b];
+    const unsigned len = table_.lengths_[b];
+    for (unsigned i = len; i-- > 0;) bw.put((code >> i) & 1U, 1);  // MSB-first
+  }
+  out.raw = false;
+  out.size_bits = static_cast<std::uint32_t>(bits);
+  MGCOMP_CHECK(bw.bit_count() == out.size_bits);
+  out.payload = bw.take_bytes();
+  return out;
+}
+
+Line HuffmanLineCodec::decompress(const HuffmanCompressed& c) const {
+  Line line{};
+  if (c.raw) {
+    MGCOMP_CHECK(c.payload.size() == kLineBytes);
+    std::copy(c.payload.begin(), c.payload.end(), line.begin());
+    return line;
+  }
+
+  // Canonical decode tables: per length, the first code value and the
+  // index of its first symbol in canonical order.
+  std::array<int, 256> order;
+  for (int s = 0; s < 256; ++s) order[static_cast<std::size_t>(s)] = s;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto la = table_.lengths_[static_cast<std::size_t>(a)];
+    const auto lb = table_.lengths_[static_cast<std::size_t>(b)];
+    return la != lb ? la < lb : a < b;
+  });
+  std::array<std::uint32_t, kMaxCodeLength + 2> first_code{};
+  std::array<std::uint32_t, kMaxCodeLength + 2> first_index{};
+  std::array<std::uint32_t, kMaxCodeLength + 2> count{};
+  for (const int s : order) ++count[table_.lengths_[static_cast<std::size_t>(s)]];
+  {
+    std::uint32_t code = 0, index = 0;
+    for (unsigned len = 1; len <= table_.max_length_; ++len) {
+      code <<= 1;
+      first_code[len] = code;
+      first_index[len] = index;
+      code += count[len];
+      index += count[len];
+    }
+  }
+
+  BitReader br(c.payload.data(), c.size_bits);
+  for (std::size_t i = 0; i < kLineBytes; ++i) {
+    std::uint32_t code = 0;
+    for (unsigned len = 1; len <= table_.max_length_ + 1; ++len) {
+      MGCOMP_CHECK_MSG(len <= table_.max_length_, "corrupt Huffman stream");
+      code = (code << 1) | static_cast<std::uint32_t>(br.get(1));
+      if (count[len] != 0 && code - first_code[len] < count[len]) {
+        line[i] = static_cast<std::uint8_t>(
+            order[first_index[len] + (code - first_code[len])]);
+        break;
+      }
+    }
+  }
+  MGCOMP_CHECK(br.position() == c.size_bits);
+  return line;
+}
+
+}  // namespace mgcomp

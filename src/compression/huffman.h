@@ -1,0 +1,80 @@
+// E2MC-style static Huffman line compression (after Lal, Lucas & Juurlink,
+// "E^2MC: Entropy Encoding Based Memory Compression for GPUs", IPDPS'17 —
+// the entropy-coding alternative the paper's related work discusses).
+//
+// E2MC trains byte-probability tables offline per application and encodes
+// memory blocks with static canonical Huffman codes; no table travels with
+// the data. This implementation mirrors that: train a HuffmanTable from
+// sample data (e.g. a workload's buffers), then encode/decode 64-byte
+// lines. Lines that do not shrink are kept raw, as with the other codecs.
+//
+// This comparator is deliberately *offline*: the paper rejects
+// entropy coding for the inter-GPU link because hiding its serial
+// decode latency needs extra buffering ("increases the complexity and
+// overhead"), so it never joins the CodecSet used on the simulated wire —
+// bench_ablation uses it to quantify the compression-ratio headroom the
+// pattern codecs leave on the table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgcomp {
+
+/// Canonical Huffman code over byte symbols, trained from a histogram.
+class HuffmanTable {
+ public:
+  /// Builds a code from byte frequencies. Zero-frequency symbols get the
+  /// longest code (they must stay decodable: static tables meet unseen
+  /// bytes in practice).
+  static HuffmanTable from_counts(const std::array<std::uint64_t, 256>& counts);
+
+  /// Convenience: trains on raw sample bytes.
+  static HuffmanTable from_samples(std::span<const std::uint8_t> samples);
+
+  [[nodiscard]] unsigned code_length(std::uint8_t symbol) const noexcept {
+    return lengths_[symbol];
+  }
+  [[nodiscard]] std::uint32_t code(std::uint8_t symbol) const noexcept {
+    return codes_[symbol];
+  }
+
+  /// Size in bits of encoding `data` with this table.
+  [[nodiscard]] std::uint64_t encoded_bits(std::span<const std::uint8_t> data) const noexcept;
+
+  /// Longest code length in the table.
+  [[nodiscard]] unsigned max_length() const noexcept { return max_length_; }
+
+ private:
+  friend class HuffmanLineCodec;
+  std::array<std::uint8_t, 256> lengths_{};
+  std::array<std::uint32_t, 256> codes_{};  // canonical, MSB-first value
+  unsigned max_length_{0};
+};
+
+/// Result of Huffman-compressing one line.
+struct HuffmanCompressed {
+  bool raw{false};
+  std::uint32_t size_bits{kLineBits};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Line-granularity encoder/decoder over a shared static table.
+class HuffmanLineCodec {
+ public:
+  explicit HuffmanLineCodec(HuffmanTable table) : table_(std::move(table)) {}
+
+  [[nodiscard]] HuffmanCompressed compress(LineView line) const;
+  [[nodiscard]] Line decompress(const HuffmanCompressed& c) const;
+
+  [[nodiscard]] const HuffmanTable& table() const noexcept { return table_; }
+
+ private:
+  HuffmanTable table_;
+};
+
+}  // namespace mgcomp

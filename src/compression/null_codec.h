@@ -1,0 +1,40 @@
+// Identity "codec": lines travel raw at full 512 bits.
+//
+// Having no-compression behind the same interface lets the adaptive
+// selector treat "send raw" as just another candidate with N = 512 bits
+// and zero latency, which is exactly how the paper's bypass works.
+#pragma once
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "compression/codec.h"
+
+namespace mgcomp {
+
+class NullCodec final : public Codec {
+ public:
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::kNone; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "None"; }
+
+  [[nodiscard]] Compressed compress(LineView line, PatternStats* stats) const override {
+    (void)stats;
+    Compressed out;
+    out.codec = CodecId::kNone;
+    out.mode = EncodingMode::kRaw;
+    out.size_bits = kLineBits;
+    out.payload.assign(line.begin(), line.end());
+    return out;
+  }
+
+  [[nodiscard]] Line decompress(const Compressed& c) const override {
+    MGCOMP_CHECK(c.codec == CodecId::kNone && c.payload.size() == kLineBytes);
+    Line line{};
+    std::copy(c.payload.begin(), c.payload.end(), line.begin());
+    return line;
+  }
+
+  [[nodiscard]] PatternSupport support() const noexcept override { return PatternSupport{}; }
+};
+
+}  // namespace mgcomp

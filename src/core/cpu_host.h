@@ -1,0 +1,57 @@
+// The host CPU's fabric endpoint.
+//
+// The CPU shares the PCIe-like bus with the GPUs (Section VI-B). Its role
+// in this model is kernel launching: at each launch it writes the kernel's
+// parameter block (one line of real bytes: grid dimensions, buffer
+// pointers, scalar args) to the block's owning GPU, uncompressed.
+#pragma once
+
+#include <functional>
+
+#include "fabric/fabric.h"
+#include "fabric/message.h"
+#include "memory/address_map.h"
+#include "memory/global_memory.h"
+#include "sim/engine.h"
+
+namespace mgcomp {
+
+class CpuHost {
+ public:
+  CpuHost(Fabric& bus, const AddressMap& map, GlobalMemory& mem)
+      : bus_(&bus), map_(&map), mem_(&mem) {
+    ep_ = bus_->add_endpoint("CPU", /*is_gpu=*/false,
+                             [this](Message&& m) { deliver(std::move(m)); });
+  }
+
+  [[nodiscard]] EndpointId endpoint() const noexcept { return ep_; }
+
+  /// Sends the kernel-launch parameter line to its owning GPU.
+  void launch_params(Addr param_addr, const std::function<EndpointId(GpuId)>& gpu_endpoint) {
+    Message m;
+    m.type = MsgType::kWriteReq;
+    m.id = next_id_++;
+    m.src = ep_;
+    m.dst = gpu_endpoint(map_->owner(param_addr));
+    m.addr = line_base(param_addr);
+    m.length = kLineBytes;
+    m.comp_alg = CodecId::kNone;
+    m.payload_bits = kLineBits;
+    m.data = mem_->read_line(param_addr);
+    bus_->send(std::move(m));
+  }
+
+ private:
+  void deliver(Message&& msg) {
+    // Only Write-ACKs flow back to the CPU; just release the buffer space.
+    bus_->consume(ep_, msg.wire_bytes());
+  }
+
+  Fabric* bus_;
+  const AddressMap* map_;
+  GlobalMemory* mem_;
+  EndpointId ep_{};
+  std::uint16_t next_id_{0};
+};
+
+}  // namespace mgcomp

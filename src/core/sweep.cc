@@ -1,0 +1,38 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace mgcomp {
+
+std::vector<RunResult> run_sweep(std::vector<SweepJob> jobs, unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs.size()));
+
+  std::vector<RunResult> results(jobs.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = jobs[i]();
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      results[i] = jobs[i]();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace mgcomp

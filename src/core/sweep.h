@@ -1,0 +1,28 @@
+// Parallel experiment sweeps.
+//
+// Individual simulations are single-threaded and deterministic, but sweeps
+// (7 workloads x N policies x M machine configs) are embarrassingly
+// parallel: every MultiGpuSystem owns all of its state. run_sweep()
+// fans a job list out over a thread pool and returns results in job order,
+// so bench harnesses on multi-core hosts scale with hardware threads
+// without any change to the simulation itself.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/run_stats.h"
+
+namespace mgcomp {
+
+/// One sweep job: builds its own system and workload, returns the result.
+/// Must be self-contained (no shared mutable state with other jobs).
+using SweepJob = std::function<RunResult()>;
+
+/// Runs `jobs` on up to `threads` worker threads (0 = hardware
+/// concurrency). Results are returned in job order regardless of
+/// completion order; determinism of each job is unaffected.
+[[nodiscard]] std::vector<RunResult> run_sweep(std::vector<SweepJob> jobs,
+                                               unsigned threads = 0);
+
+}  // namespace mgcomp

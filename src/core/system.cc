@@ -1,0 +1,142 @@
+#include "core/system.h"
+
+#include <string>
+
+#include "common/assert.h"
+
+namespace mgcomp {
+
+MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config)) {
+  MGCOMP_CHECK(config_.num_gpus >= 2);
+
+  engine_ = std::make_unique<Engine>();
+  mem_ = std::make_unique<GlobalMemory>();
+  map_ = std::make_unique<AddressMap>(config_.num_gpus, config_.gpu.l2_banks);
+  codecs_ = std::make_unique<CodecSet>();
+  collector_ = std::make_unique<Collector>();
+  if (config_.characterize) collector_->enable_characterization(*codecs_);
+  if (config_.trace_samples > 0) collector_->enable_trace(*codecs_, config_.trace_samples);
+
+  if (config_.fabric == FabricKind::kSwitch) {
+    bus_ = std::make_unique<SwitchFabric>(
+        *engine_, SwitchFabric::Params{.bytes_per_cycle = config_.bus.bytes_per_cycle,
+                                       .input_buffer_bytes = config_.bus.input_buffer_bytes});
+  } else {
+    bus_ = std::make_unique<BusFabric>(*engine_, config_.bus);
+  }
+  cpu_ = std::make_unique<CpuHost>(*bus_, *map_, *mem_);
+
+  for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
+    gpus_.push_back(std::make_unique<Gpu>(*engine_, *bus_, *mem_, *map_, *collector_,
+                                          GpuId{g}, config_.gpu));
+  }
+  // Endpoint registration is a second pass so the id->endpoint closure can
+  // capture the complete table.
+  for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
+    RdmaEngine& rdma = gpus_[g]->rdma();
+    const EndpointId ep = bus_->add_endpoint(
+        "GPU" + std::to_string(g), /*is_gpu=*/true,
+        [&rdma](Message&& m) { rdma.deliver(std::move(m)); });
+    gpu_endpoints_.push_back(ep);
+  }
+  for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
+    auto policy = config_.policy(*codecs_);
+    policy->set_pressure_probe(
+        [this] { return FabricPressure{bus_->stats().busy_cycles, engine_->now()}; });
+    gpus_[g]->configure(
+        gpu_endpoints_[g], [this](GpuId id) { return gpu_endpoints_.at(id.value); },
+        std::move(policy));
+  }
+}
+
+MultiGpuSystem::~MultiGpuSystem() = default;
+
+void MultiGpuSystem::run_kernel(const KernelTrace& trace) {
+  if (trace.param_addr != 0) {
+    cpu_->launch_params(trace.param_addr,
+                        [this](GpuId id) { return gpu_endpoints_.at(id.value); });
+  }
+
+  // Round-robin workgroup scheduling across all CUs of all GPUs
+  // (Section VI-A).
+  const std::uint32_t n_cus = total_cus();
+  std::vector<std::vector<const WorkgroupTrace*>> assignment(n_cus);
+  for (std::size_t w = 0; w < trace.workgroups.size(); ++w) {
+    assignment[w % n_cus].push_back(&trace.workgroups[w]);
+  }
+
+  std::uint32_t remaining = 0;
+  for (std::uint32_t c = 0; c < n_cus; ++c) {
+    if (!assignment[c].empty()) ++remaining;
+  }
+  if (remaining == 0) return;  // empty kernel (e.g. pure host work)
+
+  for (std::uint32_t c = 0; c < n_cus; ++c) {
+    if (assignment[c].empty()) continue;
+    Gpu& gpu = *gpus_[c / config_.gpu.num_cus];
+    gpu.cu(CuId{c % config_.gpu.num_cus})
+        .start_kernel(trace, std::move(assignment[c]), [&remaining] { --remaining; });
+  }
+
+  engine_->run();
+  MGCOMP_CHECK_MSG(remaining == 0, "kernel did not drain (fabric deadlock?)");
+
+  // Kernel-boundary cache flush: makes producer/consumer data between
+  // kernels visible across GPUs, as real GPUs do at dispatch boundaries.
+  for (auto& gpu : gpus_) gpu->flush_caches();
+}
+
+RunResult MultiGpuSystem::run(Workload& workload) {
+  workload.setup(*mem_);
+
+  const std::size_t kernels = workload.kernel_count();
+  for (std::size_t k = 0; k < kernels; ++k) {
+    const KernelTrace trace = workload.generate_kernel(k, *mem_);
+    run_kernel(trace);
+  }
+
+  MGCOMP_CHECK_MSG(workload.verify(*mem_), "workload functional verification failed");
+
+  RunResult r;
+  r.workload = std::string(workload.abbrev());
+  r.exec_ticks = engine_->now();
+  r.bus = bus_->stats();
+  r.fabric_energy_pj = static_cast<double>(r.bus.inter_gpu_wire_bytes) * 8.0 *
+                       fabric_pj_per_bit(config_.energy_tier);
+  r.compressor_energy_pj = collector_->compressor_energy_pj();
+  r.decompressor_energy_pj = collector_->decompressor_energy_pj();
+  r.characterization = collector_->characterization();
+  r.trace = collector_->trace();
+
+  for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
+    const PolicyStats& ps = gpus_[g]->rdma().policy().stats();
+    if (g == 0) r.policy = gpus_[g]->rdma().policy().name();
+    for (std::size_t i = 0; i < kNumCodecIds; ++i) {
+      r.policy_stats.wire_counts[i] += ps.wire_counts[i];
+      r.policy_stats.vote_wins[i] += ps.vote_wins[i];
+    }
+    r.policy_stats.sampled_transfers += ps.sampled_transfers;
+    r.policy_stats.votes_taken += ps.votes_taken;
+
+    const CacheStats v = gpus_[g]->l1v_stats();
+    const CacheStats s = gpus_[g]->l1s_stats();
+    const CacheStats l2 = gpus_[g]->l2_stats();
+    auto acc = [](CacheStats& into, const CacheStats& from) {
+      into.read_hits += from.read_hits;
+      into.read_misses += from.read_misses;
+      into.write_hits += from.write_hits;
+      into.write_misses += from.write_misses;
+    };
+    acc(r.l1v, v);
+    acc(r.l1s, s);
+    acc(r.l2, l2);
+  }
+  return r;
+}
+
+RunResult run_workload(SystemConfig config, Workload& workload) {
+  MultiGpuSystem system(std::move(config));
+  return system.run(workload);
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,59 @@
+// MultiGpuSystem: the public entry point of the library.
+//
+// Builds the full simulated machine (Fig. 3: N GPUs + CPU on a shared
+// fabric), runs a workload kernel by kernel under the configured
+// compression policy, and returns the measured RunResult. One instance
+// runs one workload once; construct a fresh system per run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/run_stats.h"
+#include "core/cpu_host.h"
+#include "core/system_config.h"
+#include "core/workload.h"
+#include "gpu/gpu.h"
+
+namespace mgcomp {
+
+class MultiGpuSystem {
+ public:
+  explicit MultiGpuSystem(SystemConfig config);
+  ~MultiGpuSystem();
+
+  MultiGpuSystem(const MultiGpuSystem&) = delete;
+  MultiGpuSystem& operator=(const MultiGpuSystem&) = delete;
+
+  /// Runs `workload` to completion and returns the measurements. Aborts if
+  /// the workload's functional verification fails.
+  RunResult run(Workload& workload);
+
+  /// Access to the functional memory (examples use this to inspect
+  /// results after a run).
+  [[nodiscard]] GlobalMemory& memory() noexcept { return *mem_; }
+
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint32_t total_cus() const noexcept {
+    return config_.num_gpus * config_.gpu.num_cus;
+  }
+
+ private:
+  void run_kernel(const KernelTrace& trace);
+
+  SystemConfig config_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<GlobalMemory> mem_;
+  std::unique_ptr<AddressMap> map_;
+  std::unique_ptr<CodecSet> codecs_;
+  std::unique_ptr<Collector> collector_;
+  std::unique_ptr<Fabric> bus_;
+  std::unique_ptr<CpuHost> cpu_;
+  std::vector<std::unique_ptr<Gpu>> gpus_;
+  std::vector<EndpointId> gpu_endpoints_;
+};
+
+/// Convenience: build a system from `config`, run `workload`, return stats.
+RunResult run_workload(SystemConfig config, Workload& workload);
+
+}  // namespace mgcomp

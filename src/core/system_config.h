@@ -1,0 +1,37 @@
+// Top-level configuration of a simulated multi-GPU system.
+//
+// Defaults reproduce the paper's Table VII setup: 4 R9-Nano-class GPUs,
+// a 20 B/cycle (160 Gb/s) shared bus at 1 GHz, 4 KB input buffers, pages
+// interleaved over 32 memory controllers, and MCM-tier (1-2 pJ/b) fabric
+// energy.
+#pragma once
+
+#include "adaptive/policy.h"
+#include "compression/cost_model.h"
+#include "fabric/bus.h"
+#include "fabric/switch_fabric.h"
+#include "gpu/gpu.h"
+
+namespace mgcomp {
+
+/// Interconnect topology (the paper evaluates the shared bus; the switch
+/// is this repo's what-if extension).
+enum class FabricKind : std::uint8_t { kBus, kSwitch };
+
+struct SystemConfig {
+  std::uint32_t num_gpus{4};
+  GpuParams gpu{};
+  FabricKind fabric{FabricKind::kBus};
+  BusFabric::Params bus{};
+  FabricTier energy_tier{FabricTier::kInterDie};
+
+  /// Per-sender compression policy; default is the no-compression baseline.
+  PolicyFactory policy{make_no_compression_policy()};
+
+  /// Re-compress every inter-GPU payload with all codecs (Tables V/VI).
+  bool characterize{false};
+  /// Record the first N payloads' entropy + per-codec sizes (Fig. 1).
+  std::size_t trace_samples{0};
+};
+
+}  // namespace mgcomp

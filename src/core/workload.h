@@ -1,0 +1,45 @@
+// Workload interface: the contract between benchmark implementations and
+// the simulator.
+//
+// A workload owns real buffers in GlobalMemory and produces one KernelTrace
+// per kernel launch. Trace generation *is* the functional execution: the
+// generator reads current memory, computes real output values, writes them
+// back, and records the line-granularity access stream the timing model
+// replays. Payload bytes moved between GPUs are therefore the workload's
+// genuine data — which is what makes measured compression ratios
+// meaningful.
+#pragma once
+
+#include <string_view>
+
+#include "gpu/trace.h"
+#include "memory/global_memory.h"
+
+namespace mgcomp {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// Short tag used in the paper's tables (AES, BS, FIR, ...).
+  [[nodiscard]] virtual std::string_view abbrev() const noexcept = 0;
+
+  /// Allocates and initializes buffers. Called once before any kernel.
+  virtual void setup(GlobalMemory& mem) = 0;
+
+  /// Total kernel launches this workload performs.
+  [[nodiscard]] virtual std::size_t kernel_count() const = 0;
+
+  /// Functionally executes kernel `k` against `mem` and returns its trace.
+  /// Called in order, k = 0 .. kernel_count()-1, each exactly once.
+  virtual KernelTrace generate_kernel(std::size_t k, GlobalMemory& mem) = 0;
+
+  /// Post-run functional check (e.g. "output is sorted"). Defaults to true.
+  [[nodiscard]] virtual bool verify(const GlobalMemory& mem) const {
+    (void)mem;
+    return true;
+  }
+};
+
+}  // namespace mgcomp

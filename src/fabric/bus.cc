@@ -1,0 +1,97 @@
+#include "fabric/bus.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace mgcomp {
+
+void BusFabric::send(Message msg) {
+  MGCOMP_CHECK(msg.src.value < endpoints_.size());
+  MGCOMP_CHECK(msg.dst.value < endpoints_.size());
+  MGCOMP_CHECK_MSG(msg.src != msg.dst, "loopback messages never touch the fabric");
+  Endpoint& ep = endpoints_[msg.src.value];
+  ep.out_bytes += msg.wire_bytes();
+  ep.out.push_back(std::move(msg));
+  stats_.max_out_queue_depth = std::max(stats_.max_out_queue_depth, ep.out.size());
+  kick();
+}
+
+void BusFabric::consume(EndpointId id, std::size_t bytes) {
+  Endpoint& ep = endpoints_[id.value];
+  MGCOMP_CHECK_MSG(ep.in_bytes >= bytes, "input-buffer release underflow");
+  ep.in_bytes -= bytes;
+  // Freed space may unblock a sender whose head message targets this
+  // endpoint.
+  kick();
+}
+
+void BusFabric::kick() {
+  if (busy_) return;
+
+  // Round-robin scan: first endpoint (starting after the last granted one)
+  // whose head-of-queue message fits in its destination's input buffer.
+  // With response_priority, a first pass considers only endpoints whose
+  // head is a response (Data-Ready / Write-ACK); requests only get the
+  // bus when no response is ready (virtual-channel-style arbitration).
+  const std::size_t n = endpoints_.size();
+  const int passes = params_.response_priority ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (rr_next_ + i) % n;
+    Endpoint& src = endpoints_[idx];
+    if (src.out.empty()) continue;
+    const Message& head = src.out.front();
+    if (params_.response_priority && pass == 0 &&
+        (head.type == MsgType::kReadReq || head.type == MsgType::kWriteReq)) {
+      continue;
+    }
+    Endpoint& dst = endpoints_[head.dst.value];
+    if (dst.in_bytes + head.wire_bytes() > params_.input_buffer_bytes) continue;
+
+    // Grant: reserve destination buffer now so no later grant oversubscribes
+    // it, and occupy the bus for the serialization time.
+    dst.in_bytes += head.wire_bytes();
+    in_flight_ = std::move(src.out.front());
+    src.out.pop_front();
+    src.out_bytes -= in_flight_.wire_bytes();
+    busy_ = true;
+    rr_next_ = (idx + 1) % n;
+
+    const Tick cycles =
+        (in_flight_.wire_bytes() + params_.bytes_per_cycle - 1) / params_.bytes_per_cycle;
+    stats_.busy_cycles += cycles;
+    stats_.record_busy(engine_->now(), cycles);
+    engine_->schedule_in(std::max<Tick>(cycles, 1), [this] { complete(); });
+    return;
+  }
+  }
+}
+
+void BusFabric::complete() {
+  MGCOMP_CHECK(busy_);
+  Message msg = std::move(in_flight_);
+  busy_ = false;
+
+  const auto t = static_cast<std::size_t>(msg.type);
+  ++stats_.messages[t];
+  stats_.wire_bytes[t] += msg.wire_bytes();
+  stats_.record_pair(msg.src, msg.dst, endpoints_.size(), msg.wire_bytes());
+  const bool inter_gpu =
+      endpoints_[msg.src.value].is_gpu && endpoints_[msg.dst.value].is_gpu;
+  if (inter_gpu) {
+    ++stats_.inter_gpu_by_type[t];
+    ++stats_.inter_gpu_messages;
+    stats_.inter_gpu_wire_bytes += msg.wire_bytes();
+    if (msg.has_payload()) {
+      stats_.inter_gpu_payload_raw_bits += kLineBits;
+      stats_.inter_gpu_payload_wire_bits += msg.payload_bits;
+    }
+  }
+
+  Endpoint& dst = endpoints_[msg.dst.value];
+  dst.deliver(std::move(msg));
+  kick();
+}
+
+}  // namespace mgcomp

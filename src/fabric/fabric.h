@@ -1,0 +1,38 @@
+// Abstract inter-GPU fabric interface.
+//
+// The paper models a single shared bus (Section VI-B); real multi-GPU
+// parts are moving to switched fabrics (NVLink/NVSwitch-class). Both
+// topologies implement this interface so the rest of the system — RDMA
+// engines, CPU host, stats — is topology-agnostic and `bench_ablation`
+// can compare them directly.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fabric/message.h"
+
+namespace mgcomp {
+
+struct BusStats;  // defined in fabric/bus.h; shared by all fabrics
+
+class Fabric {
+ public:
+  using DeliverFn = std::function<void(Message&&)>;
+
+  virtual ~Fabric() = default;
+
+  /// Registers an endpoint; `is_gpu` controls inter-GPU accounting.
+  virtual EndpointId add_endpoint(std::string name, bool is_gpu, DeliverFn deliver) = 0;
+
+  /// Queues `msg` for transmission from `msg.src` to `msg.dst`.
+  virtual void send(Message msg) = 0;
+
+  /// Frees `bytes` of input-buffer space at `ep` after the receiver has
+  /// finished processing a delivered message.
+  virtual void consume(EndpointId ep, std::size_t bytes) = 0;
+
+  [[nodiscard]] virtual const BusStats& stats() const noexcept = 0;
+};
+
+}  // namespace mgcomp

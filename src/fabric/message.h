@@ -1,0 +1,81 @@
+// Inter-GPU communication messages, following Fig. 4 of the paper.
+//
+// Four message types flow over the fabric. Only Data-Ready and Write
+// carry payloads; their headers include the 4-bit Comp Alg field naming
+// the compression algorithm (0 = not compressed, which lets the receiver
+// bypass its decompressor). Payloads are byte-aligned on the wire
+// ("we reserve extra bits to align the payload with a full byte").
+//
+// Header layouts (bits):
+//   Read Req   : type(4) + msg id(16) + phys addr(48) + length(32) + reserved(28) = 128
+//   Data Ready : type(4) + rsp id(16) + comp alg(4) + reserved(8)                 =  32
+//   Write Req  : type(4) + msg id(16) + phys addr(48) + length(32) + comp alg(4)
+//                + reserved(24)                                                   = 128
+//   Write ACK  : type(4) + rsp id(16) + reserved(12)                              =  32
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "compression/codec.h"
+
+namespace mgcomp {
+
+enum class MsgType : std::uint8_t { kReadReq, kDataReady, kWriteReq, kWriteAck };
+
+[[nodiscard]] constexpr std::string_view msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kReadReq: return "ReadReq";
+    case MsgType::kDataReady: return "DataReady";
+    case MsgType::kWriteReq: return "WriteReq";
+    case MsgType::kWriteAck: return "WriteAck";
+  }
+  return "?";
+}
+
+struct Message {
+  MsgType type{MsgType::kReadReq};
+  /// Request sequence number (Msg ID) or the request it answers (Rsp ID);
+  /// enables out-of-order fulfillment (Section VI-B).
+  std::uint16_t id{0};
+  EndpointId src{};
+  EndpointId dst{};
+  /// Line-aligned physical address (Read/Write requests).
+  Addr addr{0};
+  /// Requested/written length in bytes (Read/Write requests).
+  std::uint32_t length{kLineBytes};
+  /// Compression algorithm of the payload (Data-Ready / Write requests).
+  CodecId comp_alg{CodecId::kNone};
+  /// Encoded payload size in bits (Data-Ready / Write requests; 512 raw).
+  std::uint32_t payload_bits{0};
+  /// Functional payload (the *decoded* line) for Data-Ready/Write.
+  Line data{};
+  /// Receiver-side decompression cost, precomputed by the sender's policy
+  /// decision so the receiver model need not re-derive it.
+  Tick decompress_latency{0};
+  Tick decompress_occupancy{0};
+  double decompress_energy_pj{0.0};
+
+  [[nodiscard]] bool has_payload() const noexcept {
+    return type == MsgType::kDataReady || type == MsgType::kWriteReq;
+  }
+
+  /// Header size in bits, per Fig. 4.
+  [[nodiscard]] std::uint32_t header_bits() const noexcept {
+    switch (type) {
+      case MsgType::kReadReq: return 128;
+      case MsgType::kDataReady: return 32;
+      case MsgType::kWriteReq: return 128;
+      case MsgType::kWriteAck: return 32;
+    }
+    return 0;
+  }
+
+  /// Total size on the wire in bytes: header plus byte-aligned payload.
+  [[nodiscard]] std::uint32_t wire_bytes() const noexcept {
+    const std::uint32_t payload = has_payload() ? (payload_bits + 7) / 8 : 0;
+    return header_bits() / 8 + payload;
+  }
+};
+
+}  // namespace mgcomp

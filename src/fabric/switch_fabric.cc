@@ -1,0 +1,80 @@
+#include "fabric/switch_fabric.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace mgcomp {
+
+void SwitchFabric::send(Message msg) {
+  MGCOMP_CHECK(msg.src.value < endpoints_.size());
+  MGCOMP_CHECK(msg.dst.value < endpoints_.size());
+  MGCOMP_CHECK_MSG(msg.src != msg.dst, "loopback messages never touch the fabric");
+  const std::size_t src = msg.src.value;
+  endpoints_[src].out.push_back(std::move(msg));
+  stats_.max_out_queue_depth =
+      std::max(stats_.max_out_queue_depth, endpoints_[src].out.size());
+  pump(src);
+}
+
+void SwitchFabric::consume(EndpointId id, std::size_t bytes) {
+  Endpoint& ep = endpoints_[id.value];
+  MGCOMP_CHECK_MSG(ep.in_bytes >= bytes, "input-buffer release underflow");
+  ep.in_bytes -= bytes;
+  // Any source whose head-of-line message targets this endpoint may now
+  // proceed. Endpoint counts are tiny (CPU + a few GPUs), so scan all.
+  for (std::size_t s = 0; s < endpoints_.size(); ++s) {
+    if (endpoints_[s].head_blocked) pump(s);
+  }
+}
+
+void SwitchFabric::pump(std::size_t src_idx) {
+  Endpoint& src = endpoints_[src_idx];
+  src.head_blocked = false;
+  // Launch as many queued transfers as fit; port reservations serialize
+  // them in time, so scheduling several ahead is safe and keeps the event
+  // count at one per message.
+  while (!src.out.empty()) {
+    const Message& head = src.out.front();
+    Endpoint& dst = endpoints_[head.dst.value];
+    if (dst.in_bytes + head.wire_bytes() > params_.input_buffer_bytes) {
+      src.head_blocked = true;  // wake on consume()
+      return;
+    }
+    dst.in_bytes += head.wire_bytes();
+
+    const Tick start = std::max({engine_->now(), src.out_port_free, dst.in_port_free});
+    const Tick cycles = std::max<Tick>(
+        (head.wire_bytes() + params_.bytes_per_cycle - 1) / params_.bytes_per_cycle, 1);
+    src.out_port_free = start + cycles;
+    dst.in_port_free = start + cycles;
+    stats_.busy_cycles += cycles;
+    stats_.record_busy(start, cycles);
+
+    Message msg = std::move(src.out.front());
+    src.out.pop_front();
+    engine_->schedule_at(start + cycles,
+                         [this, msg = std::move(msg)]() mutable { complete(std::move(msg)); });
+  }
+}
+
+void SwitchFabric::complete(Message msg) {
+  const auto t = static_cast<std::size_t>(msg.type);
+  ++stats_.messages[t];
+  stats_.wire_bytes[t] += msg.wire_bytes();
+  stats_.record_pair(msg.src, msg.dst, endpoints_.size(), msg.wire_bytes());
+  const bool inter_gpu =
+      endpoints_[msg.src.value].is_gpu && endpoints_[msg.dst.value].is_gpu;
+  if (inter_gpu) {
+    ++stats_.inter_gpu_by_type[t];
+    ++stats_.inter_gpu_messages;
+    stats_.inter_gpu_wire_bytes += msg.wire_bytes();
+    if (msg.has_payload()) {
+      stats_.inter_gpu_payload_raw_bits += kLineBits;
+      stats_.inter_gpu_payload_wire_bits += msg.payload_bits;
+    }
+  }
+  endpoints_[msg.dst.value].deliver(std::move(msg));
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,67 @@
+// Switched (crossbar) inter-GPU fabric.
+//
+// Each endpoint has one output port and one input port, each serializing
+// at `bytes_per_cycle`; distinct source/destination pairs transfer
+// concurrently (an NVSwitch-like ideal crossbar with no internal
+// contention). A message occupies its source's output port and its
+// destination's input port for ceil(wire/B) cycles starting when both are
+// free; per-source queues are FIFO, so a head-of-line message whose
+// destination buffer is full blocks that source (but no other).
+//
+// Compared to the paper's shared bus at the same per-port rate, aggregate
+// bandwidth scales with endpoint count — `bench_ablation` uses this to
+// show how the value of link compression depends on fabric provisioning.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fabric/bus.h"  // BusStats
+#include "fabric/fabric.h"
+#include "sim/engine.h"
+
+namespace mgcomp {
+
+class SwitchFabric final : public Fabric {
+ public:
+  struct Params {
+    std::uint32_t bytes_per_cycle{20};       ///< per port, each direction
+    std::size_t input_buffer_bytes{4096};
+  };
+
+  SwitchFabric(Engine& engine, Params params) : engine_(&engine), params_(params) {}
+
+  EndpointId add_endpoint(std::string name, bool is_gpu, DeliverFn deliver) override {
+    endpoints_.push_back(Endpoint{std::move(name), std::move(deliver), {}, 0, 0, 0, is_gpu});
+    return EndpointId{static_cast<std::uint32_t>(endpoints_.size() - 1)};
+  }
+
+  void send(Message msg) override;
+  void consume(EndpointId ep, std::size_t bytes) override;
+
+  [[nodiscard]] const BusStats& stats() const noexcept override { return stats_; }
+  [[nodiscard]] std::size_t num_endpoints() const noexcept { return endpoints_.size(); }
+
+ private:
+  struct Endpoint {
+    std::string name;
+    DeliverFn deliver;
+    std::deque<Message> out;
+    Tick out_port_free{0};
+    Tick in_port_free{0};
+    std::size_t in_bytes{0};
+    bool is_gpu{false};
+    bool head_blocked{false};  ///< head-of-line waiting for dst buffer space
+  };
+
+  /// Tries to launch transfers from `src`'s queue head.
+  void pump(std::size_t src);
+  void complete(Message msg);
+
+  Engine* engine_;
+  Params params_;
+  std::vector<Endpoint> endpoints_;
+  BusStats stats_;
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,69 @@
+// Compute-unit timing model.
+//
+// A CU executes its assigned workgroups' operation streams in order,
+// issuing at most one memory operation per cycle (plus the kernel's
+// arithmetic gap) and keeping up to `window` requests outstanding. L1 hits
+// retire immediately; misses occupy a window slot until the local memory
+// hierarchy or the RDMA engine completes them. Long runs of hits are
+// batched inside one event (with a bounded time slice) to keep the event
+// count proportional to misses, not accesses.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gpu/trace.h"
+#include "sim/engine.h"
+
+namespace mgcomp {
+
+class Gpu;
+
+class ComputeUnit {
+ public:
+  ComputeUnit(Engine& engine, Gpu& gpu, CuId id, std::uint32_t window)
+      : engine_(&engine), gpu_(&gpu), id_(id), base_window_(window), window_(window) {}
+
+  /// Begins executing `wgs` (in order) from `kernel`. `on_done` fires when
+  /// every op has been issued and every outstanding request completed.
+  void start_kernel(const KernelTrace& kernel, std::vector<const WorkgroupTrace*> wgs,
+                    std::function<void()> on_done);
+
+  [[nodiscard]] CuId id() const noexcept { return id_; }
+  [[nodiscard]] bool busy() const noexcept { return kernel_ != nullptr; }
+
+  /// Ops issued over this CU's lifetime.
+  [[nodiscard]] std::uint64_t ops_issued() const noexcept { return ops_issued_; }
+
+ private:
+  /// Issue loop; re-entered on continuations and completions.
+  void pump();
+  void on_completion();
+  void finish();
+
+  /// Current op, or nullptr when the streams are exhausted.
+  [[nodiscard]] const MemOp* current_op() const noexcept;
+  void advance_op() noexcept;
+
+  static constexpr Tick kSliceCycles = 8192;
+
+  Engine* engine_;
+  Gpu* gpu_;
+  CuId id_;
+  std::uint32_t base_window_;
+  std::uint32_t window_;  ///< effective window for the current kernel
+
+  const KernelTrace* kernel_{nullptr};
+  std::vector<const WorkgroupTrace*> wgs_;
+  std::size_t wg_pos_{0};
+  std::size_t op_pos_{0};
+  bool param_pending_{false};
+
+  std::uint32_t outstanding_{0};
+  Tick next_issue_at_{0};
+  bool cont_scheduled_{false};
+  std::function<void()> on_done_;
+  std::uint64_t ops_issued_{0};
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,156 @@
+#include "gpu/rdma.h"
+
+#include "common/assert.h"
+
+namespace mgcomp {
+
+std::uint16_t RdmaEngine::alloc_id() {
+  // Outstanding requests are bounded by the CUs' windows (a few hundred),
+  // far below 2^16, so a simple wrapping counter with a uniqueness check
+  // is safe.
+  for (int guard = 0; guard < 1 << 16; ++guard) {
+    const std::uint16_t id = next_id_++;
+    if (!pending_.contains(id)) return id;
+  }
+  MGCOMP_CHECK_MSG(false, "RDMA sequence-number space exhausted");
+  return 0;
+}
+
+void RdmaEngine::remote_read(Addr addr, std::function<void()> done) {
+  const GpuId owner = map_->owner(addr);
+  MGCOMP_CHECK_MSG(owner != self_, "remote_read called for a local address");
+  const std::uint16_t id = alloc_id();
+  pending_.emplace(id, PendingRequest{std::move(done)});
+
+  Message m;
+  m.type = MsgType::kReadReq;
+  m.id = id;
+  m.src = self_ep_;
+  m.dst = gpu_endpoint_(owner);
+  m.addr = line_base(addr);
+  m.length = kLineBytes;
+  bus_->send(std::move(m));
+}
+
+void RdmaEngine::remote_write(Addr addr, std::function<void()> done) {
+  const GpuId owner = map_->owner(addr);
+  MGCOMP_CHECK_MSG(owner != self_, "remote_write called for a local address");
+  const std::uint16_t id = alloc_id();
+  pending_.emplace(id, PendingRequest{std::move(done)});
+  send_payload(line_base(addr), MsgType::kWriteReq, id, gpu_endpoint_(owner));
+}
+
+void RdmaEngine::send_payload(Addr addr, MsgType type, std::uint16_t id, EndpointId dst) {
+  const Line line = mem_->read_line(addr);
+  const CompressionDecision d = policy_->decide(line);
+  collector_->on_payload_sent(line, d);
+
+  Message m;
+  m.type = type;
+  m.id = id;
+  m.src = self_ep_;
+  m.dst = dst;
+  m.addr = addr;
+  m.length = kLineBytes;
+  m.comp_alg = d.wire_codec;
+  m.payload_bits = d.payload_bits;
+  m.data = line;
+  m.decompress_latency = d.decompress_latency;
+  m.decompress_occupancy = d.decompress_occupancy;
+  m.decompress_energy_pj = d.decompress_energy_pj;
+
+  if (d.compress_latency == 0) {
+    bus_->send(std::move(m));
+  } else {
+    // The path's compressor accepts one line per `compress_occupancy`
+    // cycles; the line leaves `compress_latency` cycles after acceptance.
+    Tick& unit = compressor_free_at_[type == MsgType::kWriteReq ? 1 : 0];
+    const Tick start = std::max(engine_->now(), unit);
+    unit = start + d.compress_occupancy;
+    engine_->schedule_at(start + d.compress_latency,
+                         [this, m = std::move(m)]() mutable { bus_->send(std::move(m)); });
+  }
+}
+
+void RdmaEngine::deliver(Message&& msg) {
+  switch (msg.type) {
+    case MsgType::kReadReq: handle_read_req(std::move(msg)); break;
+    case MsgType::kDataReady: handle_data_ready(std::move(msg)); break;
+    case MsgType::kWriteReq: handle_write_req(std::move(msg)); break;
+    case MsgType::kWriteAck: handle_write_ack(std::move(msg)); break;
+  }
+}
+
+void RdmaEngine::handle_read_req(Message&& msg) {
+  // Owner side: fetch the line from local L2/DRAM, then compress and
+  // respond. The request's input-buffer space is held until the response
+  // is handed to the fabric (it models unprocessed-message backlog).
+  const Tick ready = owner_access_(msg.addr, /*is_write=*/false);
+  const std::uint32_t req_wire = msg.wire_bytes();
+  engine_->schedule_at(ready, [this, msg = std::move(msg), req_wire] {
+    send_payload(msg.addr, MsgType::kDataReady, msg.id, msg.src);
+    bus_->consume(self_ep_, req_wire);
+  });
+}
+
+void RdmaEngine::handle_data_ready(Message&& msg) {
+  // Requester side: charge decompression (bypassed when Comp Alg is 0),
+  // then complete the matching pending read.
+  const Tick lat = msg.decompress_latency;
+  const Tick occ = msg.decompress_occupancy;
+  auto finish = [this, msg = std::move(msg)] {
+    collector_->on_payload_received(msg.decompress_energy_pj);
+    bus_->consume(self_ep_, msg.wire_bytes());
+    const auto it = pending_.find(msg.id);
+    MGCOMP_CHECK_MSG(it != pending_.end(), "Data-Ready for unknown request id");
+    auto done = std::move(it->second.done);
+    pending_.erase(it);
+    done();
+  };
+  if (lat == 0) {
+    finish();
+  } else {
+    Tick& unit = decompressor_free_at_[0];
+    const Tick start = std::max(engine_->now(), unit);
+    unit = start + occ;
+    engine_->schedule_at(start + lat, std::move(finish));
+  }
+}
+
+void RdmaEngine::handle_write_req(Message&& msg) {
+  // Owner side: decompress (if compressed), commit to local memory
+  // hierarchy, then acknowledge.
+  const Tick lat = msg.decompress_latency;
+  const Tick occ = msg.decompress_occupancy;
+  auto commit = [this, msg = std::move(msg)] {
+    collector_->on_payload_received(msg.decompress_energy_pj);
+    owner_access_(msg.addr, /*is_write=*/true);  // books local bandwidth; ack is posted
+    bus_->consume(self_ep_, msg.wire_bytes());
+
+    Message ack;
+    ack.type = MsgType::kWriteAck;
+    ack.id = msg.id;
+    ack.src = self_ep_;
+    ack.dst = msg.src;
+    bus_->send(std::move(ack));
+  };
+  if (lat == 0) {
+    commit();
+  } else {
+    Tick& unit = decompressor_free_at_[1];
+    const Tick start = std::max(engine_->now(), unit);
+    unit = start + occ;
+    engine_->schedule_at(start + lat, std::move(commit));
+  }
+}
+
+void RdmaEngine::handle_write_ack(Message&& msg) {
+  bus_->consume(self_ep_, msg.wire_bytes());
+  const auto it = pending_.find(msg.id);
+  MGCOMP_CHECK_MSG(it != pending_.end(), "Write-ACK for unknown request id");
+  auto done = std::move(it->second.done);
+  pending_.erase(it);
+  done();
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,103 @@
+// Remote Direct Memory Access engine — one per GPU.
+//
+// The RDMA engine is where the paper's mechanism lives: every payload a GPU
+// sends (Data-Ready read responses and Write requests) passes through this
+// GPU's compression policy; every compressed payload it receives is charged
+// the decompression latency before delivery completes. Requests carry
+// 16-bit sequence numbers so responses can arrive out of order (Fig. 4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "adaptive/policy.h"
+#include "analysis/collector.h"
+#include "fabric/fabric.h"
+#include "memory/address_map.h"
+#include "memory/global_memory.h"
+#include "sim/engine.h"
+
+namespace mgcomp {
+
+class RdmaEngine {
+ public:
+  /// `owner_access(addr, is_write)` books this GPU's local L2/DRAM for a
+  /// line access on behalf of a remote requester and returns the absolute
+  /// tick at which the access completes.
+  using OwnerAccessFn = std::function<Tick(Addr, bool)>;
+
+  RdmaEngine(Engine& engine, Fabric& bus, GlobalMemory& mem, const AddressMap& map,
+             Collector& collector, GpuId self)
+      : engine_(&engine), bus_(&bus), mem_(&mem), map_(&map), collector_(&collector),
+        self_(self) {}
+
+  /// Must be called once before simulation starts.
+  void configure(EndpointId self_ep, std::function<EndpointId(GpuId)> gpu_endpoint,
+                 OwnerAccessFn owner_access, std::unique_ptr<CompressionPolicy> policy) {
+    self_ep_ = self_ep;
+    gpu_endpoint_ = std::move(gpu_endpoint);
+    owner_access_ = std::move(owner_access);
+    policy_ = std::move(policy);
+  }
+
+  /// Reads the remote line containing `addr`; `done` fires when the data
+  /// (decompressed if needed) is available at this GPU.
+  void remote_read(Addr addr, std::function<void()> done);
+
+  /// Writes the line containing `addr` (current functional contents) to its
+  /// remote owner; `done` fires when the Write-ACK returns.
+  void remote_write(Addr addr, std::function<void()> done);
+
+  /// Bus delivery callback for this GPU's endpoint.
+  void deliver(Message&& msg);
+
+  [[nodiscard]] const CompressionPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] EndpointId endpoint() const noexcept { return self_ep_; }
+
+  /// Requests currently awaiting a response.
+  [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
+
+ private:
+  struct PendingRequest {
+    std::function<void()> done;
+  };
+
+  std::uint16_t alloc_id();
+
+  /// Runs the policy on `line` and, after the compression latency, sends a
+  /// payload-bearing message built by `fill` (which receives the decision).
+  void send_payload(Addr addr, MsgType type, std::uint16_t id, EndpointId dst);
+
+  void handle_read_req(Message&& msg);
+  void handle_data_ready(Message&& msg);
+  void handle_write_req(Message&& msg);
+  void handle_write_ack(Message&& msg);
+
+  Engine* engine_;
+  Fabric* bus_;
+  GlobalMemory* mem_;
+  const AddressMap* map_;
+  Collector* collector_;
+  GpuId self_;
+
+  EndpointId self_ep_{};
+  std::function<EndpointId(GpuId)> gpu_endpoint_;
+  OwnerAccessFn owner_access_;
+  std::unique_ptr<CompressionPolicy> policy_;
+
+  std::unordered_map<std::uint16_t, PendingRequest> pending_;
+  std::uint16_t next_id_{0};
+
+  // Non-pipelined (de)compressor units: a line occupies a unit for its
+  // full latency, so codec latency turns into throughput loss when
+  // payloads arrive faster than the unit drains (the paper's "C-Pack+Z
+  // latency cannot be hidden" effect on AES). The TX-request pipeline
+  // (outgoing Writes) and the TX-response pipeline (outgoing Data-Ready)
+  // each have their own compressor; likewise the two RX pipelines each
+  // have a decompressor.
+  Tick compressor_free_at_[2]{0, 0};    // [0]=response path, [1]=request path
+  Tick decompressor_free_at_[2]{0, 0};  // [0]=Data-Ready path, [1]=Write path
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,55 @@
+// Kernel execution traces: what the workload generators hand the timing
+// model.
+//
+// Workloads run their *functional* computation ahead of each kernel's
+// simulation (reading and writing real bytes in GlobalMemory) and record a
+// per-workgroup stream of line-granularity memory operations. The timing
+// model then replays those operations through caches, DRAM, RDMA and the
+// fabric. Operations are line-granular because GPU coalescing hardware
+// merges a wavefront's per-lane accesses into line requests — generators
+// emit one op per distinct line a wavefront touches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgcomp {
+
+/// One coalesced memory operation.
+struct MemOp {
+  Addr addr{0};
+  bool is_write{false};
+};
+
+/// The operation stream of one workgroup, executed in order by one CU.
+struct WorkgroupTrace {
+  std::vector<MemOp> ops;
+};
+
+/// One kernel launch: workgroups are distributed round-robin over every CU
+/// of every GPU (Section VI-A scheduling).
+struct KernelTrace {
+  std::string name;
+  /// Extra issue cycles between consecutive memory operations, modeling
+  /// the kernel's arithmetic intensity (0 = purely memory bound).
+  std::uint32_t compute_cycles_per_op{0};
+  /// If nonzero, the line holding this kernel's launch parameters; the CPU
+  /// writes it at launch and each scalar cache fetches it once per kernel.
+  Addr param_addr{0};
+  /// If nonzero, caps each CU's outstanding-request window for this kernel.
+  /// Kernels with serial data dependences (e.g. AES-CBC chaining) cannot
+  /// overlap their memory accesses, which exposes per-access latency.
+  std::uint32_t max_outstanding{0};
+  std::vector<WorkgroupTrace> workgroups;
+
+  [[nodiscard]] std::size_t total_ops() const noexcept {
+    std::size_t n = 0;
+    for (const auto& wg : workgroups) n += wg.ops.size();
+    return n;
+  }
+};
+
+}  // namespace mgcomp

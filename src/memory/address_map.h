@@ -1,0 +1,44 @@
+// NUMA address layout: 4 KB pages interleaved over all memory controllers.
+//
+// Table VII / Section VI-A: the multi-GPU runtime presents one flat
+// physical address space, laid out by interleaving 4 KB pages over the 32
+// memory controllers (8 channels per GPU x 4 GPUs). Page p therefore lands
+// on global channel (p mod 32); the owning GPU is that channel's GPU.
+#pragma once
+
+#include "common/types.h"
+
+namespace mgcomp {
+
+class AddressMap {
+ public:
+  AddressMap(std::uint32_t num_gpus, std::uint32_t channels_per_gpu) noexcept
+      : num_gpus_(num_gpus), channels_per_gpu_(channels_per_gpu) {}
+
+  [[nodiscard]] std::uint32_t num_gpus() const noexcept { return num_gpus_; }
+  [[nodiscard]] std::uint32_t channels_per_gpu() const noexcept { return channels_per_gpu_; }
+  [[nodiscard]] std::uint32_t total_channels() const noexcept {
+    return num_gpus_ * channels_per_gpu_;
+  }
+
+  /// Global channel index serving address `a`.
+  [[nodiscard]] std::uint32_t global_channel(Addr a) const noexcept {
+    return static_cast<std::uint32_t>(page_index(a) % total_channels());
+  }
+
+  /// GPU whose local DRAM holds address `a`.
+  [[nodiscard]] GpuId owner(Addr a) const noexcept {
+    return GpuId{global_channel(a) / channels_per_gpu_};
+  }
+
+  /// Channel index within the owner GPU.
+  [[nodiscard]] ChannelId local_channel(Addr a) const noexcept {
+    return ChannelId{global_channel(a) % channels_per_gpu_};
+  }
+
+ private:
+  std::uint32_t num_gpus_;
+  std::uint32_t channels_per_gpu_;
+};
+
+}  // namespace mgcomp

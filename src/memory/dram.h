@@ -1,0 +1,46 @@
+// DRAM channel timing: fixed access latency plus per-channel service
+// bandwidth, modeled with a "next free" reservation per channel instead of
+// per-beat events (each line occupies its channel for a few cycles; queuing
+// delay emerges when requests pile onto one channel).
+#pragma once
+
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace mgcomp {
+
+struct DramParams {
+  Tick access_latency{100};     ///< row/column access latency, cycles
+  Tick service_cycles{4};       ///< channel occupancy per 64 B line (16 B/cycle)
+};
+
+class DramChannels {
+ public:
+  DramChannels(std::uint32_t num_channels, DramParams params)
+      : params_(params), next_free_(num_channels, 0) {}
+
+  /// Books one line access on `channel` arriving at `now`; returns the
+  /// absolute tick the data is available.
+  Tick book(ChannelId channel, Tick now) {
+    MGCOMP_CHECK(channel.value < next_free_.size());
+    Tick& free_at = next_free_[channel.value];
+    const Tick start = std::max(now, free_at);
+    free_at = start + params_.service_cycles;
+    ++accesses_;
+    busy_cycles_ += params_.service_cycles;
+    return start + params_.access_latency;
+  }
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::uint64_t busy_cycles() const noexcept { return busy_cycles_; }
+
+ private:
+  DramParams params_;
+  std::vector<Tick> next_free_;
+  std::uint64_t accesses_{0};
+  std::uint64_t busy_cycles_{0};
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,118 @@
+// Functional backing store for the unified multi-GPU address space.
+//
+// The simulator separates *function* from *timing*: every byte of every
+// buffer lives here (sparse 4 KB pages, allocated on first touch), while
+// the cache/DRAM/fabric models only decide how long accesses take. Keeping
+// real bytes is essential — compression ratios are measured on the actual
+// payloads moved between GPUs.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace mgcomp {
+
+class GlobalMemory {
+ public:
+  /// Allocates `bytes` of page-aligned address space and returns its base.
+  /// Successive allocations are laid out contiguously (so buffers stripe
+  /// across GPUs exactly as the interleaved page map dictates).
+  Addr alloc(std::size_t bytes, std::string label = {}) {
+    const Addr base = next_;
+    const std::size_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+    next_ += static_cast<Addr>(pages) * kPageBytes;
+    if (!label.empty()) regions_.push_back({label, base, bytes});
+    return base;
+  }
+
+  /// Reads `out.size()` bytes at `addr` (zero-fill for untouched pages).
+  void read(Addr addr, std::span<std::uint8_t> out) const {
+    std::size_t done = 0;
+    while (done < out.size()) {
+      const Addr a = addr + done;
+      const std::size_t off = static_cast<std::size_t>(a % kPageBytes);
+      const std::size_t n = std::min(out.size() - done, kPageBytes - off);
+      const auto it = pages_.find(page_index(a));
+      if (it == pages_.end()) {
+        std::memset(out.data() + done, 0, n);
+      } else {
+        std::memcpy(out.data() + done, it->second->data() + off, n);
+      }
+      done += n;
+    }
+  }
+
+  /// Writes `in.size()` bytes at `addr`, materializing pages as needed.
+  void write(Addr addr, std::span<const std::uint8_t> in) {
+    std::size_t done = 0;
+    while (done < in.size()) {
+      const Addr a = addr + done;
+      const std::size_t off = static_cast<std::size_t>(a % kPageBytes);
+      const std::size_t n = std::min(in.size() - done, kPageBytes - off);
+      std::memcpy(page(page_index(a)).data() + off, in.data() + done, n);
+      done += n;
+    }
+  }
+
+  /// Reads the 64-byte line containing `addr`.
+  [[nodiscard]] Line read_line(Addr addr) const {
+    Line l;
+    read(line_base(addr), l);
+    return l;
+  }
+
+  /// Writes a full line at the line containing `addr`.
+  void write_line(Addr addr, LineView data) { write(line_base(addr), data); }
+
+  // Typed helpers for workload generators.
+  template <typename T>
+  [[nodiscard]] T load(Addr addr) const {
+    T v{};
+    read(addr, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(&v), sizeof(T)));
+    return v;
+  }
+
+  template <typename T>
+  void store(Addr addr, const T& v) {
+    write(addr, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(&v),
+                                              sizeof(T)));
+  }
+
+  /// Number of materialized pages (untouched pages read as zero).
+  [[nodiscard]] std::size_t resident_pages() const noexcept { return pages_.size(); }
+
+  /// Total address space handed out so far.
+  [[nodiscard]] Addr allocated_bytes() const noexcept { return next_; }
+
+  struct Region {
+    std::string label;
+    Addr base;
+    std::size_t bytes;
+  };
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept { return regions_; }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageBytes>;
+
+  Page& page(std::uint64_t idx) {
+    auto& p = pages_[idx];
+    if (p == nullptr) {
+      p = std::make_unique<Page>();
+      p->fill(0);
+    }
+    return *p;
+  }
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  std::vector<Region> regions_;
+  Addr next_{kPageBytes};  // keep address 0 unmapped to catch null derefs
+};
+
+}  // namespace mgcomp

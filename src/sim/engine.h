@@ -1,0 +1,80 @@
+// Minimal discrete-event simulation kernel.
+//
+// The whole multi-GPU model is event-driven: components schedule callbacks
+// at absolute ticks of the 1 GHz system clock. Events at the same tick run
+// in scheduling order (a monotonically increasing sequence number makes the
+// heap ordering total and deterministic), which keeps runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace mgcomp {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute tick `t` (must be >= now()).
+  void schedule_at(Tick t, Callback cb) {
+    MGCOMP_CHECK_MSG(t >= now_, "cannot schedule into the past");
+    heap_.push(Event{t, seq_++, std::move(cb)});
+  }
+
+  /// Schedules `cb` to run `dt` ticks from now.
+  void schedule_in(Tick dt, Callback cb) { schedule_at(now_ + dt, std::move(cb)); }
+
+  /// Current simulation time.
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+  /// Pending event count.
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Runs one event; returns false if the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // The callback may schedule more events, so pop before invoking.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs until no events remain. Returns the final tick.
+  Tick run() {
+    while (step()) {
+    }
+    return now_;
+  }
+
+  /// Runs until `deadline` or queue exhaustion, whichever first. Used by
+  /// tests to bound runaway simulations.
+  Tick run_until(Tick deadline) {
+    while (!heap_.empty() && heap_.top().at <= deadline) step();
+    return now_;
+  }
+
+ private:
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Tick now_{0};
+  std::uint64_t seq_{0};
+};
+
+}  // namespace mgcomp

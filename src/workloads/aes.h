@@ -1,0 +1,51 @@
+// AES — 256-bit encryption (ported conceptually from Hetero-Mark).
+//
+// Computes an AES-256 CBC-MAC over a random plaintext buffer: each
+// workgroup chains real AES-256 encryptions over its 1 KB chunk and writes
+// the 16-byte tag. Reads dominate writes heavily (the paper's AES profile)
+// and the bytes crossing the fabric are effectively random — entropy ~1.0
+// and compression ratios ~1.0 for every codec, which is what makes AES the
+// adversarial case for compression (and where slow codecs like C-Pack+Z
+// actively hurt execution time).
+#pragma once
+
+#include "core/workload.h"
+#include "workloads/aes_core.h"
+
+namespace mgcomp {
+
+class AesWorkload final : public Workload {
+ public:
+  struct Params {
+    /// Plaintext bytes per pass (multiple of 1024).
+    std::size_t bytes_per_pass{2 * 1024 * 1024};
+    std::uint32_t passes{2};  ///< kernel launches, each on its own region
+    std::uint64_t seed{0x5eed'0003};
+  };
+
+  AesWorkload() : AesWorkload(Params()) {}
+  explicit AesWorkload(Params p) : p_(p) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Advanced Encryption Standard";
+  }
+  [[nodiscard]] std::string_view abbrev() const noexcept override { return "AES"; }
+  void setup(GlobalMemory& mem) override;
+  [[nodiscard]] std::size_t kernel_count() const override { return p_.passes; }
+  KernelTrace generate_kernel(std::size_t k, GlobalMemory& mem) override;
+  [[nodiscard]] bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  static constexpr std::size_t kChunkBytes = 1024;  ///< blocks MAC'd per WG
+
+  [[nodiscard]] aes::Block compute_mac(const GlobalMemory& mem, Addr chunk) const;
+
+  Params p_;
+  aes::Key key_{};
+  aes::KeySchedule ks_{};
+  Addr plaintext_{0};
+  Addr macs_{0};
+  Addr params_{0};
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,90 @@
+#include "workloads/bitonic_sort.h"
+
+#include <string>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "workloads/emit.h"
+
+namespace mgcomp {
+
+namespace {
+constexpr std::uint32_t kIndicesPerWg = 512;  // 256 active pairs
+}
+
+void BitonicSortWorkload::setup(GlobalMemory& mem) {
+  MGCOMP_CHECK((p_.n & (p_.n - 1)) == 0 && p_.n >= kIndicesPerWg);
+  keys_ = mem.alloc(static_cast<std::size_t>(p_.n) * 4, "BS.keys");
+
+  stages_.clear();
+  for (std::uint32_t k = 2; k <= p_.n; k <<= 1) {
+    for (std::uint32_t j = k >> 1; j > 0; j >>= 1) stages_.emplace_back(k, j);
+  }
+  params_ = mem.alloc(stages_.size() * kLineBytes, "BS.params");
+
+  Rng rng(p_.seed);
+  for (std::uint32_t i = 0; i < p_.n; ++i) {
+    const std::uint32_t v =
+        rng.chance(p_.zero_fraction)
+            ? 0
+            : 1 + static_cast<std::uint32_t>(rng.below(p_.small_range - 1));
+    mem.store<std::uint32_t>(keys_ + static_cast<Addr>(i) * 4, v);
+  }
+}
+
+std::size_t BitonicSortWorkload::kernel_count() const { return stages_.size(); }
+
+KernelTrace BitonicSortWorkload::generate_kernel(std::size_t kernel, GlobalMemory& mem) {
+  const auto [k, j] = stages_[kernel];
+
+  KernelTrace trace;
+  trace.name = "bs.k" + std::to_string(k) + ".j" + std::to_string(j);
+  trace.compute_cycles_per_op = 0;
+  trace.param_addr = write_param_line(mem, params_, kernel, {keys_, p_.n, k, j});
+
+  trace.workgroups.reserve(p_.n / kIndicesPerWg);
+  for (std::uint32_t base = 0; base < p_.n; base += kIndicesPerWg) {
+    WorkgroupTrace wg;
+    // Load phase, one side at a time so consecutive work items coalesce.
+    for (std::uint32_t i = base; i < base + kIndicesPerWg; ++i) {
+      if ((i ^ j) > i) emit_read(wg, keys_ + static_cast<Addr>(i) * 4);
+    }
+    for (std::uint32_t i = base; i < base + kIndicesPerWg; ++i) {
+      if ((i ^ j) > i) emit_read(wg, keys_ + static_cast<Addr>(i ^ j) * 4);
+    }
+    // Functional compare-exchange (both elements are written back
+    // unconditionally, as the GPU kernel does).
+    for (std::uint32_t i = base; i < base + kIndicesPerWg; ++i) {
+      const std::uint32_t partner = i ^ j;
+      if (partner <= i) continue;
+      const bool ascending = (i & k) == 0;
+      const auto a = mem.load<std::uint32_t>(keys_ + static_cast<Addr>(i) * 4);
+      const auto b = mem.load<std::uint32_t>(keys_ + static_cast<Addr>(partner) * 4);
+      if ((a > b) == ascending) {
+        mem.store<std::uint32_t>(keys_ + static_cast<Addr>(i) * 4, b);
+        mem.store<std::uint32_t>(keys_ + static_cast<Addr>(partner) * 4, a);
+      }
+    }
+    // Store phase, again one side at a time.
+    for (std::uint32_t i = base; i < base + kIndicesPerWg; ++i) {
+      if ((i ^ j) > i) emit_write(wg, keys_ + static_cast<Addr>(i) * 4);
+    }
+    for (std::uint32_t i = base; i < base + kIndicesPerWg; ++i) {
+      if ((i ^ j) > i) emit_write(wg, keys_ + static_cast<Addr>(i ^ j) * 4);
+    }
+    if (!wg.ops.empty()) trace.workgroups.push_back(std::move(wg));
+  }
+  return trace;
+}
+
+bool BitonicSortWorkload::verify(const GlobalMemory& mem) const {
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < p_.n; ++i) {
+    const auto v = mem.load<std::uint32_t>(keys_ + static_cast<Addr>(i) * 4);
+    if (v < prev) return false;
+    prev = v;
+  }
+  return true;
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,44 @@
+// BS — Bitonic Sort (ported conceptually from AMD APP SDK 3.0).
+//
+// A full bitonic sorting network over n uint32 keys: log2(n)*(log2(n)+1)/2
+// kernel launches, each performing one (k, j) compare-exchange stage.
+// This is the paper's communication-extreme benchmark: a very large number
+// of kernels relative to a small input, with a butterfly access pattern
+// that repeatedly crosses GPU ownership boundaries. Keys are heavily
+// skewed toward zero/small values (sparse key distributions are common in
+// index sorting), giving the near-zero byte entropy and the enormous
+// FPC/C-Pack+Z compression ratios of Table V.
+#pragma once
+
+#include "core/workload.h"
+
+namespace mgcomp {
+
+class BitonicSortWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t n{32768};           ///< keys; power of two
+    double zero_fraction{0.96};       ///< exact-zero keys (mostly-zero lines)
+    std::uint32_t small_range{1000};  ///< nonzero keys drawn from [1, range)
+    std::uint64_t seed{0x5eed'0004};
+  };
+
+  BitonicSortWorkload() : BitonicSortWorkload(Params()) {}
+  explicit BitonicSortWorkload(Params p) : p_(p) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "Bitonic Sort"; }
+  [[nodiscard]] std::string_view abbrev() const noexcept override { return "BS"; }
+  void setup(GlobalMemory& mem) override;
+  [[nodiscard]] std::size_t kernel_count() const override;
+  KernelTrace generate_kernel(std::size_t k, GlobalMemory& mem) override;
+  [[nodiscard]] bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  Params p_;
+  Addr keys_{0};
+  Addr params_{0};
+  /// (k, j) pairs of the sorting network, one per kernel launch.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stages_;
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,62 @@
+// SC — Simple Convolution (ported conceptually from AMD APP SDK 3.0).
+//
+// 3x3 convolution over a smooth high-dynamic-range int32 image (values up
+// to ~2^17 with small neighbor deltas, like a linear-light HDR channel).
+// Two kernels, which produce the two phases of Fig. 1(a)/(b):
+//   * pad — builds the zero-padded copy of the image. Margin workgroups
+//     run first, so the early inter-GPU payloads are zero lines and
+//     zero/pixel boundary mixes, where the word-granularity codecs beat
+//     BDI;
+//   * convolve — streams pure smooth-pixel lines, where values exceed
+//     FPC's 16-bit narrow patterns (ratio ~1) but per-line dynamic range
+//     is tiny, so BDI dominates.
+#pragma once
+
+#include "core/workload.h"
+
+namespace mgcomp {
+
+class ConvolutionWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t width{640};
+    std::uint32_t height{640};
+    std::uint64_t seed{0x5eed'0007};
+  };
+
+  ConvolutionWorkload() : ConvolutionWorkload(Params()) {}
+  explicit ConvolutionWorkload(Params p) : p_(p) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "Simple Convolution"; }
+  [[nodiscard]] std::string_view abbrev() const noexcept override { return "SC"; }
+  void setup(GlobalMemory& mem) override;
+  [[nodiscard]] std::size_t kernel_count() const override { return 2; }
+  KernelTrace generate_kernel(std::size_t k, GlobalMemory& mem) override;
+  [[nodiscard]] bool verify(const GlobalMemory& mem) const override;
+
+ private:
+  static constexpr std::uint32_t kTile = 16;
+  /// 3x3 filter, sum 16 (so >> 4 normalizes).
+  static constexpr std::int32_t kFilter[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+
+  [[nodiscard]] Addr src_at(std::uint32_t r, std::uint32_t c) const noexcept {
+    return src_ + (static_cast<Addr>(r) * p_.width + c) * 4;
+  }
+  [[nodiscard]] Addr padded_at(std::uint32_t r, std::uint32_t c) const noexcept {
+    return padded_ + (static_cast<Addr>(r) * (p_.width + 2) + c) * 4;
+  }
+  [[nodiscard]] Addr dst_at(std::uint32_t r, std::uint32_t c) const noexcept {
+    return dst_ + (static_cast<Addr>(r) * p_.width + c) * 4;
+  }
+
+  KernelTrace generate_pad(GlobalMemory& mem);
+  KernelTrace generate_convolve(GlobalMemory& mem);
+
+  Params p_;
+  Addr src_{0};
+  Addr padded_{0};
+  Addr dst_{0};
+  Addr params_{0};
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,109 @@
+#include "workloads/fir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "workloads/emit.h"
+
+namespace mgcomp {
+
+namespace {
+constexpr std::uint32_t kOutputsPerWg = 256;
+}
+
+void FirWorkload::setup(GlobalMemory& mem) {
+  MGCOMP_CHECK(p_.num_samples % (p_.num_blocks * kOutputsPerWg) == 0);
+  input_ = mem.alloc((static_cast<std::size_t>(p_.num_samples) + p_.num_taps) * 4, "FIR.x");
+  output_ = mem.alloc(static_cast<std::size_t>(p_.num_samples) * 4, "FIR.y");
+  coeffs_ = mem.alloc(static_cast<std::size_t>(p_.num_taps) * 4, "FIR.c");
+  params_ = mem.alloc(static_cast<std::size_t>(p_.num_blocks) * kLineBytes, "FIR.params");
+
+  Rng rng(p_.seed);
+  const std::uint32_t quiet_end = std::min(p_.quiet_samples, p_.num_samples);
+  for (std::uint32_t i = 0; i < p_.num_samples + p_.num_taps; ++i) {
+    std::int32_t v;
+    if (i < quiet_end) {
+      // Quiet dithered intro: mostly silence.
+      v = rng.chance(0.85) ? 0 : static_cast<std::int32_t>(rng.below(200)) - 100;
+    } else {
+      // Loud body: slow waveform plus small noise; values exceed the
+      // 16-bit range but neighbors stay close.
+      const double phase = 2.0 * 3.14159265358979 * static_cast<double>(i) /
+                           static_cast<double>(p_.period);
+      v = static_cast<std::int32_t>(static_cast<double>(p_.amplitude) * std::sin(phase)) +
+          static_cast<std::int32_t>(rng.below(16)) - 8;
+    }
+    mem.store<std::int32_t>(input_ + static_cast<Addr>(i) * 4, v);
+  }
+  for (std::uint32_t t = 0; t < p_.num_taps; ++t) {
+    mem.store<std::int32_t>(coeffs_ + static_cast<Addr>(t) * 4,
+                            static_cast<std::int32_t>(rng.below(4000)) - 2000);
+  }
+}
+
+KernelTrace FirWorkload::generate_kernel(std::size_t k, GlobalMemory& mem) {
+  const std::uint32_t block_samples = p_.num_samples / p_.num_blocks;
+  const std::uint32_t block_start = static_cast<std::uint32_t>(k) * block_samples;
+
+  KernelTrace trace;
+  trace.name = "fir.block" + std::to_string(k);
+  trace.compute_cycles_per_op = 2;  // MAC chain between line fetches
+  trace.param_addr = write_param_line(mem, params_, k,
+                                      {input_, output_, coeffs_, block_start, block_samples});
+
+  // Load coefficients once for the functional pass.
+  std::vector<std::int64_t> c(p_.num_taps);
+  for (std::uint32_t t = 0; t < p_.num_taps; ++t) {
+    c[t] = mem.load<std::int32_t>(coeffs_ + static_cast<Addr>(t) * 4);
+  }
+
+  trace.workgroups.reserve(block_samples / kOutputsPerWg);
+  for (std::uint32_t base = block_start; base < block_start + block_samples;
+       base += kOutputsPerWg) {
+    WorkgroupTrace wg;
+    // Coefficient line(s): fetched by every workgroup, filtered by caches.
+    for (std::uint32_t t = 0; t < p_.num_taps; t += kLineBytes / 4) {
+      emit_read(wg, coeffs_ + static_cast<Addr>(t) * 4);
+    }
+    // Input window [base, base + outputs + taps).
+    for (std::uint32_t i = base; i < base + kOutputsPerWg + p_.num_taps;
+         i += kLineBytes / 4) {
+      emit_read(wg, input_ + static_cast<Addr>(i) * 4);
+    }
+    // Functional filter + output lines.
+    for (std::uint32_t i = base; i < base + kOutputsPerWg; ++i) {
+      std::int64_t acc = 0;
+      for (std::uint32_t t = 0; t < p_.num_taps; ++t) {
+        acc += c[t] * mem.load<std::int32_t>(input_ + static_cast<Addr>(i + t) * 4);
+      }
+      mem.store<std::int32_t>(output_ + static_cast<Addr>(i) * 4,
+                              static_cast<std::int32_t>(acc >> 8));
+      if (i % (kLineBytes / 4) == 0) emit_write(wg, output_ + static_cast<Addr>(i) * 4);
+    }
+    trace.workgroups.push_back(std::move(wg));
+  }
+  return trace;
+}
+
+std::int64_t FirWorkload::expected_output(const GlobalMemory& mem, std::uint32_t i) const {
+  std::int64_t acc = 0;
+  for (std::uint32_t t = 0; t < p_.num_taps; ++t) {
+    acc += static_cast<std::int64_t>(mem.load<std::int32_t>(coeffs_ + static_cast<Addr>(t) * 4)) *
+           mem.load<std::int32_t>(input_ + static_cast<Addr>(i + t) * 4);
+  }
+  return acc >> 8;
+}
+
+bool FirWorkload::verify(const GlobalMemory& mem) const {
+  Rng rng(p_.seed ^ 0xf1f1ULL);
+  for (int s = 0; s < 2048; ++s) {
+    const auto i = static_cast<std::uint32_t>(rng.below(p_.num_samples));
+    const auto got = mem.load<std::int32_t>(output_ + static_cast<Addr>(i) * 4);
+    if (got != static_cast<std::int32_t>(expected_output(mem, i))) return false;
+  }
+  return true;
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,155 @@
+#include "workloads/gradient_descent.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "workloads/emit.h"
+
+namespace mgcomp {
+
+void GradientDescentWorkload::setup(GlobalMemory& mem) {
+  MGCOMP_CHECK(p_.n % (kSamplesPerWg * 8) == 0 && p_.d % (kLineBytes / 4) == 0);
+  num_wgs_ = p_.n / kSamplesPerWg;
+
+  features_ = mem.alloc(static_cast<std::size_t>(p_.n) * p_.d * 4, "GD.X");
+  targets_ = mem.alloc(static_cast<std::size_t>(p_.n) * 4, "GD.y");
+  weights_ = mem.alloc(static_cast<std::size_t>(p_.d) * 4, "GD.w");
+  partials_ = mem.alloc(static_cast<std::size_t>(num_wgs_) * p_.d * 4, "GD.partials");
+  params_ = mem.alloc(kernel_count() * kLineBytes, "GD.params");
+
+  Rng rng(p_.seed);
+  // Hidden true weights generate the targets (plus noise), so the descent
+  // has something real to converge to.
+  std::vector<float> truth(p_.d);
+  for (auto& w : truth) w = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  for (std::uint32_t i = 0; i < p_.n; ++i) {
+    double y = 0.0;
+    // Block-sparse features (16 floats = one line per block): whole blocks
+    // are zero with probability zero_fraction, as in one-hot/embedding
+    // inputs. Zero *lines* are what give the word-granularity codecs their
+    // modest edge on float data (Table V's GD row).
+    for (std::uint32_t b = 0; b < p_.d; b += kLineBytes / 4) {
+      const bool zero_block = rng.chance(p_.zero_fraction);
+      for (std::uint32_t f = b; f < b + kLineBytes / 4; ++f) {
+        const float x = zero_block ? 0.0f : static_cast<float>(rng.uniform(-2.0, 2.0));
+        mem.store<float>(sample_addr(i) + static_cast<Addr>(f) * 4, x);
+        y += static_cast<double>(truth[f]) * x;
+      }
+    }
+    y += rng.uniform(-0.05, 0.05);
+    mem.store<float>(targets_ + static_cast<Addr>(i) * 4, static_cast<float>(y));
+  }
+  for (std::uint32_t f = 0; f < p_.d; ++f) {
+    mem.store<float>(weights_ + static_cast<Addr>(f) * 4, 0.0f);
+  }
+}
+
+double GradientDescentWorkload::predict(const GlobalMemory& mem, std::uint32_t i) const {
+  double acc = 0.0;
+  for (std::uint32_t f = 0; f < p_.d; ++f) {
+    acc += static_cast<double>(mem.load<float>(weights_ + static_cast<Addr>(f) * 4)) *
+           static_cast<double>(mem.load<float>(sample_addr(i) + static_cast<Addr>(f) * 4));
+  }
+  return acc;
+}
+
+KernelTrace GradientDescentWorkload::generate_kernel(std::size_t kern, GlobalMemory& mem) {
+  const std::size_t iter = kern / 2;
+  return (kern % 2 == 0) ? generate_gradient(iter, mem) : generate_update(iter, mem);
+}
+
+KernelTrace GradientDescentWorkload::generate_gradient(std::size_t iter, GlobalMemory& mem) {
+  KernelTrace trace;
+  trace.name = "gd.grad" + std::to_string(iter);
+  trace.compute_cycles_per_op = 4;
+  trace.param_addr =
+      write_param_line(mem, params_, iter * 2, {features_, targets_, weights_, p_.n, p_.d});
+
+  const std::size_t weight_lines = static_cast<std::size_t>(p_.d) * 4 / kLineBytes;
+  trace.workgroups.reserve(num_wgs_);
+  for (std::uint32_t w = 0; w < num_wgs_; ++w) {
+    WorkgroupTrace wg;
+    for (std::size_t l = 0; l < weight_lines; ++l) {
+      emit_read(wg, weights_ + l * kLineBytes);
+    }
+
+    std::vector<double> grad(p_.d, 0.0);
+    for (std::uint32_t i = w * kSamplesPerWg; i < (w + 1) * kSamplesPerWg; ++i) {
+      for (std::uint32_t f = 0; f < p_.d; f += kLineBytes / 4) {
+        emit_read(wg, sample_addr(i) + static_cast<Addr>(f) * 4);
+      }
+      emit_read(wg, targets_ + static_cast<Addr>(i) * 4);
+      const double err =
+          predict(mem, i) -
+          static_cast<double>(mem.load<float>(targets_ + static_cast<Addr>(i) * 4));
+      for (std::uint32_t f = 0; f < p_.d; ++f) {
+        grad[f] += err * static_cast<double>(
+                             mem.load<float>(sample_addr(i) + static_cast<Addr>(f) * 4));
+      }
+    }
+    const Addr part = partials_ + static_cast<Addr>(w) * p_.d * 4;
+    for (std::uint32_t f = 0; f < p_.d; ++f) {
+      mem.store<float>(part + static_cast<Addr>(f) * 4,
+                       static_cast<float>(grad[f] / kSamplesPerWg));
+    }
+    for (std::size_t off = 0; off < static_cast<std::size_t>(p_.d) * 4; off += kLineBytes) {
+      emit_write(wg, part + off);
+    }
+    trace.workgroups.push_back(std::move(wg));
+  }
+  return trace;
+}
+
+KernelTrace GradientDescentWorkload::generate_update(std::size_t iter, GlobalMemory& mem) {
+  KernelTrace trace;
+  trace.name = "gd.update" + std::to_string(iter);
+  trace.compute_cycles_per_op = 2;
+  trace.param_addr =
+      write_param_line(mem, params_, iter * 2 + 1, {partials_, weights_, num_wgs_, p_.d});
+
+  // One workgroup per 16-feature slice of the weight vector: the
+  // all-reduce where every GPU reads every other GPU's partials.
+  for (std::uint32_t f0 = 0; f0 < p_.d; f0 += kLineBytes / 4) {
+    WorkgroupTrace wg;
+    std::array<double, kLineBytes / 4> avg{};
+    for (std::uint32_t w = 0; w < num_wgs_; ++w) {
+      const Addr part = partials_ + static_cast<Addr>(w) * p_.d * 4;
+      emit_read(wg, part + static_cast<Addr>(f0) * 4);
+      for (std::uint32_t f = 0; f < kLineBytes / 4; ++f) {
+        avg[f] += static_cast<double>(
+            mem.load<float>(part + static_cast<Addr>(f0 + f) * 4));
+      }
+    }
+    for (std::uint32_t f = 0; f < kLineBytes / 4; ++f) {
+      const Addr wa = weights_ + static_cast<Addr>(f0 + f) * 4;
+      const float updated =
+          mem.load<float>(wa) -
+          p_.learning_rate * static_cast<float>(avg[f] / num_wgs_);
+      mem.store<float>(wa, updated);
+    }
+    emit_write(wg, weights_ + static_cast<Addr>(f0) * 4);
+    trace.workgroups.push_back(std::move(wg));
+  }
+
+  // Record loss for convergence verification.
+  double loss = 0.0;
+  for (std::uint32_t i = 0; i < p_.n; i += 16) {
+    const double err =
+        predict(mem, i) -
+        static_cast<double>(mem.load<float>(targets_ + static_cast<Addr>(i) * 4));
+    loss += err * err;
+  }
+  losses_.push_back(loss / (p_.n / 16));
+  return trace;
+}
+
+bool GradientDescentWorkload::verify(const GlobalMemory& mem) const {
+  (void)mem;
+  // The descent must actually descend.
+  return losses_.size() == p_.iterations && losses_.back() < 0.5 * losses_.front();
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,46 @@
+// MT — Matrix Transpose (ported conceptually from AMD APP SDK 3.0).
+//
+// B = A^T over an n x n int32 matrix, tiled 16x16 so each tile row is one
+// cache line. Every line of A is read once and every line of B written
+// once, giving the paper's characteristic reads == writes profile; page
+// interleaving makes ~3/4 of both remote. Element values model a sparse
+// engineering matrix: a configurable fraction of exact zeros, the rest
+// halfword-ranged integers with occasional full-range entries — the mix
+// behind MT's "all three codecs land between 2.5x and 3x" behavior.
+#pragma once
+
+#include "core/workload.h"
+
+namespace mgcomp {
+
+class MatrixTransposeWorkload final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t n{768};          ///< matrix dimension (multiple of 16)
+    double zero_fraction{0.30};    ///< exact-zero elements
+    double wide_fraction{0.005};   ///< full-range elements (not narrow)
+    std::int32_t magnitude{120};   ///< |value| bound for narrow elements
+    std::uint64_t seed{0x5eed'0001};
+  };
+
+  MatrixTransposeWorkload() : MatrixTransposeWorkload(Params()) {}
+  explicit MatrixTransposeWorkload(Params p) : p_(p) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "Matrix Transpose"; }
+  [[nodiscard]] std::string_view abbrev() const noexcept override { return "MT"; }
+  void setup(GlobalMemory& mem) override;
+  [[nodiscard]] std::size_t kernel_count() const override { return 1; }
+  KernelTrace generate_kernel(std::size_t k, GlobalMemory& mem) override;
+  [[nodiscard]] bool verify(const GlobalMemory& mem) const override;
+
+  [[nodiscard]] Addr input_addr() const noexcept { return a_; }
+  [[nodiscard]] Addr output_addr() const noexcept { return b_; }
+
+ private:
+  Params p_;
+  Addr a_{0};
+  Addr b_{0};
+  Addr params_{0};
+};
+
+}  // namespace mgcomp

@@ -1,0 +1,102 @@
+#include "common/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/word_io.h"
+
+namespace mgcomp {
+namespace {
+
+TEST(BitStream, EmptyWriter) {
+  BitWriter bw;
+  EXPECT_EQ(bw.bit_count(), 0u);
+  EXPECT_TRUE(bw.bytes().empty());
+}
+
+TEST(BitStream, SingleBits) {
+  BitWriter bw;
+  bw.put(1, 1);
+  bw.put(0, 1);
+  bw.put(1, 1);
+  EXPECT_EQ(bw.bit_count(), 3u);
+  BitReader br(bw.bytes().data(), bw.bit_count());
+  EXPECT_EQ(br.get(1), 1u);
+  EXPECT_EQ(br.get(1), 0u);
+  EXPECT_EQ(br.get(1), 1u);
+  EXPECT_EQ(br.remaining(), 0u);
+}
+
+TEST(BitStream, UnalignedFieldsRoundTrip) {
+  BitWriter bw;
+  bw.put(0x5, 3);
+  bw.put(0x1234, 13);
+  bw.put(0xDEADBEEFCAFEULL, 48);
+  bw.put(0, 0);  // zero-width write is a no-op
+  bw.put(0x7FFFFFFFFFFFFFFFULL, 63);
+  BitReader br(bw.bytes().data(), bw.bit_count());
+  EXPECT_EQ(br.get(3), 0x5u);
+  EXPECT_EQ(br.get(13), 0x1234u);
+  EXPECT_EQ(br.get(48), 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(br.get(63), 0x7FFFFFFFFFFFFFFFULL);
+}
+
+TEST(BitStream, MasksHighBits) {
+  BitWriter bw;
+  bw.put(0xFF, 4);  // only the low 4 bits should land
+  bw.put(0x0, 4);
+  BitReader br(bw.bytes().data(), bw.bit_count());
+  EXPECT_EQ(br.get(8), 0x0Fu);
+}
+
+TEST(BitStream, Fuzz) {
+  Rng rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    BitWriter bw;
+    const int n = 1 + static_cast<int>(rng.below(64));
+    for (int i = 0; i < n; ++i) {
+      const unsigned bits = 1 + static_cast<unsigned>(rng.below(64));
+      const std::uint64_t mask = bits == 64 ? ~0ULL : (1ULL << bits) - 1;
+      const std::uint64_t v = rng.next() & mask;
+      fields.emplace_back(v, bits);
+      bw.put(v, bits);
+    }
+    BitReader br(bw.bytes().data(), bw.bit_count());
+    for (const auto& [v, bits] : fields) EXPECT_EQ(br.get(bits), v);
+    EXPECT_EQ(br.remaining(), 0u);
+  }
+}
+
+TEST(WordIo, SignExtend) {
+  EXPECT_EQ(sign_extend(0xF, 4), -1);
+  EXPECT_EQ(sign_extend(0x7, 4), 7);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0xFFFFFFFFFFFFFFFFULL, 64), -1);
+}
+
+TEST(WordIo, FitsSigned) {
+  EXPECT_TRUE(fits_signed(7, 4));
+  EXPECT_TRUE(fits_signed(-8, 4));
+  EXPECT_FALSE(fits_signed(8, 4));
+  EXPECT_FALSE(fits_signed(-9, 4));
+  EXPECT_TRUE(fits_signed(127, 8));
+  EXPECT_FALSE(fits_signed(128, 8));
+  EXPECT_TRUE(fits_signed(-32768, 16));
+  EXPECT_FALSE(fits_signed(32768, 16));
+}
+
+TEST(WordIo, LoadStoreRoundTrip) {
+  std::array<std::uint8_t, 16> buf{};
+  store_le<std::uint32_t>(buf, 4, 0xA1B2C3D4u);
+  EXPECT_EQ(load_le<std::uint32_t>(buf, 4), 0xA1B2C3D4u);
+  EXPECT_EQ(buf[4], 0xD4);  // little-endian layout
+  EXPECT_EQ(buf[7], 0xA1);
+  store_le<std::uint64_t>(buf, 8, 0x1122334455667788ULL);
+  EXPECT_EQ(load_le<std::uint64_t>(buf, 8), 0x1122334455667788ULL);
+}
+
+}  // namespace
+}  // namespace mgcomp

@@ -1,0 +1,150 @@
+// Collector/analysis tests, plus system-level reproducibility properties.
+#include <gtest/gtest.h>
+
+#include "analysis/collector.h"
+#include "common/rng.h"
+#include "common/word_io.h"
+#include "core/system.h"
+#include "workloads/bitonic_sort.h"
+#include "workloads/matrix_transpose.h"
+
+namespace mgcomp {
+namespace {
+
+Line sparse_line(Rng& rng) {
+  Line l{};
+  for (std::size_t w = 0; w < 16; ++w) {
+    if (rng.chance(0.25)) {
+      store_le<std::uint32_t>(l, w * 4, static_cast<std::uint32_t>(rng.below(100)));
+    }
+  }
+  return l;
+}
+
+CompressionDecision fake_decision(double comp_pj) {
+  CompressionDecision d;
+  d.compress_energy_pj = comp_pj;
+  return d;
+}
+
+TEST(Collector, EnergyAccumulates) {
+  Collector c;
+  Rng rng(1);
+  const Line l = sparse_line(rng);
+  c.on_payload_sent(l, fake_decision(10.0));
+  c.on_payload_sent(l, fake_decision(2.5));
+  c.on_payload_received(1.5);
+  EXPECT_DOUBLE_EQ(c.compressor_energy_pj(), 12.5);
+  EXPECT_DOUBLE_EQ(c.decompressor_energy_pj(), 1.5);
+}
+
+TEST(Collector, DisabledInstrumentsStayEmpty) {
+  Collector c;
+  Rng rng(2);
+  c.on_payload_sent(sparse_line(rng), fake_decision(0.0));
+  EXPECT_EQ(c.characterization().payloads, 0u);
+  EXPECT_TRUE(c.trace().empty());
+}
+
+TEST(Collector, CharacterizationCompressesEveryPayloadWithAllCodecs) {
+  CodecSet codecs;
+  Collector c;
+  c.enable_characterization(codecs);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) c.on_payload_sent(sparse_line(rng), fake_decision(0.0));
+  const Characterization& ch = c.characterization();
+  EXPECT_EQ(ch.payloads, 50u);
+  EXPECT_EQ(ch.entropy.total_bytes(), 50u * kLineBytes);
+  for (const CodecId id : {CodecId::kFpc, CodecId::kBdi, CodecId::kCpackZ}) {
+    EXPECT_GT(ch.compressed_bits[static_cast<std::size_t>(id)], 0u);
+    EXPECT_GE(ch.ratio(id), 1.0);
+    EXPECT_GT(ch.patterns[static_cast<std::size_t>(id)].total(), 0u);
+  }
+}
+
+TEST(Collector, TraceStopsAtLimit) {
+  CodecSet codecs;
+  Collector c;
+  c.enable_trace(codecs, 10);
+  Rng rng(4);
+  for (int i = 0; i < 25; ++i) c.on_payload_sent(sparse_line(rng), fake_decision(0.0));
+  EXPECT_EQ(c.trace().size(), 10u);
+}
+
+TEST(Collector, TraceSizesMatchDirectCompression) {
+  CodecSet codecs;
+  Collector c;
+  c.enable_trace(codecs, 5);
+  Rng rng(5);
+  std::vector<Line> lines;
+  for (int i = 0; i < 5; ++i) {
+    lines.push_back(sparse_line(rng));
+    c.on_payload_sent(lines.back(), fake_decision(0.0));
+  }
+  for (int i = 0; i < 5; ++i) {
+    for (const Codec* codec : codecs.real_codecs()) {
+      EXPECT_EQ(c.trace()[static_cast<std::size_t>(i)]
+                    .size_bits[static_cast<std::size_t>(codec->id())],
+                codec->compress(lines[static_cast<std::size_t>(i)]).size_bits);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// System-level reproducibility and cross-policy invariants.
+// ---------------------------------------------------------------------------
+
+TEST(SystemProperties, RunsAreBitReproducible) {
+  auto run_once = [] {
+    BitonicSortWorkload wl(BitonicSortWorkload::Params{.n = 16384});
+    SystemConfig cfg;
+    cfg.policy = make_adaptive_policy(AdaptiveParams{.lambda = 6.0});
+    return run_workload(std::move(cfg), wl);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.exec_ticks, b.exec_ticks);
+  EXPECT_EQ(a.inter_gpu_traffic_bytes(), b.inter_gpu_traffic_bytes());
+  EXPECT_EQ(a.bus.total_messages(), b.bus.total_messages());
+  EXPECT_DOUBLE_EQ(a.compressor_energy_pj, b.compressor_energy_pj);
+}
+
+TEST(SystemProperties, PolicyNeverChangesFunctionalResultOrRequestCounts) {
+  // Compression is transparent: request counts and the functional output
+  // are identical across policies; only wire bits and time change.
+  std::vector<RunResult> results;
+  for (PolicyFactory policy :
+       {make_no_compression_policy(), make_static_policy(CodecId::kFpc),
+        make_static_policy(CodecId::kBdi), make_static_policy(CodecId::kCpackZ),
+        make_adaptive_policy(AdaptiveParams{.lambda = 6.0})}) {
+    MatrixTransposeWorkload wl(MatrixTransposeWorkload::Params{.n = 256});
+    SystemConfig cfg;
+    cfg.policy = std::move(policy);
+    results.push_back(run_workload(std::move(cfg), wl));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].remote_reads(), results[0].remote_reads());
+    EXPECT_EQ(results[i].remote_writes(), results[0].remote_writes());
+    EXPECT_EQ(results[i].bus.inter_gpu_payload_raw_bits,
+              results[0].bus.inter_gpu_payload_raw_bits);
+    EXPECT_LE(results[i].bus.inter_gpu_payload_wire_bits,
+              results[0].bus.inter_gpu_payload_wire_bits);
+  }
+}
+
+TEST(SystemProperties, UtilizationTimelineCoversRun) {
+  BitonicSortWorkload wl(BitonicSortWorkload::Params{.n = 16384});
+  const RunResult r = run_workload(SystemConfig{}, wl);
+  ASSERT_FALSE(r.bus.busy_by_bucket.empty());
+  // Histogram total equals the busy-cycle counter.
+  std::uint64_t total = 0;
+  for (const auto b : r.bus.busy_by_bucket) total += b;
+  EXPECT_EQ(total, r.bus.busy_cycles);
+  // No bucket exceeds 100% utilization.
+  for (std::size_t i = 0; i < r.bus.busy_by_bucket.size(); ++i) {
+    EXPECT_LE(r.bus.utilization(i), 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mgcomp

@@ -1,0 +1,68 @@
+#include "common/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mgcomp {
+namespace {
+
+TEST(Entropy, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(byte_entropy_bits({}), 0.0);
+  EXPECT_DOUBLE_EQ(byte_entropy_normalized({}), 0.0);
+}
+
+TEST(Entropy, ConstantIsZero) {
+  std::vector<std::uint8_t> data(4096, 0x42);
+  EXPECT_DOUBLE_EQ(byte_entropy_normalized(data), 0.0);
+}
+
+TEST(Entropy, UniformApproachesOne) {
+  std::vector<std::uint8_t> data(256 * 64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);  // exactly uniform
+  }
+  EXPECT_DOUBLE_EQ(byte_entropy_normalized(data), 1.0);
+}
+
+TEST(Entropy, TwoSymbolsIsOneEighth) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 512; ++i) data.push_back(i % 2 == 0 ? 0x00 : 0xFF);
+  EXPECT_NEAR(byte_entropy_normalized(data), 1.0 / 8.0, 1e-12);
+}
+
+TEST(Entropy, RandomDataNearOne) {
+  Rng rng(7);
+  std::vector<std::uint8_t> data(1 << 16);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  EXPECT_GT(byte_entropy_normalized(data), 0.99);
+}
+
+TEST(Entropy, AccumulatorMatchesOneShot) {
+  Rng rng(9);
+  std::vector<std::uint8_t> data(8192);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(17) * 13);
+  EntropyAccumulator acc;
+  for (std::size_t off = 0; off < data.size(); off += 64) {
+    acc.add(std::span<const std::uint8_t>(data).subspan(off, 64));
+  }
+  EXPECT_NEAR(acc.normalized(), byte_entropy_normalized(data), 1e-12);
+  EXPECT_EQ(acc.total_bytes(), data.size());
+}
+
+TEST(Entropy, SkewedDistributionIsLow) {
+  // ~97% zeros: the BS-like key distribution should be far below 0.2.
+  Rng rng(11);
+  std::vector<std::uint8_t> data(1 << 16, 0);
+  for (auto& b : data) {
+    if (rng.chance(0.03)) b = static_cast<std::uint8_t>(rng.below(48));
+  }
+  const double h = byte_entropy_normalized(data);
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 0.2);
+}
+
+}  // namespace
+}  // namespace mgcomp

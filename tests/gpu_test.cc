@@ -1,0 +1,304 @@
+// Integration tests for the GPU model: RDMA engines over the bus,
+// compute-unit windowing, caches in the access path, and the CPU host.
+#include <gtest/gtest.h>
+
+#include "analysis/collector.h"
+#include "core/cpu_host.h"
+#include "core/system.h"
+#include "gpu/gpu.h"
+
+namespace mgcomp {
+namespace {
+
+/// Minimal two-GPU rig wired by hand (no workload, no MultiGpuSystem) so
+/// individual message flows can be observed.
+struct Rig {
+  Engine engine;
+  GlobalMemory mem;
+  AddressMap map{2, 8};
+  CodecSet codecs;
+  Collector collector;
+  BusFabric bus{engine, BusFabric::Params{}};
+  std::vector<std::unique_ptr<Gpu>> gpus;
+  std::vector<EndpointId> eps;
+
+  explicit Rig(PolicyFactory policy = make_no_compression_policy()) {
+    GpuParams params;
+    for (std::uint32_t g = 0; g < 2; ++g) {
+      gpus.push_back(std::make_unique<Gpu>(engine, bus, mem, map, collector, GpuId{g},
+                                           params));
+    }
+    for (std::uint32_t g = 0; g < 2; ++g) {
+      RdmaEngine& rdma = gpus[g]->rdma();
+      eps.push_back(bus.add_endpoint("GPU" + std::to_string(g), true,
+                                     [&rdma](Message&& m) { rdma.deliver(std::move(m)); }));
+    }
+    for (std::uint32_t g = 0; g < 2; ++g) {
+      gpus[g]->configure(eps[g], [this](GpuId id) { return eps.at(id.value); },
+                         policy(codecs));
+    }
+  }
+
+  /// An address owned by GPU `g` (channel 0). Page layout: pages 0..7 ->
+  /// GPU0, 8..15 -> GPU1 with channels_per_gpu = 8.
+  [[nodiscard]] Addr owned_by(std::uint32_t g) const {
+    return static_cast<Addr>(g == 0 ? 16 : 8) * kPageBytes;  // page 16 -> GPU0 too
+  }
+};
+
+TEST(Rdma, RemoteReadRoundTrip) {
+  Rig rig;
+  const Addr addr = rig.owned_by(1);
+  bool done = false;
+  rig.gpus[0]->rdma().remote_read(addr, [&] { done = true; });
+  rig.engine.run();
+  EXPECT_TRUE(done);
+  // Exactly one ReadReq and one DataReady crossed the bus.
+  EXPECT_EQ(rig.bus.stats().messages[static_cast<std::size_t>(MsgType::kReadReq)], 1u);
+  EXPECT_EQ(rig.bus.stats().messages[static_cast<std::size_t>(MsgType::kDataReady)], 1u);
+  EXPECT_EQ(rig.gpus[0]->rdma().outstanding(), 0u);
+}
+
+TEST(Rdma, RemoteWriteRoundTrip) {
+  Rig rig;
+  const Addr addr = rig.owned_by(1);
+  Line data{};
+  data[0] = 0xAB;
+  rig.mem.write_line(addr, data);
+  bool acked = false;
+  rig.gpus[0]->rdma().remote_write(addr, [&] { acked = true; });
+  rig.engine.run();
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(rig.bus.stats().messages[static_cast<std::size_t>(MsgType::kWriteReq)], 1u);
+  EXPECT_EQ(rig.bus.stats().messages[static_cast<std::size_t>(MsgType::kWriteAck)], 1u);
+}
+
+TEST(Rdma, ReadLatencyIncludesOwnerMemoryAndBus) {
+  Rig rig;
+  Tick done_at = 0;
+  rig.gpus[0]->rdma().remote_read(rig.owned_by(1), [&] { done_at = rig.engine.now(); });
+  rig.engine.run();
+  // Lower bound: request wire (1) + owner L2 miss -> DRAM (20 + 100) +
+  // response wire (4). No compression in this rig.
+  EXPECT_GE(done_at, 125u);
+  EXPECT_LE(done_at, 200u);
+}
+
+TEST(Rdma, CompressionShrinksWirePayload) {
+  Rig rig(make_static_policy(CodecId::kBdi));
+  // A zero line compresses to 4 bits -> 1 payload byte on the wire.
+  bool done = false;
+  rig.gpus[0]->rdma().remote_read(rig.owned_by(1), [&] { done = true; });
+  rig.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.bus.stats().inter_gpu_payload_wire_bits, 4u);
+  // DataReady wire: 4-byte header + 1 byte of payload.
+  EXPECT_EQ(rig.bus.stats().wire_bytes[static_cast<std::size_t>(MsgType::kDataReady)], 5u);
+}
+
+TEST(Rdma, DecompressionChargedOnCompressedPayloadOnly) {
+  Rig rig(make_static_policy(CodecId::kCpackZ));
+  Tick zero_line_done = 0;
+  rig.gpus[0]->rdma().remote_read(rig.owned_by(1), [&] { zero_line_done = rig.engine.now(); });
+  rig.engine.run();
+  EXPECT_GT(zero_line_done, 0u);
+  EXPECT_GT(rig.collector.decompressor_energy_pj(), 0.0);
+}
+
+TEST(Rdma, ManyOutstandingReadsAllComplete) {
+  Rig rig;
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    rig.gpus[0]->rdma().remote_read(rig.owned_by(1) + static_cast<Addr>(i) * kLineBytes,
+                                    [&] { ++done; });
+  }
+  rig.engine.run();
+  EXPECT_EQ(done, 200);
+  EXPECT_EQ(rig.gpus[0]->rdma().outstanding(), 0u);
+}
+
+TEST(Rdma, BidirectionalTrafficCompletes) {
+  Rig rig;
+  int done = 0;
+  for (int i = 0; i < 50; ++i) {
+    rig.gpus[0]->rdma().remote_read(rig.owned_by(1) + static_cast<Addr>(i) * kLineBytes,
+                                    [&] { ++done; });
+    rig.gpus[1]->rdma().remote_read(rig.owned_by(0) + static_cast<Addr>(i) * kLineBytes,
+                                    [&] { ++done; });
+    rig.gpus[1]->rdma().remote_write(rig.owned_by(0) + static_cast<Addr>(i) * kLineBytes,
+                                     [&] { ++done; });
+  }
+  rig.engine.run();
+  EXPECT_EQ(done, 150);
+}
+
+// ---------------------------------------------------------------------------
+// Gpu access path (caches).
+// ---------------------------------------------------------------------------
+
+TEST(GpuAccess, L1HitCompletesInline) {
+  Rig rig;
+  const MemOp op{rig.owned_by(0), false};
+  bool first_done = false;
+  // First access: local L2/DRAM miss, completes via event.
+  EXPECT_FALSE(rig.gpus[0]->access(CuId{0}, op, [&] { first_done = true; }));
+  rig.engine.run();
+  EXPECT_TRUE(first_done);
+  // Second access: L1 hit, completes inline (callback unused).
+  EXPECT_TRUE(rig.gpus[0]->access(CuId{0}, op, [] { FAIL() << "hit must not call done"; }));
+}
+
+TEST(GpuAccess, L1IsPerCu) {
+  Rig rig;
+  const MemOp op{rig.owned_by(0), false};
+  rig.gpus[0]->access(CuId{0}, op, [] {});
+  rig.engine.run();
+  // CU 1 has its own L1: same line still misses.
+  EXPECT_FALSE(rig.gpus[0]->access(CuId{1}, op, [] {}));
+  rig.engine.run();
+}
+
+TEST(GpuAccess, LocalWriteIsPosted) {
+  Rig rig;
+  const MemOp op{rig.owned_by(0), true};
+  EXPECT_TRUE(rig.gpus[0]->access(CuId{0}, op, [] { FAIL() << "posted write"; }));
+}
+
+TEST(GpuAccess, RemoteWriteHoldsWindowSlot) {
+  Rig rig;
+  const MemOp op{rig.owned_by(1), true};
+  bool acked = false;
+  EXPECT_FALSE(rig.gpus[0]->access(CuId{0}, op, [&] { acked = true; }));
+  rig.engine.run();
+  EXPECT_TRUE(acked);
+}
+
+TEST(GpuAccess, FlushForcesRefetch) {
+  Rig rig;
+  const MemOp op{rig.owned_by(0), false};
+  rig.gpus[0]->access(CuId{0}, op, [] {});
+  rig.engine.run();
+  EXPECT_TRUE(rig.gpus[0]->access(CuId{0}, op, [] {}));
+  rig.gpus[0]->flush_caches();
+  EXPECT_FALSE(rig.gpus[0]->access(CuId{0}, op, [] {}));
+  rig.engine.run();
+}
+
+TEST(GpuAccess, ScalarCacheSharedAcrossFourCus) {
+  Rig rig;
+  const Addr addr = rig.owned_by(0);
+  rig.gpus[0]->scalar_read(CuId{0}, addr, [] {});
+  rig.engine.run();
+  // CUs 1-3 share CU0's scalar cache: hit. CU4 uses the next one: miss.
+  EXPECT_TRUE(rig.gpus[0]->scalar_read(CuId{3}, addr, [] {}));
+  EXPECT_FALSE(rig.gpus[0]->scalar_read(CuId{4}, addr, [] {}));
+  rig.engine.run();
+}
+
+// ---------------------------------------------------------------------------
+// ComputeUnit.
+// ---------------------------------------------------------------------------
+
+TEST(ComputeUnit, ExecutesAllOpsThenReportsDone) {
+  Rig rig;
+  KernelTrace t;
+  WorkgroupTrace wg;
+  for (int i = 0; i < 64; ++i) wg.ops.push_back(MemOp{rig.owned_by(0) + i * 64ULL, false});
+  t.workgroups.push_back(std::move(wg));
+  bool done = false;
+  ComputeUnit& cu = rig.gpus[0]->cu(CuId{0});
+  cu.start_kernel(t, {&t.workgroups[0]}, [&] { done = true; });
+  rig.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cu.ops_issued(), 64u);
+}
+
+TEST(ComputeUnit, EmptyWorkgroupsFinishImmediately) {
+  Rig rig;
+  KernelTrace t;
+  t.workgroups.resize(3);  // all empty
+  bool done = false;
+  rig.gpus[0]->cu(CuId{0}).start_kernel(
+      t, {&t.workgroups[0], &t.workgroups[1], &t.workgroups[2]}, [&] { done = true; });
+  rig.engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ComputeUnit, ComputeGapSlowsIssue) {
+  // Two kernels over the same 32 local lines, one with a 50-cycle gap.
+  auto run_kernel = [&](std::uint32_t gap) {
+    Rig local;
+    KernelTrace t;
+    WorkgroupTrace wg;
+    for (int i = 0; i < 32; ++i) wg.ops.push_back(MemOp{local.owned_by(0) + i * 64ULL, false});
+    t.compute_cycles_per_op = gap;
+    t.workgroups.push_back(std::move(wg));
+    bool done = false;
+    local.gpus[0]->cu(CuId{0}).start_kernel(t, {&t.workgroups[0]}, [&] { done = true; });
+    local.engine.run();
+    EXPECT_TRUE(done);
+    return local.engine.now();
+  };
+  const Tick fast_ticks = run_kernel(0);
+  const Tick slow_ticks = run_kernel(50);
+  EXPECT_GT(slow_ticks, fast_ticks + 32 * 40);
+}
+
+TEST(ComputeUnit, MaxOutstandingOneSerializesRemoteReads) {
+  // With a window of 1, 8 remote reads take ~8x one read's latency; with
+  // the default window they overlap heavily.
+  auto run_with = [&](std::uint32_t max_outstanding) {
+    Rig rig;
+    KernelTrace t;
+    t.max_outstanding = max_outstanding;
+    WorkgroupTrace wg;
+    for (int i = 0; i < 8; ++i) wg.ops.push_back(MemOp{rig.owned_by(1) + i * 64ULL, false});
+    t.workgroups.push_back(std::move(wg));
+    bool done = false;
+    rig.gpus[0]->cu(CuId{0}).start_kernel(t, {&t.workgroups[0]}, [&] { done = true; });
+    rig.engine.run();
+    EXPECT_TRUE(done);
+    return rig.engine.now();
+  };
+  const Tick serial = run_with(1);
+  const Tick parallel = run_with(0);
+  EXPECT_GT(serial, parallel * 3);
+}
+
+// ---------------------------------------------------------------------------
+// CPU host.
+// ---------------------------------------------------------------------------
+
+TEST(CpuHost, ParamWriteReachesOwnerAndAcks) {
+  Engine engine;
+  GlobalMemory mem;
+  AddressMap map(2, 8);
+  CodecSet codecs;
+  Collector collector;
+  BusFabric bus(engine, BusFabric::Params{});
+  CpuHost cpu(bus, map, mem);
+
+  GpuParams params;
+  Gpu gpu0(engine, bus, mem, map, collector, GpuId{0}, params);
+  Gpu gpu1(engine, bus, mem, map, collector, GpuId{1}, params);
+  std::vector<EndpointId> eps;
+  for (Gpu* g : {&gpu0, &gpu1}) {
+    RdmaEngine& rdma = g->rdma();
+    eps.push_back(bus.add_endpoint("G", true, [&rdma](Message&& m) { rdma.deliver(std::move(m)); }));
+  }
+  auto lookup = [&](GpuId id) { return eps.at(id.value); };
+  gpu0.configure(eps[0], lookup, make_no_compression_policy()(codecs));
+  gpu1.configure(eps[1], lookup, make_no_compression_policy()(codecs));
+
+  const Addr param_addr = 8 * kPageBytes;  // owned by GPU1
+  cpu.launch_params(param_addr, lookup);
+  engine.run();
+  // CPU -> GPU WriteReq + WriteAck crossed the bus; neither counts as
+  // inter-GPU traffic.
+  EXPECT_EQ(bus.stats().messages[static_cast<std::size_t>(MsgType::kWriteReq)], 1u);
+  EXPECT_EQ(bus.stats().messages[static_cast<std::size_t>(MsgType::kWriteAck)], 1u);
+  EXPECT_EQ(bus.stats().inter_gpu_messages, 0u);
+}
+
+}  // namespace
+}  // namespace mgcomp

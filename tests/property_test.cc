@@ -1,0 +1,265 @@
+// Cross-validation property tests: sizes derived two independent ways must
+// agree, and randomized streams must preserve global invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "common/word_io.h"
+#include "compression/bdi.h"
+#include "compression/cpackz.h"
+#include "compression/fpc.h"
+#include "fabric/bus.h"
+#include "memory/global_memory.h"
+#include "sim/engine.h"
+
+namespace mgcomp {
+namespace {
+
+Line random_structured_line(Rng& rng) {
+  Line l{};
+  switch (rng.below(6)) {
+    case 0:  // sparse small
+      for (std::size_t w = 0; w < 16; ++w) {
+        if (rng.chance(0.3)) {
+          store_le<std::uint32_t>(l, w * 4, static_cast<std::uint32_t>(rng.below(300)));
+        }
+      }
+      break;
+    case 1:  // narrow signed
+      for (std::size_t w = 0; w < 16; ++w) {
+        store_le<std::uint32_t>(l, w * 4,
+                                static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                                    rng.below(60000)) - 30000));
+      }
+      break;
+    case 2: {  // low dynamic range
+      const std::uint32_t base = static_cast<std::uint32_t>(rng.next());
+      for (std::size_t w = 0; w < 16; ++w) {
+        store_le<std::uint32_t>(l, w * 4, base + static_cast<std::uint32_t>(rng.below(200)));
+      }
+      break;
+    }
+    case 3:  // repeated dictionary-friendly values
+      for (std::size_t w = 0; w < 16; ++w) {
+        store_le<std::uint32_t>(l, w * 4,
+                                0xAABB0000u + static_cast<std::uint32_t>(rng.below(4)));
+      }
+      break;
+    case 4:  // random
+      for (auto& b : l) b = static_cast<std::uint8_t>(rng.next());
+      break;
+    default:  // mixed
+      for (std::size_t w = 0; w < 16; ++w) {
+        if (rng.chance(0.5)) {
+          store_le<std::uint32_t>(l, w * 4, static_cast<std::uint32_t>(rng.next()));
+        }
+      }
+      break;
+  }
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Size accounting must equal the sum of per-pattern costs (two independent
+// derivations of the same number).
+// ---------------------------------------------------------------------------
+
+TEST(SizeAccounting, FpcSizeEqualsPatternSum) {
+  FpcCodec fpc;
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const Line l = random_structured_line(rng);
+    PatternStats stats;
+    const Compressed c = fpc.compress(l, &stats);
+    std::uint64_t expected = 0;
+    if (c.mode == EncodingMode::kZeroBlock) {
+      expected = 3;
+    } else if (c.mode == EncodingMode::kRaw) {
+      expected = kLineBits;
+    } else {
+      for (std::size_t p = FpcCodec::kZeroWord; p <= FpcCodec::kTwoHalfwordsSignExt8; ++p) {
+        expected += stats.counts[p] *
+                    (3 + FpcCodec::payload_bits(static_cast<FpcCodec::Pattern>(p)));
+      }
+    }
+    EXPECT_EQ(c.size_bits, expected);
+  }
+}
+
+TEST(SizeAccounting, CpackSizeEqualsPatternSum) {
+  CpackZCodec cp;
+  Rng rng(32);
+  for (int i = 0; i < 2000; ++i) {
+    const Line l = random_structured_line(rng);
+    PatternStats stats;
+    const Compressed c = cp.compress(l, &stats);
+    std::uint64_t expected = 0;
+    if (c.mode == EncodingMode::kZeroBlock) {
+      expected = 2;
+    } else if (c.mode == EncodingMode::kRaw) {
+      expected = kLineBits;
+    } else {
+      for (std::size_t p = CpackZCodec::kZeroWord; p <= CpackZCodec::kThreeByteMatch; ++p) {
+        expected +=
+            stats.counts[p] * CpackZCodec::pattern_bits(static_cast<CpackZCodec::Pattern>(p));
+      }
+    }
+    EXPECT_EQ(c.size_bits, expected);
+  }
+}
+
+TEST(SizeAccounting, BdiSizeMatchesSmallestValidForm) {
+  BdiCodec bdi;
+  Rng rng(33);
+  const struct {
+    BdiCodec::Pattern pattern;
+    unsigned k, d;
+  } forms[] = {
+      {BdiCodec::kBase8Delta1, 8, 1}, {BdiCodec::kBase8Delta2, 8, 2},
+      {BdiCodec::kBase8Delta4, 8, 4}, {BdiCodec::kBase4Delta1, 4, 1},
+      {BdiCodec::kBase4Delta2, 4, 2}, {BdiCodec::kBase2Delta1, 2, 1},
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const Line l = random_structured_line(rng);
+    const Compressed c = bdi.compress(l);
+    if (c.mode != EncodingMode::kStream) continue;
+    // Independently find the smallest valid form (or repeated words).
+    bool repeated = true;
+    for (std::size_t w = 1; w < 8 && repeated; ++w) {
+      repeated = load_le<std::uint64_t>(l, w * 8) == load_le<std::uint64_t>(l, 0);
+    }
+    std::uint32_t expected =
+        repeated ? BdiCodec::form_bits(BdiCodec::kRepeatedWords) : kLineBits;
+    if (!repeated) {
+      for (const auto& f : forms) {
+        if (BdiCodec::form_valid(l, f.k, f.d)) {
+          expected = std::min(expected, BdiCodec::form_bits(f.pattern));
+        }
+      }
+    }
+    EXPECT_EQ(c.size_bits, expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine fuzz: time ordering under random scheduling graphs.
+// ---------------------------------------------------------------------------
+
+TEST(EngineFuzz, EventsAlwaysRunInNondecreasingTime) {
+  Rng rng(34);
+  for (int trial = 0; trial < 20; ++trial) {
+    Engine e;
+    Tick last = 0;
+    int executed = 0;
+    bool monotone = true;
+    std::function<void(int)> spawn = [&](int depth) {
+      ++executed;
+      if (e.now() < last) monotone = false;
+      last = e.now();
+      if (depth < 3) {
+        const int children = static_cast<int>(rng.below(3));
+        for (int c = 0; c < children; ++c) {
+          e.schedule_in(rng.below(100), [&spawn, depth] { spawn(depth + 1); });
+        }
+      }
+    };
+    for (int i = 0; i < 50; ++i) {
+      e.schedule_at(rng.below(1000), [&spawn] { spawn(0); });
+    }
+    e.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_GE(executed, 50);
+    EXPECT_EQ(e.pending(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory fuzz against a reference map.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryFuzz, MatchesReferenceByteMap) {
+  GlobalMemory mem;
+  const Addr base = mem.alloc(1 << 20);
+  std::map<Addr, std::uint8_t> reference;
+  Rng rng(35);
+  for (int op = 0; op < 5000; ++op) {
+    const Addr addr = base + rng.below((1 << 20) - 16);
+    if (rng.chance(0.5)) {
+      std::uint8_t buf[16];
+      const std::size_t n = 1 + rng.below(16);
+      for (std::size_t i = 0; i < n; ++i) {
+        buf[i] = static_cast<std::uint8_t>(rng.next());
+        reference[addr + i] = buf[i];
+      }
+      mem.write(addr, std::span<const std::uint8_t>(buf, n));
+    } else {
+      std::uint8_t buf[16];
+      const std::size_t n = 1 + rng.below(16);
+      mem.read(addr, std::span<std::uint8_t>(buf, n));
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto it = reference.find(addr + i);
+        const std::uint8_t want = it == reference.end() ? 0 : it->second;
+        ASSERT_EQ(buf[i], want) << "at offset " << (addr + i - base);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bus fuzz: conservation of messages and bytes under random traffic and
+// random consumption timing.
+// ---------------------------------------------------------------------------
+
+TEST(BusFuzz, MessagesAndBytesConserved) {
+  Rng rng(36);
+  for (int trial = 0; trial < 10; ++trial) {
+    Engine engine;
+    BusFabric bus(engine, BusFabric::Params{});
+    struct Inbox {
+      std::uint64_t messages{0};
+      std::uint64_t bytes{0};
+    };
+    std::vector<Inbox> inboxes(4);
+    std::vector<EndpointId> eps;
+    for (int i = 0; i < 4; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      eps.push_back(bus.add_endpoint("E" + std::to_string(i), true,
+                                     [&engine, &bus, &inboxes, idx, &eps, &rng](Message&& m) {
+                                       ++inboxes[idx].messages;
+                                       inboxes[idx].bytes += m.wire_bytes();
+                                       // Consume after a random delay.
+                                       const auto wire = m.wire_bytes();
+                                       engine.schedule_in(rng.below(50) + 1,
+                                                          [&bus, &eps, idx, wire] {
+                                                            bus.consume(eps[idx], wire);
+                                                          });
+                                     }));
+    }
+    std::uint64_t sent = 0, sent_bytes = 0;
+    for (int i = 0; i < 500; ++i) {
+      Message m;
+      m.type = static_cast<MsgType>(rng.below(4));
+      m.src = eps[rng.below(4)];
+      m.dst = eps[rng.below(4)];
+      if (m.src == m.dst) continue;
+      m.payload_bits = m.has_payload() ? static_cast<std::uint32_t>(rng.below(513)) : 0;
+      ++sent;
+      sent_bytes += m.wire_bytes();
+      bus.send(m);
+    }
+    engine.run();
+    std::uint64_t received = 0, received_bytes = 0;
+    for (const Inbox& box : inboxes) {
+      received += box.messages;
+      received_bytes += box.bytes;
+    }
+    EXPECT_EQ(received, sent);
+    EXPECT_EQ(received_bytes, sent_bytes);
+    EXPECT_EQ(bus.stats().total_messages(), sent);
+    EXPECT_EQ(bus.stats().total_wire_bytes(), sent_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace mgcomp

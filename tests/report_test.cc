@@ -1,0 +1,61 @@
+// Report-writer tests (Markdown, CSV, JSON).
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+
+namespace mgcomp {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.0), "1.000");
+  EXPECT_EQ(fmt(0.12345, 2), "0.12");
+  EXPECT_EQ(fmt(-3.5, 1), "-3.5");
+}
+
+TEST(MarkdownTable, RendersHeaderSeparatorAndRows) {
+  MarkdownTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(s.find("|-----|----|"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+  // 4 lines: header, separator, 2 rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(MarkdownTable, ShortRowsPadWithEmptyCells) {
+  MarkdownTable t({"x", "y"});
+  t.add_row({"only"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| only |"), std::string::npos);
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  CsvWriter csv({"name", "value"});
+  csv.add_row({"plain", "1"});
+  csv.add_row({"has,comma", "2"});
+  csv.add_row({"has\"quote", "3"});
+  EXPECT_EQ(csv.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"has,comma\",2\n"
+            "\"has\"\"quote\",3\n");
+}
+
+TEST(JsonObject, EmitsValidFlatObject) {
+  JsonObject o;
+  o.field("name", std::string("BS"))
+      .field("ratio", 2.5)
+      .field("count", static_cast<std::uint64_t>(42));
+  EXPECT_EQ(o.to_string(), "{\"name\":\"BS\",\"ratio\":2.500000,\"count\":42}");
+}
+
+TEST(JsonObject, EscapesQuotesAndBackslashes) {
+  JsonObject o;
+  o.field("s", std::string("a\"b\\c"));
+  EXPECT_EQ(o.to_string(), "{\"s\":\"a\\\"b\\\\c\"}");
+}
+
+}  // namespace
+}  // namespace mgcomp

@@ -1,0 +1,197 @@
+// Reproduction regression suite: asserts the *shapes* of the paper's
+// results at reduced scale, so changes to the simulator or workloads that
+// would silently break the science fail loudly here.
+//
+// These run the full system (7 workloads x several policies) at scale
+// 0.1-0.25; the suite takes a few seconds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "core/system.h"
+#include "workloads/all_workloads.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr double kScale = 0.25;
+
+/// Characterization results per workload, computed once for the suite.
+const std::map<std::string, Characterization>& characterizations() {
+  static const auto* kResults = [] {
+    auto* m = new std::map<std::string, Characterization>();
+    for (const auto abbrev : workload_abbrevs()) {
+      SystemConfig cfg;
+      cfg.characterize = true;
+      auto wl = make_workload(abbrev, kScale);
+      (*m)[std::string(abbrev)] = run_workload(std::move(cfg), *wl).characterization;
+    }
+    return m;
+  }();
+  return *kResults;
+}
+
+double ratio(const std::string& wl, CodecId id) {
+  return characterizations().at(wl).ratio(id);
+}
+
+// ---------------------------------------------------------------------------
+// Table V shapes: per-benchmark winners and magnitudes.
+// ---------------------------------------------------------------------------
+
+TEST(TableVShape, AesIsIncompressibleForAllCodecs) {
+  for (const CodecId id : {CodecId::kFpc, CodecId::kBdi, CodecId::kCpackZ}) {
+    EXPECT_LT(ratio("AES", id), 1.05);
+  }
+  EXPECT_GT(characterizations().at("AES").entropy.normalized(), 0.95);
+}
+
+TEST(TableVShape, BsIsExtremelyCompressible) {
+  EXPECT_GT(ratio("BS", CodecId::kCpackZ), 10.0);
+  EXPECT_GT(ratio("BS", CodecId::kFpc), 10.0);
+  // C-Pack+Z > FPC > BDI, the paper's ordering.
+  EXPECT_GT(ratio("BS", CodecId::kCpackZ), ratio("BS", CodecId::kFpc));
+  EXPECT_GT(ratio("BS", CodecId::kFpc), ratio("BS", CodecId::kBdi));
+  EXPECT_LT(characterizations().at("BS").entropy.normalized(), 0.1);
+}
+
+TEST(TableVShape, BdiWinsFirAndSc) {
+  for (const char* wl : {"FIR", "SC"}) {
+    EXPECT_GT(ratio(wl, CodecId::kBdi), ratio(wl, CodecId::kFpc)) << wl;
+    EXPECT_GT(ratio(wl, CodecId::kBdi), ratio(wl, CodecId::kCpackZ)) << wl;
+    EXPECT_GT(ratio(wl, CodecId::kBdi), 1.8) << wl;
+  }
+  // FPC does ~nothing on SC (values exceed its narrow patterns).
+  EXPECT_LT(ratio("SC", CodecId::kFpc), 1.1);
+}
+
+TEST(TableVShape, WordCodecsWinKm) {
+  EXPECT_GT(ratio("KM", CodecId::kCpackZ), ratio("KM", CodecId::kBdi) * 1.5);
+  EXPECT_GT(ratio("KM", CodecId::kFpc), ratio("KM", CodecId::kBdi) * 1.3);
+}
+
+TEST(TableVShape, MtIsBalancedAcrossCodecs) {
+  for (const CodecId id : {CodecId::kFpc, CodecId::kBdi, CodecId::kCpackZ}) {
+    EXPECT_GT(ratio("MT", id), 2.0);
+    EXPECT_LT(ratio("MT", id), 4.5);
+  }
+}
+
+TEST(TableVShape, EntropyOrderingMatchesPaper) {
+  const auto h = [&](const char* wl) {
+    return characterizations().at(wl).entropy.normalized();
+  };
+  EXPECT_GT(h("AES"), h("SC"));
+  EXPECT_GT(h("SC"), h("MT"));
+  EXPECT_GT(h("MT"), h("KM"));
+  EXPECT_GT(h("KM"), h("BS"));
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 / 6 shapes: execution time tracks traffic; adaptive balances.
+// ---------------------------------------------------------------------------
+
+struct Normalized {
+  double traffic;
+  double time;
+};
+
+Normalized run_normalized(std::string_view wl, PolicyFactory policy) {
+  SystemConfig base_cfg;
+  auto base_wl = make_workload(wl, kScale);
+  const RunResult base = run_workload(std::move(base_cfg), *base_wl);
+
+  SystemConfig cfg;
+  cfg.policy = std::move(policy);
+  auto w = make_workload(wl, kScale);
+  const RunResult r = run_workload(std::move(cfg), *w);
+  return {static_cast<double>(r.inter_gpu_traffic_bytes()) /
+              static_cast<double>(base.inter_gpu_traffic_bytes()),
+          static_cast<double>(r.exec_ticks) / static_cast<double>(base.exec_ticks)};
+}
+
+TEST(Fig5Shape, BsGetsLargeSpeedupFromFpc) {
+  const Normalized n = run_normalized("BS", make_static_policy(CodecId::kFpc));
+  EXPECT_LT(n.traffic, 0.45);
+  EXPECT_LT(n.time, 0.65);
+}
+
+TEST(Fig5Shape, ExecutionTimeTracksTraffic) {
+  // The paper's observation: reductions in execution time track reductions
+  // in traffic (fabric-bound system). Allow slack for latency effects.
+  for (const char* wl : {"BS", "MT", "SC"}) {
+    const Normalized n = run_normalized(wl, make_static_policy(CodecId::kBdi));
+    EXPECT_LT(n.time, 1.01) << wl;
+    EXPECT_GE(n.time + 0.35, n.traffic) << wl;   // not wildly decoupled
+    EXPECT_LE(n.traffic, n.time + 0.05) << wl;   // time can't beat traffic much
+  }
+}
+
+TEST(Fig5Shape, CpackLatencyShowsUpInTimeNotTraffic) {
+  // C-Pack+Z: best traffic on BS but its 16/9-cycle units cost wall clock
+  // versus the fast codecs.
+  const Normalized cpack = run_normalized("BS", make_static_policy(CodecId::kCpackZ));
+  const Normalized bdi = run_normalized("BS", make_static_policy(CodecId::kBdi));
+  EXPECT_LE(cpack.traffic, bdi.traffic + 0.02);
+  EXPECT_GT(cpack.time, bdi.time);
+}
+
+TEST(Fig6Shape, AdaptiveLambda6BeatsOrMatchesEveryStaticOnTime) {
+  // Geometric-mean execution time of adaptive lambda=6 across the suite
+  // must not lose to any single static codec (the paper's core claim).
+  std::map<std::string, double> gmean_time;
+  std::vector<std::pair<std::string, PolicyFactory>> cases;
+  cases.emplace_back("fpc", make_static_policy(CodecId::kFpc));
+  cases.emplace_back("bdi", make_static_policy(CodecId::kBdi));
+  cases.emplace_back("cpack", make_static_policy(CodecId::kCpackZ));
+  cases.emplace_back("adaptive", make_adaptive_policy(AdaptiveParams{.lambda = 6.0}));
+  for (auto& [label, factory] : cases) {
+    double log_sum = 0.0;
+    for (const auto wl : workload_abbrevs()) {
+      log_sum += std::log(run_normalized(wl, factory).time);
+    }
+    gmean_time[label] =
+        std::exp(log_sum / static_cast<double>(workload_abbrevs().size()));
+  }
+  EXPECT_LE(gmean_time["adaptive"], gmean_time["fpc"] + 0.02);
+  EXPECT_LE(gmean_time["adaptive"], gmean_time["bdi"] + 0.02);
+  EXPECT_LE(gmean_time["adaptive"], gmean_time["cpack"] + 0.02);
+  // And the headline: a >= 25% mean improvement at this scale.
+  EXPECT_LT(gmean_time["adaptive"], 0.75);
+}
+
+TEST(Fig6Shape, LambdaZeroMinimizesTrafficButNotTime) {
+  const Normalized l0 = run_normalized("BS", make_adaptive_policy(AdaptiveParams{.lambda = 0.0}));
+  const Normalized l6 = run_normalized("BS", make_adaptive_policy(AdaptiveParams{.lambda = 6.0}));
+  EXPECT_LE(l0.traffic, l6.traffic + 0.01);  // traffic optimal (or tied)
+  EXPECT_GT(l0.time, l6.time);               // but slower
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 shape: adaptive saves energy on every compressible workload.
+// ---------------------------------------------------------------------------
+
+TEST(Fig7Shape, AdaptiveSavesLinkEnergyEverywhereCompressible) {
+  for (const auto wl : workload_abbrevs()) {
+    SystemConfig base_cfg;
+    auto base_wl = make_workload(wl, kScale);
+    const RunResult base = run_workload(std::move(base_cfg), *base_wl);
+
+    SystemConfig cfg;
+    cfg.policy = make_adaptive_policy(AdaptiveParams{.lambda = 6.0});
+    auto w = make_workload(wl, kScale);
+    const RunResult r = run_workload(std::move(cfg), *w);
+
+    const double e = r.total_link_energy_pj() / base.total_link_energy_pj();
+    if (wl == "AES") {
+      EXPECT_LT(e, 1.02) << "bypass must not burn energy on AES";
+    } else {
+      EXPECT_LT(e, 1.0) << wl;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgcomp

@@ -1,0 +1,159 @@
+// Failure-injection and robustness tests: corrupt inputs must be caught by
+// invariant checks (abort with a message), never silently mis-decode, and
+// the timing model must respect analytic bounds.
+#include <gtest/gtest.h>
+
+#include "common/bitstream.h"
+#include "common/rng.h"
+#include "common/word_io.h"
+#include "compression/codec_set.h"
+#include "core/system.h"
+#include "workloads/bitonic_sort.h"
+#include "workloads/matrix_transpose.h"
+
+namespace mgcomp {
+namespace {
+
+using RobustnessDeathTest = ::testing::Test;
+
+TEST(RobustnessDeathTest, BitReaderUnderrunAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BitWriter bw;
+  bw.put(0x3, 2);
+  EXPECT_DEATH(
+      {
+        BitReader br(bw.bytes().data(), bw.bit_count());
+        (void)br.get(3);  // only 2 bits available
+      },
+      "bitstream underrun");
+}
+
+TEST(RobustnessDeathTest, TruncatedFpcStreamAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CodecSet set;
+  Line l{};
+  store_le<std::uint32_t>(l, 0, 100);  // compressible
+  Compressed c = set.get(CodecId::kFpc).compress(l);
+  ASSERT_EQ(c.mode, EncodingMode::kStream);
+  c.size_bits /= 2;  // truncate
+  EXPECT_DEATH((void)set.get(CodecId::kFpc).decompress(c), "underrun|corrupt");
+}
+
+TEST(RobustnessDeathTest, MismatchedCodecIdAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CodecSet set;
+  const Compressed c = set.get(CodecId::kBdi).compress(zero_line());
+  EXPECT_DEATH((void)set.get(CodecId::kFpc).decompress(c), "codec");
+}
+
+TEST(RobustnessDeathTest, WrongSizeRawPayloadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CodecSet set;
+  Compressed c;
+  c.codec = CodecId::kBdi;
+  c.mode = EncodingMode::kRaw;
+  c.size_bits = kLineBits;
+  c.payload.resize(10);  // should be 64 bytes
+  EXPECT_DEATH((void)set.get(CodecId::kBdi).decompress(c), "payload");
+}
+
+TEST(RobustnessDeathTest, EngineRejectsSchedulingIntoThePast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Engine e;
+  e.schedule_at(100, [] {});
+  e.run();
+  EXPECT_DEATH(e.schedule_at(50, [] {}), "past");
+}
+
+// Corrupting *value* bits (not structure bits) of a compressed stream must
+// decode without crashing — to a different line (garbage in, garbage out;
+// integrity is the transport's job). Corrupting *structural* fields (e.g.
+// a dictionary index) must be caught by the invariant checks rather than
+// read out of bounds.
+TEST(Robustness, ValueBitflipDecodesWithoutCrashing) {
+  CodecSet set;
+  Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    // FPC: all-halfword line; the stream tail is a 16-bit value field.
+    Line fpc_line{};
+    for (std::size_t w = 0; w < 16; ++w) {
+      store_le<std::uint32_t>(fpc_line, w * 4,
+                              1000 + static_cast<std::uint32_t>(rng.below(20000)));
+    }
+    Compressed c = set.get(CodecId::kFpc).compress(fpc_line);
+    ASSERT_EQ(c.mode, EncodingMode::kStream);
+    const std::uint32_t bit = c.size_bits - 2;  // inside the last value field
+    c.payload[bit / 8] = static_cast<std::uint8_t>(c.payload[bit / 8] ^ (1u << (bit % 8)));
+    EXPECT_NE(set.get(CodecId::kFpc).decompress(c), fpc_line);
+
+    // BDI: flip a bit inside the base field (bits 4..4+8k) — still a
+    // well-formed stream, different line.
+    Line bdi_line{};
+    const std::uint32_t base = 1u << 20;
+    for (std::size_t w = 0; w < 16; ++w) {
+      store_le<std::uint32_t>(bdi_line, w * 4, base + static_cast<std::uint32_t>(rng.below(90)));
+    }
+    Compressed b = set.get(CodecId::kBdi).compress(bdi_line);
+    ASSERT_EQ(b.mode, EncodingMode::kStream);
+    b.payload[1] = static_cast<std::uint8_t>(b.payload[1] ^ 0x10);  // base bits
+    EXPECT_NE(set.get(CodecId::kBdi).decompress(b), bdi_line);
+  }
+}
+
+TEST(RobustnessDeathTest, CorruptCpackDictionaryIndexAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CodecSet set;
+  // 16 identical non-narrow words: new-word code then 15 full matches,
+  // all referencing dictionary entry 0. Corrupt the final 4-bit index to
+  // a nonzero value: the decoder's bounds check must catch it.
+  Line l{};
+  for (std::size_t w = 0; w < 16; ++w) store_le<std::uint32_t>(l, w * 4, 0x12345678u);
+  Compressed c = set.get(CodecId::kCpackZ).compress(l);
+  ASSERT_EQ(c.mode, EncodingMode::kStream);
+  const std::uint32_t bit = c.size_bits - 1;  // MSB of the last index field
+  c.payload[bit / 8] = static_cast<std::uint8_t>(c.payload[bit / 8] ^ (1u << (bit % 8)));
+  EXPECT_DEATH((void)set.get(CodecId::kCpackZ).decompress(c), "");
+}
+
+// ---------------------------------------------------------------------------
+// Analytic timing bounds: the model can be wrong in many ways that tests
+// of individual components miss; these bound the end-to-end result.
+// ---------------------------------------------------------------------------
+
+TEST(TimingBounds, ExecutionCoversBusSerialization) {
+  // The shared bus moves at most 20 B/cycle, so exec time can never be
+  // less than total wire bytes / 20 (and busy cycles account exactly).
+  BitonicSortWorkload wl(BitonicSortWorkload::Params{.n = 16384});
+  const RunResult r = run_workload(SystemConfig{}, wl);
+  EXPECT_GE(r.exec_ticks, r.bus.busy_cycles);
+  EXPECT_GE(static_cast<double>(r.bus.busy_cycles),
+            static_cast<double>(r.bus.total_wire_bytes()) / 20.0);
+}
+
+TEST(TimingBounds, CompressionNeverIncreasesWireBytes) {
+  for (const CodecId id : {CodecId::kFpc, CodecId::kBdi, CodecId::kCpackZ}) {
+    MatrixTransposeWorkload base_wl(MatrixTransposeWorkload::Params{.n = 256});
+    const RunResult base = run_workload(SystemConfig{}, base_wl);
+    MatrixTransposeWorkload wl(MatrixTransposeWorkload::Params{.n = 256});
+    SystemConfig cfg;
+    cfg.policy = make_static_policy(id);
+    const RunResult r = run_workload(std::move(cfg), wl);
+    EXPECT_LE(r.bus.total_wire_bytes(), base.bus.total_wire_bytes());
+  }
+}
+
+TEST(TimingBounds, MessageCountsMatchRequestResponseProtocol) {
+  // Every remote read produces exactly one Data-Ready; every remote write
+  // exactly one Write-ACK (plus the CPU's kernel-launch writes).
+  MatrixTransposeWorkload wl(MatrixTransposeWorkload::Params{.n = 256});
+  const RunResult r = run_workload(SystemConfig{}, wl);
+  const auto reads = r.bus.messages[static_cast<std::size_t>(MsgType::kReadReq)];
+  const auto data = r.bus.messages[static_cast<std::size_t>(MsgType::kDataReady)];
+  const auto writes = r.bus.messages[static_cast<std::size_t>(MsgType::kWriteReq)];
+  const auto acks = r.bus.messages[static_cast<std::size_t>(MsgType::kWriteAck)];
+  EXPECT_EQ(reads, data);
+  EXPECT_EQ(writes, acks);
+}
+
+}  // namespace
+}  // namespace mgcomp

@@ -1,0 +1,64 @@
+// Parallel sweep runner: order preservation, thread-count handling, and
+// result equivalence with serial execution.
+#include <gtest/gtest.h>
+
+#include "core/sweep.h"
+#include "core/system.h"
+#include "workloads/all_workloads.h"
+
+namespace mgcomp {
+namespace {
+
+SweepJob job_for(std::string abbrev, CodecId codec) {
+  return [abbrev = std::move(abbrev), codec]() {
+    SystemConfig cfg;
+    if (codec != CodecId::kNone) cfg.policy = make_static_policy(codec);
+    auto wl = make_workload(abbrev, 0.05);
+    return run_workload(std::move(cfg), *wl);
+  };
+}
+
+TEST(Sweep, EmptyJobListReturnsEmpty) {
+  EXPECT_TRUE(run_sweep({}, 4).empty());
+}
+
+TEST(Sweep, ResultsComeBackInJobOrder) {
+  std::vector<SweepJob> jobs;
+  jobs.push_back(job_for("MT", CodecId::kNone));
+  jobs.push_back(job_for("SC", CodecId::kNone));
+  jobs.push_back(job_for("FIR", CodecId::kNone));
+  const auto results = run_sweep(std::move(jobs), 3);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].workload, "MT");
+  EXPECT_EQ(results[1].workload, "SC");
+  EXPECT_EQ(results[2].workload, "FIR");
+}
+
+TEST(Sweep, ParallelMatchesSerialBitForBit) {
+  auto make_jobs = [] {
+    std::vector<SweepJob> jobs;
+    for (const CodecId id : {CodecId::kNone, CodecId::kFpc, CodecId::kBdi}) {
+      jobs.push_back(job_for("MT", id));
+      jobs.push_back(job_for("BS", id));
+    }
+    return jobs;
+  };
+  const auto serial = run_sweep(make_jobs(), 1);
+  const auto parallel = run_sweep(make_jobs(), 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].exec_ticks, parallel[i].exec_ticks) << i;
+    EXPECT_EQ(serial[i].inter_gpu_traffic_bytes(), parallel[i].inter_gpu_traffic_bytes())
+        << i;
+    EXPECT_EQ(serial[i].bus.total_messages(), parallel[i].bus.total_messages()) << i;
+  }
+}
+
+TEST(Sweep, MoreThreadsThanJobsIsFine) {
+  const auto results = run_sweep({job_for("MT", CodecId::kNone)}, 64);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].exec_ticks, 0u);
+}
+
+}  // namespace
+}  // namespace mgcomp

@@ -1,0 +1,109 @@
+// End-to-end integration tests: small workloads through the full system.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workloads/all_workloads.h"
+#include "workloads/bitonic_sort.h"
+#include "workloads/matrix_transpose.h"
+
+namespace mgcomp {
+namespace {
+
+SystemConfig tiny_config() {
+  SystemConfig cfg;
+  return cfg;
+}
+
+TEST(SystemSmoke, TransposeRunsAndVerifies) {
+  MatrixTransposeWorkload wl(MatrixTransposeWorkload::Params{.n = 128});
+  const RunResult r = run_workload(tiny_config(), wl);
+  EXPECT_GT(r.exec_ticks, 0u);
+  EXPECT_GT(r.remote_reads(), 0u);
+  EXPECT_GT(r.remote_writes(), 0u);
+  // Uncompressed baseline: every payload goes out at 512 bits.
+  EXPECT_EQ(r.bus.inter_gpu_payload_raw_bits, r.bus.inter_gpu_payload_wire_bits);
+}
+
+TEST(SystemSmoke, BitonicSortSortsThroughTheFullSystem) {
+  BitonicSortWorkload wl(BitonicSortWorkload::Params{.n = 16384});
+  MultiGpuSystem system(tiny_config());
+  const RunResult r = system.run(wl);
+  EXPECT_TRUE(wl.verify(system.memory()));
+  EXPECT_GT(r.exec_ticks, 0u);
+}
+
+TEST(SystemSmoke, CompressionReducesTrafficOnCompressibleData) {
+  const auto run_with = [](PolicyFactory policy) {
+    BitonicSortWorkload wl(BitonicSortWorkload::Params{.n = 16384});
+    SystemConfig cfg;
+    cfg.policy = std::move(policy);
+    return run_workload(std::move(cfg), wl);
+  };
+  const RunResult base = run_with(make_no_compression_policy());
+  const RunResult fpc = run_with(make_static_policy(CodecId::kFpc));
+  EXPECT_LT(fpc.inter_gpu_traffic_bytes(), base.inter_gpu_traffic_bytes() / 2);
+  EXPECT_LT(fpc.exec_ticks, base.exec_ticks);
+  // Same functional work: identical request counts either way.
+  EXPECT_EQ(fpc.remote_reads(), base.remote_reads());
+  EXPECT_EQ(fpc.remote_writes(), base.remote_writes());
+}
+
+TEST(SystemSmoke, AdaptivePolicyRunsEndToEnd) {
+  BitonicSortWorkload wl(BitonicSortWorkload::Params{.n = 16384});
+  SystemConfig cfg;
+  cfg.policy = make_adaptive_policy(AdaptiveParams{.lambda = 6.0});
+  const RunResult r = run_workload(std::move(cfg), wl);
+  EXPECT_GT(r.policy_stats.votes_taken, 0u);
+  EXPECT_GT(r.policy_stats.sampled_transfers, 0u);
+  EXPECT_LT(r.bus.inter_gpu_payload_wire_bits, r.bus.inter_gpu_payload_raw_bits);
+}
+
+TEST(SystemSmoke, CharacterizationCollectsAllCodecs) {
+  MatrixTransposeWorkload wl(MatrixTransposeWorkload::Params{.n = 128});
+  SystemConfig cfg;
+  cfg.characterize = true;
+  const RunResult r = run_workload(std::move(cfg), wl);
+  EXPECT_GT(r.characterization.payloads, 0u);
+  for (const CodecId id : {CodecId::kFpc, CodecId::kBdi, CodecId::kCpackZ}) {
+    EXPECT_GE(r.characterization.ratio(id), 1.0);
+  }
+  EXPECT_GT(r.characterization.entropy.total_bytes(), 0u);
+}
+
+TEST(SystemSmoke, TraceRecordsRequestedSamples) {
+  MatrixTransposeWorkload wl(MatrixTransposeWorkload::Params{.n = 128});
+  SystemConfig cfg;
+  cfg.trace_samples = 100;
+  const RunResult r = run_workload(std::move(cfg), wl);
+  ASSERT_EQ(r.trace.size(), 100u);
+  for (const TraceSample& s : r.trace) {
+    EXPECT_GE(s.entropy, 0.0);
+    EXPECT_LE(s.entropy, 1.0);
+    EXPECT_EQ(s.size_bits[static_cast<std::size_t>(CodecId::kNone)], kLineBits);
+  }
+}
+
+TEST(SystemSmoke, AllSevenWorkloadsRunAtTinyScale) {
+  for (auto& wl : make_all_workloads(0.05)) {
+    ASSERT_NE(wl, nullptr);
+    MultiGpuSystem system(tiny_config());
+    const RunResult r = system.run(*wl);
+    EXPECT_GT(r.exec_ticks, 0u) << wl->abbrev();
+    EXPECT_GT(r.remote_reads(), 0u) << wl->abbrev();
+  }
+}
+
+TEST(SystemSmoke, EnergyAccountingIsConsistent) {
+  BitonicSortWorkload wl(BitonicSortWorkload::Params{.n = 16384});
+  SystemConfig cfg;
+  cfg.policy = make_static_policy(CodecId::kBdi);
+  const RunResult r = run_workload(std::move(cfg), wl);
+  EXPECT_GT(r.fabric_energy_pj, 0.0);
+  EXPECT_GT(r.compressor_energy_pj, 0.0);
+  // Decompression only happens for payloads that went out compressed.
+  EXPECT_GT(r.decompressor_energy_pj, 0.0);
+  EXPECT_LE(r.decompressor_energy_pj, r.compressor_energy_pj * 2.0);
+}
+
+}  // namespace
+}  // namespace mgcomp
