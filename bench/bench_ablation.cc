@@ -9,6 +9,11 @@
 //   E. fabric energy tiers (Section II: on-chip .. inter-node pJ/b)
 //   F. GPU-count scaling
 //   G. bit-plane pre-coding layer (related work, Kim et al.)
+//   H. fabric topology (bus vs crossbar switch)
+//   I. congestion-aware dynamic lambda
+//   J. entropy-coding headroom (E2MC-style Huffman)
+//   K. unreliable-link BER sweep (reliability extension: CRC + retransmission
+//      + degrade-to-raw)
 #include "bench_common.h"
 #include "compression/bitplane.h"
 #include "compression/huffman.h"
@@ -281,6 +286,33 @@ void huffman_headroom(double scale) {
   std::printf("\n");
 }
 
+void ber_sweep(double scale) {
+  std::printf("K. link bit-error-rate sweep (MT, reliability extension)\n");
+  std::printf("   (CRC-protected messages, NACK/timeout retransmission; the adaptive\n");
+  std::printf("    policy degrades to raw transfers when the error rate spikes)\n");
+  std::printf("%-8s %-9s %12s %12s %8s %8s %8s %9s\n", "BER", "policy", "exec", "traffic",
+              "rexmit", "degrade", "goodput", "energy-nJ");
+  for (const double ber : {0.0, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5}) {
+    for (const bool adaptive : {false, true}) {
+      SystemConfig cfg;
+      cfg.policy = adaptive ? make_adaptive_policy(AdaptiveParams{.lambda = 6.0})
+                            : make_static_policy(CodecId::kCpackZ);
+      cfg.fault.bit_error_rate = ber;
+      auto wl = make_workload("MT", scale);
+      const RunResult r = run_workload(std::move(cfg), *wl);
+      std::printf("%-8.0e %-9s %12llu %12llu %8llu %8llu %8.4f %9.1f\n", ber,
+                  adaptive ? "adaptive" : "cpack+z",
+                  static_cast<unsigned long long>(r.exec_ticks),
+                  static_cast<unsigned long long>(r.inter_gpu_traffic_bytes()),
+                  static_cast<unsigned long long>(r.link.retransmissions()),
+                  static_cast<unsigned long long>(r.policy_stats.degrade_events),
+                  r.goodput_fraction(), r.total_link_energy_pj() / 1e3);
+    }
+  }
+  std::printf("(retransmissions waste wire bytes and time; past the degrade threshold\n"
+              " the adaptive policy pins raw transfers until the link looks clean)\n\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -296,5 +328,6 @@ int main(int argc, char** argv) {
   fabric_topology(scale);
   dynamic_lambda(scale);
   huffman_headroom(scale);
+  ber_sweep(scale);
   return 0;
 }

@@ -12,6 +12,8 @@
 //     --samples   <sampling transfers>        (default 7)
 //     --running   <running transfers>         (default 300)
 //     --tier      chip|die|package|node       (default die)
+//     --ber       <bit error rate>            (default 0; enables reliability layer)
+//     --drop      <message drop rate>         (default 0)
 //     --characterize                          (adds Table V-style columns)
 #include <algorithm>
 #include <cstdio>
@@ -36,6 +38,8 @@ struct Options {
   std::uint32_t samples{7};
   std::uint32_t running{300};
   std::string tier{"die"};
+  double ber{0.0};   ///< link bit-error rate (reliability extension)
+  double drop{0.0};  ///< link message-drop rate
   bool characterize{false};
   bool json{false};
   std::string dump_trace;  ///< CSV path for Fig.1-style per-transfer series
@@ -81,6 +85,14 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (v == nullptr) return false;
       o.tier = v;
+    } else if (arg == "--ber") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.ber = std::atof(v);
+    } else if (arg == "--drop") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.drop = std::atof(v);
     } else if (arg == "--characterize") {
       o.characterize = true;
     } else if (arg == "--json") {
@@ -105,6 +117,7 @@ void usage() {
       "[--policy none|fpc|bdi|cpack|adaptive]\n"
       "                [--lambda F] [--scale F] [--gpus N] [--bus B/cyc]\n"
       "                [--samples N] [--running N] [--tier chip|die|package|node]\n"
+      "                [--ber RATE] [--drop RATE]\n"
       "                [--characterize] [--json] [--dump-trace out.csv]");
 }
 
@@ -121,6 +134,8 @@ int main(int argc, char** argv) {
   cfg.num_gpus = o.gpus;
   cfg.bus.bytes_per_cycle = o.bus;
   cfg.characterize = o.characterize;
+  cfg.fault.bit_error_rate = o.ber;
+  cfg.fault.drop_rate = o.drop;
   if (!o.dump_trace.empty()) cfg.trace_samples = 5000;
   cfg.energy_tier = o.tier == "chip"      ? FabricTier::kOnChip
                     : o.tier == "package" ? FabricTier::kInterPackage
@@ -173,7 +188,14 @@ int main(int argc, char** argv) {
         .field("compressor_energy_pj", r.compressor_energy_pj)
         .field("decompressor_energy_pj", r.decompressor_energy_pj)
         .field("l1v_hit_rate", r.l1v.hit_rate())
-        .field("l2_hit_rate", r.l2.hit_rate());
+        .field("l2_hit_rate", r.l2.hit_rate())
+        .field("crc_failures", r.link.crc_failures)
+        .field("retransmissions", r.link.retransmissions())
+        .field("duplicates_suppressed", r.link.duplicates_suppressed)
+        .field("hard_failures", r.link.hard_failures)
+        .field("degrade_events", r.policy_stats.degrade_events)
+        .field("goodput_fraction", r.goodput_fraction())
+        .field("raw_throughput_bytes_per_cycle", r.raw_throughput_bytes_per_cycle());
     std::printf("%s\n", out.to_string().c_str());
     return 0;
   }
@@ -223,6 +245,40 @@ int main(int argc, char** argv) {
       }
     }
     std::printf(")\n");
+  }
+
+  if (r.link.crc_failures + r.link.retransmissions() + r.faults.total_faults() > 0) {
+    std::printf("\nlink reliability:\n");
+    std::printf("  injected faults       %llu (bit errors %llu, drops %llu, dups %llu, "
+                "delays %llu)\n",
+                static_cast<unsigned long long>(r.faults.total_faults()),
+                static_cast<unsigned long long>(r.faults.bit_errors),
+                static_cast<unsigned long long>(r.faults.drops),
+                static_cast<unsigned long long>(r.faults.duplicates),
+                static_cast<unsigned long long>(r.faults.delays));
+    std::printf("  crc failures / NACKs  %llu / %llu sent, %llu received\n",
+                static_cast<unsigned long long>(r.link.crc_failures),
+                static_cast<unsigned long long>(r.link.nacks_sent),
+                static_cast<unsigned long long>(r.link.nacks_received));
+    std::printf("  retransmissions       %llu (fast %llu, timeout %llu, replay %llu)\n",
+                static_cast<unsigned long long>(r.link.retransmissions()),
+                static_cast<unsigned long long>(r.link.fast_retransmits),
+                static_cast<unsigned long long>(r.link.timeout_retransmits),
+                static_cast<unsigned long long>(r.link.replay_hits));
+    std::printf("  dups suppressed       %llu, hard failures %llu, backoff %llu cycles\n",
+                static_cast<unsigned long long>(r.link.duplicates_suppressed),
+                static_cast<unsigned long long>(r.link.hard_failures),
+                static_cast<unsigned long long>(r.link.backoff_cycles));
+    std::printf("  policy degrades       %llu events, %llu raw transfers\n",
+                static_cast<unsigned long long>(r.policy_stats.degrade_events),
+                static_cast<unsigned long long>(r.policy_stats.degraded_transfers));
+    std::printf("  goodput               %.4f of %0.3f raw B/cycle\n",
+                r.goodput_fraction(), r.raw_throughput_bytes_per_cycle());
+    for (const LinkError& e : r.link_errors) {
+      std::printf("  LINK ERROR: gpu%u %s addr=0x%llx after %u retries\n", e.gpu.value,
+                  std::string(msg_type_name(e.op)).c_str(),
+                  static_cast<unsigned long long>(e.addr), e.retries);
+    }
   }
 
   if (r.bus.endpoints > 0) {

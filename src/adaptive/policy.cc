@@ -93,10 +93,24 @@ class AdaptivePolicy final : public CompressionPolicy {
   }
 
   [[nodiscard]] CompressionDecision decide(LineView line) override {
-    CompressionDecision d =
-        phase_ == Phase::kSampling ? decide_sampling(line) : decide_running(line);
+    CompressionDecision d;
+    if (degrade_remaining_ > 0) {
+      // Degraded: send raw with zero codec cost; when the cool-down ends,
+      // re-probe from a fresh sampling phase.
+      --degrade_remaining_;
+      ++stats_.degraded_transfers;
+      if (degrade_remaining_ == 0) reset_to_sampling();
+    } else {
+      d = phase_ == Phase::kSampling ? decide_sampling(line) : decide_running(line);
+      note_window_transfer();
+    }
     ++stats_.wire_counts[static_cast<std::size_t>(d.wire_codec)];
     return d;
+  }
+
+  void on_link_feedback(LinkEvent ev) override {
+    (void)ev;  // every event kind is equal evidence of a lossy link
+    ++window_errors_;
   }
 
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -214,6 +228,34 @@ class AdaptivePolicy final : public CompressionPolicy {
     phase_ = params_.running_transfers > 0 ? Phase::kRunning : Phase::kSampling;
   }
 
+  /// Counts one non-degraded transfer toward the error-rate window and
+  /// trips the degrade cool-down when the window closes hot. Errors are
+  /// reported asynchronously by the RDMA engine (on_link_feedback), so the
+  /// rate is errors-per-outgoing-transfer over the last window.
+  void note_window_transfer() {
+    if (params_.degrade_cooldown_transfers == 0) return;
+    if (++window_transfers_ < params_.degrade_window) return;
+    const double rate =
+        static_cast<double>(window_errors_) / static_cast<double>(window_transfers_);
+    window_transfers_ = 0;
+    window_errors_ = 0;
+    if (rate >= params_.degrade_error_threshold) {
+      degrade_remaining_ = params_.degrade_cooldown_transfers;
+      ++stats_.degrade_events;
+    }
+  }
+
+  /// Re-probe after a degrade cool-down: discard the stale vote state and
+  /// start a fresh sampling phase.
+  void reset_to_sampling() {
+    phase_ = Phase::kSampling;
+    selected_ = CodecId::kNone;
+    sample_count_ = 0;
+    run_count_ = 0;
+    votes_.fill(0);
+    penalty_sums_.fill(0.0);
+  }
+
   CompressionDecision decide_running(LineView line) {
     CompressionDecision d;
     if (selected_ == CodecId::kNone) {
@@ -245,6 +287,11 @@ class AdaptivePolicy final : public CompressionPolicy {
   std::uint32_t run_count_{0};
   std::array<std::uint32_t, kNumCodecIds> votes_{};
   std::array<double, kNumCodecIds> penalty_sums_{};
+
+  // Degrade-to-raw state (reliability extension).
+  std::uint32_t window_transfers_{0};
+  std::uint32_t window_errors_{0};
+  std::uint32_t degrade_remaining_{0};
 };
 
 }  // namespace

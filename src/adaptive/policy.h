@@ -60,12 +60,25 @@ struct PolicyStats {
   std::uint64_t votes_taken{0};
   /// How often each codec won a vote (index by CodecId).
   std::array<std::uint64_t, kNumCodecIds> vote_wins{};
+  /// Times the adaptive selector pinned raw after a link-error spike
+  /// (reliability extension).
+  std::uint64_t degrade_events{0};
+  /// Transfers sent raw while degraded.
+  std::uint64_t degraded_transfers{0};
 
   [[nodiscard]] std::uint64_t total_transfers() const noexcept {
     std::uint64_t t = 0;
     for (const auto c : wire_counts) t += c;
     return t;
   }
+};
+
+/// Link-reliability feedback delivered to a sender's policy by its RDMA
+/// engine: evidence that the link is corrupting or losing messages.
+enum class LinkEvent : std::uint8_t {
+  kNackReceived,  ///< a peer rejected one of our messages (CRC failure)
+  kTimeout,       ///< a request timed out and was retransmitted
+  kHardFailure,   ///< a request exhausted its retry budget
 };
 
 /// Snapshot of fabric load, used by congestion-aware policies.
@@ -92,6 +105,10 @@ class CompressionPolicy {
   /// Installs a fabric-load probe. Default: ignored (static policies and
   /// the paper's fixed-lambda scheme don't look at the fabric).
   virtual void set_pressure_probe(PressureProbe probe) { (void)probe; }
+
+  /// Link-reliability feedback from the owning RDMA engine. Default:
+  /// ignored (only the adaptive policy degrades on unreliable links).
+  virtual void on_link_feedback(LinkEvent ev) { (void)ev; }
 
   [[nodiscard]] const PolicyStats& stats() const noexcept { return stats_; }
 
@@ -151,6 +168,19 @@ struct AdaptiveParams {
   FabricTier energy_tier{FabricTier::kInterDie};
   /// Fabric bytes/cycle used by kEnergyDelayProduct's wire-time term.
   double fabric_bytes_per_cycle{20.0};
+
+  /// Reliability extension: graceful degradation on lossy links. When the
+  /// observed link-error rate (NACKs + retransmission timeouts per
+  /// outgoing transfer) over a window of `degrade_window` transfers
+  /// reaches `degrade_error_threshold`, the selector pins CodecId::kNone
+  /// for `degrade_cooldown_transfers` transfers — a corrupted compressed
+  /// line costs a full round trip to recover, so a flaky link shifts the
+  /// latency/bandwidth trade toward raw — then re-probes with a fresh
+  /// sampling phase. `degrade_cooldown_transfers == 0` disables the
+  /// mechanism. Zero-cost on a clean link: no errors, no state change.
+  std::uint32_t degrade_cooldown_transfers{512};
+  std::uint32_t degrade_window{64};
+  double degrade_error_threshold{0.05};
 };
 
 /// The paper's adaptive scheme: sample -> vote under Eq. (1) -> run.

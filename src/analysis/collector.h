@@ -19,8 +19,42 @@
 #include "common/types.h"
 #include "compression/codec_set.h"
 #include "compression/cost_model.h"
+#include "fabric/message.h"
 
 namespace mgcomp {
+
+/// One request that exhausted its retransmission budget. Surfaced in
+/// RunResult instead of aborting the simulation: functional memory is
+/// updated at trace-generation time, so a hard-failed transfer costs
+/// fidelity of the timing model, not correctness of the workload output.
+struct LinkError {
+  GpuId gpu{};    ///< requester that gave up
+  Addr addr{0};   ///< line the request targeted
+  MsgType op{MsgType::kReadReq};
+  std::uint32_t retries{0};
+};
+
+/// Counters of the CRC/NACK/retransmission protocol, aggregated across all
+/// RDMA engines of a run.
+struct LinkStats {
+  std::uint64_t crc_failures{0};        ///< messages rejected by the receiver's CRC check
+  std::uint64_t nacks_sent{0};          ///< corrupt payload messages answered with a NACK
+  std::uint64_t nacks_received{0};
+  std::uint64_t stray_nacks{0};         ///< NACKs matching no pending request or replay entry
+  std::uint64_t fast_retransmits{0};    ///< NACK-triggered resends
+  std::uint64_t timeout_retransmits{0};
+  std::uint64_t replay_hits{0};         ///< Data-Ready resends served from the replay cache
+  std::uint64_t duplicates_suppressed{0};
+  std::uint64_t hard_failures{0};       ///< requests that exhausted the retry budget
+  Tick backoff_cycles{0};               ///< extra waiting added by exponential backoff
+  /// Wire bytes that carried no useful traffic (corrupt arrivals and
+  /// suppressed duplicates; the injector separately counts dropped bytes).
+  std::uint64_t wasted_wire_bytes{0};
+
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept {
+    return fast_retransmits + timeout_retransmits;
+  }
+};
 
 /// Per-codec whole-run characterization results (Table V / Table VI).
 struct Characterization {
@@ -78,6 +112,21 @@ class Collector {
   [[nodiscard]] const Characterization& characterization() const noexcept { return charz_; }
   [[nodiscard]] const std::vector<TraceSample>& trace() const noexcept { return trace_; }
 
+  /// Reliability-protocol counters; RDMA engines update them in place.
+  [[nodiscard]] LinkStats& link() noexcept { return link_; }
+  [[nodiscard]] const LinkStats& link() const noexcept { return link_; }
+
+  /// Records a hard failure (bounded: the first kMaxLinkErrors are kept,
+  /// the counter in link() always reflects the true total).
+  void record_link_error(const LinkError& e) {
+    if (link_errors_.size() < kMaxLinkErrors) link_errors_.push_back(e);
+  }
+  [[nodiscard]] const std::vector<LinkError>& link_errors() const noexcept {
+    return link_errors_;
+  }
+
+  static constexpr std::size_t kMaxLinkErrors = 64;
+
  private:
   const CodecSet* codecs_{nullptr};
   bool characterize_{false};
@@ -87,6 +136,8 @@ class Collector {
   double decompressor_energy_pj_{0.0};
   Characterization charz_;
   std::vector<TraceSample> trace_;
+  LinkStats link_;
+  std::vector<LinkError> link_errors_;
 };
 
 }  // namespace mgcomp

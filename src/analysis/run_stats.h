@@ -5,10 +5,14 @@
 #include <cstdint>
 #include <string>
 
+#include <algorithm>
+#include <vector>
+
 #include "adaptive/policy.h"
 #include "analysis/collector.h"
 #include "compression/cost_model.h"
 #include "fabric/bus.h"
+#include "fault/fault_injector.h"
 #include "memory/cache.h"
 
 namespace mgcomp {
@@ -54,9 +58,36 @@ struct RunResult {
   /// Filled only when the run had tracing enabled.
   std::vector<TraceSample> trace;
 
+  /// Reliability-protocol counters (zero on a lossless run).
+  LinkStats link;
+  /// Requests that exhausted their retry budget (bounded sample; the full
+  /// count is link.hard_failures).
+  std::vector<LinkError> link_errors;
+  /// Faults the injector actually applied on the fabric.
+  FaultStats faults;
+
   /// Fabric wire traffic between GPUs, in bytes (Fig. 5/6 metric).
   [[nodiscard]] std::uint64_t inter_gpu_traffic_bytes() const noexcept {
     return bus.inter_gpu_wire_bytes;
+  }
+
+  /// Fraction of all transmitted wire bytes that carried useful, accepted
+  /// traffic: 1.0 on a lossless run, lower as drops/corruption/duplicates
+  /// burn bandwidth on bytes the protocol has to throw away.
+  [[nodiscard]] double goodput_fraction() const noexcept {
+    const std::uint64_t total = bus.total_wire_bytes();
+    if (total == 0) return 1.0;
+    const std::uint64_t wasted =
+        std::min(link.wasted_wire_bytes + faults.dropped_wire_bytes, total);
+    return 1.0 - static_cast<double>(wasted) / static_cast<double>(total);
+  }
+
+  /// Raw fabric throughput in wire bytes per busy cycle (serialization
+  /// rate actually achieved); goodput is this times goodput_fraction().
+  [[nodiscard]] double raw_throughput_bytes_per_cycle() const noexcept {
+    if (bus.busy_cycles == 0) return 0.0;
+    return static_cast<double>(bus.total_wire_bytes()) /
+           static_cast<double>(bus.busy_cycles);
   }
 };
 

@@ -1,0 +1,65 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) with an incremental
+// update API.
+//
+// Used as the link-layer integrity check on fabric messages: the sender
+// stamps every message, the receiving RDMA engine verifies before acting on
+// it, and a mismatch triggers the NACK/retransmission protocol. The table is
+// constexpr so the check adds no startup cost and stays allocation-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mgcomp {
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+class Crc32 {
+ public:
+  Crc32& update(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ = detail::kCrc32Table[(state_ ^ p[i]) & 0xFFu] ^ (state_ >> 8);
+    }
+    return *this;
+  }
+
+  /// Feeds an integral value byte by byte, least-significant first, so the
+  /// digest is independent of host endianness.
+  template <typename T>
+  Crc32& update_value(T v) noexcept {
+    auto u = static_cast<std::uint64_t>(v);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      const std::uint8_t b = static_cast<std::uint8_t>(u & 0xFFu);
+      state_ = detail::kCrc32Table[(state_ ^ b) & 0xFFu] ^ (state_ >> 8);
+      u >>= 8;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+  /// One-shot digest of a buffer ("123456789" -> 0xCBF43926).
+  [[nodiscard]] static std::uint32_t of(const void* data, std::size_t n) noexcept {
+    return Crc32{}.update(data, n).value();
+  }
+
+ private:
+  std::uint32_t state_{0xFFFFFFFFu};
+};
+
+}  // namespace mgcomp

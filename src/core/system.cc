@@ -24,6 +24,10 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
   } else {
     bus_ = std::make_unique<BusFabric>(*engine_, config_.bus);
   }
+  if (config_.fault.any()) {
+    fault_ = std::make_unique<FaultInjector>(config_.fault);
+    bus_->set_fault_injector(fault_.get());
+  }
   cpu_ = std::make_unique<CpuHost>(*bus_, *map_, *mem_);
 
   for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
@@ -45,7 +49,7 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
         [this] { return FabricPressure{bus_->stats().busy_cycles, engine_->now()}; });
     gpus_[g]->configure(
         gpu_endpoints_[g], [this](GpuId id) { return gpu_endpoints_.at(id.value); },
-        std::move(policy));
+        std::move(policy), config_.retry, config_.fault.any());
   }
 }
 
@@ -71,19 +75,68 @@ void MultiGpuSystem::run_kernel(const KernelTrace& trace) {
   }
   if (remaining == 0) return;  // empty kernel (e.g. pure host work)
 
+  // Watchdog (faults only): lossless runs cannot stall, and keeping it off
+  // there means the fault-free event schedule is bit-identical to a build
+  // without the reliability layer. The kernel-completion callback cancels
+  // the token so a pending watchdog event never extends measured time.
+  Engine::CancelToken wd_token;
+  if (fault_ != nullptr && config_.watchdog_interval > 0) {
+    wd_token = std::make_shared<bool>(true);
+    schedule_watchdog(wd_token, bus_->stats().total_messages(), &remaining);
+  }
+
   for (std::uint32_t c = 0; c < n_cus; ++c) {
     if (assignment[c].empty()) continue;
     Gpu& gpu = *gpus_[c / config_.gpu.num_cus];
     gpu.cu(CuId{c % config_.gpu.num_cus})
-        .start_kernel(trace, std::move(assignment[c]), [&remaining] { --remaining; });
+        .start_kernel(trace, std::move(assignment[c]), [&remaining, &wd_token] {
+          if (--remaining == 0 && wd_token) *wd_token = false;
+        });
   }
 
   engine_->run();
-  MGCOMP_CHECK_MSG(remaining == 0, "kernel did not drain (fabric deadlock?)");
+  if (remaining != 0) {
+    MGCOMP_CHECK_MSG(
+        false, stall_dump("kernel did not drain: event queue empty with requests pending")
+                   .c_str());
+  }
 
   // Kernel-boundary cache flush: makes producer/consumer data between
   // kernels visible across GPUs, as real GPUs do at dispatch boundaries.
   for (auto& gpu : gpus_) gpu->flush_caches();
+}
+
+void MultiGpuSystem::schedule_watchdog(Engine::CancelToken token,
+                                       std::uint64_t last_messages,
+                                       const std::uint32_t* remaining) {
+  engine_->schedule_cancellable_in(
+      config_.watchdog_interval,
+      [this, token, last_messages, remaining] {
+        if (*remaining == 0) return;  // completed between cancel and pop
+        const std::uint64_t now_messages = bus_->stats().total_messages();
+        if (now_messages == last_messages) {
+          MGCOMP_CHECK_MSG(
+              false, stall_dump("watchdog: no fabric progress for a full interval").c_str());
+        }
+        schedule_watchdog(token, now_messages, remaining);
+      },
+      token);
+}
+
+std::string MultiGpuSystem::stall_dump(const char* why) const {
+  std::string s(why);
+  s += " @tick " + std::to_string(engine_->now());
+  for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
+    s += "\n  GPU" + std::to_string(g) +
+         ": outstanding=" + std::to_string(gpus_[g]->rdma().outstanding());
+  }
+  for (std::size_t e = 0; e < bus_->endpoint_count(); ++e) {
+    const EndpointId ep{static_cast<std::uint32_t>(e)};
+    s += "\n  EP" + std::to_string(e) +
+         ": in_buffer_bytes=" + std::to_string(bus_->in_buffer_bytes(ep)) +
+         " out_queue=" + std::to_string(bus_->out_queue_depth(ep));
+  }
+  return s;
 }
 
 RunResult MultiGpuSystem::run(Workload& workload) {
@@ -107,6 +160,9 @@ RunResult MultiGpuSystem::run(Workload& workload) {
   r.decompressor_energy_pj = collector_->decompressor_energy_pj();
   r.characterization = collector_->characterization();
   r.trace = collector_->trace();
+  r.link = collector_->link();
+  r.link_errors = collector_->link_errors();
+  if (fault_ != nullptr) r.faults = fault_->stats();
 
   for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
     const PolicyStats& ps = gpus_[g]->rdma().policy().stats();
@@ -117,6 +173,8 @@ RunResult MultiGpuSystem::run(Workload& workload) {
     }
     r.policy_stats.sampled_transfers += ps.sampled_transfers;
     r.policy_stats.votes_taken += ps.votes_taken;
+    r.policy_stats.degrade_events += ps.degrade_events;
+    r.policy_stats.degraded_transfers += ps.degraded_transfers;
 
     const CacheStats v = gpus_[g]->l1v_stats();
     const CacheStats s = gpus_[g]->l1s_stats();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/run_stats.h"
@@ -41,6 +42,16 @@ class MultiGpuSystem {
  private:
   void run_kernel(const KernelTrace& trace);
 
+  /// Schedules the next watchdog check: aborts with diagnostics when no
+  /// fabric message completed over a whole interval while requests are
+  /// still outstanding (possible once links drop messages).
+  void schedule_watchdog(Engine::CancelToken token, std::uint64_t last_messages,
+                         const std::uint32_t* remaining);
+
+  /// Human-readable stall diagnostics: per-GPU outstanding requests and
+  /// per-endpoint buffer/queue occupancy.
+  [[nodiscard]] std::string stall_dump(const char* why) const;
+
   SystemConfig config_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<GlobalMemory> mem_;
@@ -48,6 +59,7 @@ class MultiGpuSystem {
   std::unique_ptr<CodecSet> codecs_;
   std::unique_ptr<Collector> collector_;
   std::unique_ptr<Fabric> bus_;
+  std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<CpuHost> cpu_;
   std::vector<std::unique_ptr<Gpu>> gpus_;
   std::vector<EndpointId> gpu_endpoints_;

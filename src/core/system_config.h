@@ -10,6 +10,7 @@
 #include "compression/cost_model.h"
 #include "fabric/bus.h"
 #include "fabric/switch_fabric.h"
+#include "fault/fault_injector.h"
 #include "gpu/gpu.h"
 
 namespace mgcomp {
@@ -32,6 +33,18 @@ struct SystemConfig {
   bool characterize{false};
   /// Record the first N payloads' entropy + per-codec sizes (Fig. 1).
   std::size_t trace_samples{0};
+
+  /// Link-fault injection (reliability extension). All-zero rates (the
+  /// default) build a lossless system identical in behavior to one without
+  /// the reliability layer: no injector is attached to the fabric and no
+  /// retransmission timers are armed.
+  FaultParams fault{};
+  /// Retransmission tuning; consulted only when fault.any().
+  RetryParams retry{};
+  /// Watchdog period in cycles: with faults enabled, a run that moves no
+  /// fabric message for this long while requests are outstanding aborts
+  /// with a diagnostic dump instead of spinning. 0 disables.
+  Tick watchdog_interval{1u << 22};
 };
 
 }  // namespace mgcomp

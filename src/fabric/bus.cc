@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "fault/fault_injector.h"
 
 namespace mgcomp {
 
@@ -10,6 +11,7 @@ void BusFabric::send(Message msg) {
   MGCOMP_CHECK(msg.src.value < endpoints_.size());
   MGCOMP_CHECK(msg.dst.value < endpoints_.size());
   MGCOMP_CHECK_MSG(msg.src != msg.dst, "loopback messages never touch the fabric");
+  msg.crc = message_crc(msg);  // link-layer integrity stamp (sender NIC)
   Endpoint& ep = endpoints_[msg.src.value];
   ep.out_bytes += msg.wire_bytes();
   ep.out.push_back(std::move(msg));
@@ -86,6 +88,31 @@ void BusFabric::complete() {
     if (msg.has_payload()) {
       stats_.inter_gpu_payload_raw_bits += kLineBits;
       stats_.inter_gpu_payload_wire_bits += msg.payload_bits;
+    }
+  }
+
+  // Link faults are applied at transmission-complete: the wire time was
+  // spent either way, and the destination's buffer reservation is already
+  // in place (a dropped message releases it the same way consume() would).
+  if (injector_ != nullptr) {
+    const FaultDecision fd = injector_->on_transmit(msg);
+    if (fd.drop) {
+      consume(msg.dst, msg.wire_bytes());  // also re-kicks the bus
+      return;
+    }
+    if (fd.duplicate) {
+      Message copy = msg;  // clean copy re-enters the sender's queue
+      send(std::move(copy));
+    }
+    if (fd.flip_bit >= 0) {
+      FaultInjector::corrupt(msg, static_cast<std::uint32_t>(fd.flip_bit));
+    }
+    if (fd.extra_delay > 0) {
+      engine_->schedule_in(fd.extra_delay, [this, msg = std::move(msg)]() mutable {
+        endpoints_[msg.dst.value].deliver(std::move(msg));
+      });
+      kick();
+      return;
     }
   }
 

@@ -27,9 +27,9 @@ namespace mgcomp {
 /// Aggregate fabric counters, split by message type and by whether both
 /// ends are GPUs (inter-GPU) or one end is the CPU.
 struct BusStats {
-  std::uint64_t messages[4]{};        ///< per MsgType, all traffic
-  std::uint64_t wire_bytes[4]{};      ///< per MsgType, all traffic
-  std::uint64_t inter_gpu_by_type[4]{};  ///< per MsgType, GPU<->GPU only
+  std::uint64_t messages[kNumMsgTypes]{};        ///< per MsgType, all traffic
+  std::uint64_t wire_bytes[kNumMsgTypes]{};      ///< per MsgType, all traffic
+  std::uint64_t inter_gpu_by_type[kNumMsgTypes]{};  ///< per MsgType, GPU<->GPU only
   std::uint64_t inter_gpu_messages{0};
   std::uint64_t inter_gpu_wire_bytes{0};
   std::uint64_t inter_gpu_payload_raw_bits{0};
@@ -84,10 +84,14 @@ struct BusStats {
   }
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept {
-    return messages[0] + messages[1] + messages[2] + messages[3];
+    std::uint64_t t = 0;
+    for (const auto m : messages) t += m;
+    return t;
   }
   [[nodiscard]] std::uint64_t total_wire_bytes() const noexcept {
-    return wire_bytes[0] + wire_bytes[1] + wire_bytes[2] + wire_bytes[3];
+    std::uint64_t t = 0;
+    for (const auto b : wire_bytes) t += b;
+    return t;
   }
 };
 
@@ -125,6 +129,19 @@ class BusFabric final : public Fabric {
     return endpoints_.at(ep.value).name;
   }
 
+  void set_fault_injector(FaultInjector* injector) noexcept override {
+    injector_ = injector;
+  }
+  [[nodiscard]] std::size_t endpoint_count() const noexcept override {
+    return endpoints_.size();
+  }
+  [[nodiscard]] std::size_t in_buffer_bytes(EndpointId ep) const noexcept override {
+    return endpoints_[ep.value].in_bytes;
+  }
+  [[nodiscard]] std::size_t out_queue_depth(EndpointId ep) const noexcept override {
+    return endpoints_[ep.value].out.size();
+  }
+
  private:
   struct Endpoint {
     std::string name;
@@ -145,6 +162,7 @@ class BusFabric final : public Fabric {
   Params params_;
   std::vector<Endpoint> endpoints_;
   BusStats stats_;
+  FaultInjector* injector_{nullptr};
   bool busy_{false};
   Message in_flight_{};
   std::size_t rr_next_{0};  ///< round-robin scan start

@@ -14,7 +14,8 @@
 
 namespace mgcomp {
 
-struct BusStats;  // defined in fabric/bus.h; shared by all fabrics
+struct BusStats;     // defined in fabric/bus.h; shared by all fabrics
+class FaultInjector;  // defined in fault/fault_injector.h
 
 class Fabric {
  public:
@@ -33,6 +34,16 @@ class Fabric {
   virtual void consume(EndpointId ep, std::size_t bytes) = 0;
 
   [[nodiscard]] virtual const BusStats& stats() const noexcept = 0;
+
+  /// Installs a link-fault injector consulted once per completed
+  /// transmission; null (the default) models a lossless fabric.
+  virtual void set_fault_injector(FaultInjector* injector) noexcept = 0;
+
+  // Introspection for watchdog diagnostics: how full each endpoint's
+  // buffers are when a run stops making progress.
+  [[nodiscard]] virtual std::size_t endpoint_count() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t in_buffer_bytes(EndpointId ep) const noexcept = 0;
+  [[nodiscard]] virtual std::size_t out_queue_depth(EndpointId ep) const noexcept = 0;
 };
 
 }  // namespace mgcomp

@@ -12,16 +12,27 @@
 //   Write Req  : type(4) + msg id(16) + phys addr(48) + length(32) + comp alg(4)
 //                + reserved(24)                                                   = 128
 //   Write ACK  : type(4) + rsp id(16) + reserved(12)                              =  32
+//   NACK       : type(4) + rsp id(16) + reserved(12)                              =  32
+//
+// The NACK is the reliability extension's fifth type: a receiver whose CRC
+// check fails on a payload-bearing message sends one back so the sender can
+// retransmit without waiting for the full timeout. The CRC itself is
+// modeled as riding in the reserved header bits, so wire sizes stay exactly
+// the paper's Fig. 4 values.
 #pragma once
 
 #include <cstdint>
 
+#include "common/crc32.h"
 #include "common/types.h"
 #include "compression/codec.h"
 
 namespace mgcomp {
 
-enum class MsgType : std::uint8_t { kReadReq, kDataReady, kWriteReq, kWriteAck };
+enum class MsgType : std::uint8_t { kReadReq, kDataReady, kWriteReq, kWriteAck, kNack };
+
+/// Number of MsgType values (sizes fixed-size per-type stat arrays).
+inline constexpr std::size_t kNumMsgTypes = 5;
 
 [[nodiscard]] constexpr std::string_view msg_type_name(MsgType t) noexcept {
   switch (t) {
@@ -29,6 +40,7 @@ enum class MsgType : std::uint8_t { kReadReq, kDataReady, kWriteReq, kWriteAck }
     case MsgType::kDataReady: return "DataReady";
     case MsgType::kWriteReq: return "WriteReq";
     case MsgType::kWriteAck: return "WriteAck";
+    case MsgType::kNack: return "Nack";
   }
   return "?";
 }
@@ -55,6 +67,10 @@ struct Message {
   Tick decompress_latency{0};
   Tick decompress_occupancy{0};
   double decompress_energy_pj{0.0};
+  /// Link-layer CRC-32 over header fields + payload, stamped by the fabric
+  /// at send and checked by the receiving RDMA engine. Rides in reserved
+  /// header bits, so it does not change wire_bytes().
+  std::uint32_t crc{0};
 
   [[nodiscard]] bool has_payload() const noexcept {
     return type == MsgType::kDataReady || type == MsgType::kWriteReq;
@@ -67,6 +83,7 @@ struct Message {
       case MsgType::kDataReady: return 32;
       case MsgType::kWriteReq: return 128;
       case MsgType::kWriteAck: return 32;
+      case MsgType::kNack: return 32;
     }
     return 0;
   }
@@ -77,5 +94,23 @@ struct Message {
     return header_bits() / 8 + payload;
   }
 };
+
+/// Digest of everything the wire carries: the header fields and, for
+/// payload-bearing types, the line data. The model's receiver-convenience
+/// fields (decompress_* hints) are not wire content and are excluded, so a
+/// fault that flips any covered bit is always detectable.
+[[nodiscard]] inline std::uint32_t message_crc(const Message& m) noexcept {
+  Crc32 crc;
+  crc.update_value(static_cast<std::uint8_t>(m.type));
+  crc.update_value(m.id);
+  crc.update_value(m.src.value);
+  crc.update_value(m.dst.value);
+  crc.update_value(m.addr);
+  crc.update_value(m.length);
+  crc.update_value(static_cast<std::uint8_t>(m.comp_alg));
+  crc.update_value(m.payload_bits);
+  if (m.has_payload()) crc.update(m.data.data(), m.data.size());
+  return crc.value();
+}
 
 }  // namespace mgcomp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "fault/fault_injector.h"
 
 namespace mgcomp {
 
@@ -10,6 +11,7 @@ void SwitchFabric::send(Message msg) {
   MGCOMP_CHECK(msg.src.value < endpoints_.size());
   MGCOMP_CHECK(msg.dst.value < endpoints_.size());
   MGCOMP_CHECK_MSG(msg.src != msg.dst, "loopback messages never touch the fabric");
+  msg.crc = message_crc(msg);  // link-layer integrity stamp (sender NIC)
   const std::size_t src = msg.src.value;
   endpoints_[src].out.push_back(std::move(msg));
   stats_.max_out_queue_depth =
@@ -74,6 +76,28 @@ void SwitchFabric::complete(Message msg) {
       stats_.inter_gpu_payload_wire_bits += msg.payload_bits;
     }
   }
+  // Link faults apply per completed transfer, exactly as on the shared bus.
+  if (injector_ != nullptr) {
+    const FaultDecision fd = injector_->on_transmit(msg);
+    if (fd.drop) {
+      consume(msg.dst, msg.wire_bytes());  // releases buffer, wakes blocked sources
+      return;
+    }
+    if (fd.duplicate) {
+      Message copy = msg;
+      send(std::move(copy));
+    }
+    if (fd.flip_bit >= 0) {
+      FaultInjector::corrupt(msg, static_cast<std::uint32_t>(fd.flip_bit));
+    }
+    if (fd.extra_delay > 0) {
+      engine_->schedule_in(fd.extra_delay, [this, msg = std::move(msg)]() mutable {
+        endpoints_[msg.dst.value].deliver(std::move(msg));
+      });
+      return;
+    }
+  }
+
   endpoints_[msg.dst.value].deliver(std::move(msg));
 }
 

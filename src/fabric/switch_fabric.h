@@ -42,6 +42,19 @@ class SwitchFabric final : public Fabric {
   [[nodiscard]] const BusStats& stats() const noexcept override { return stats_; }
   [[nodiscard]] std::size_t num_endpoints() const noexcept { return endpoints_.size(); }
 
+  void set_fault_injector(FaultInjector* injector) noexcept override {
+    injector_ = injector;
+  }
+  [[nodiscard]] std::size_t endpoint_count() const noexcept override {
+    return endpoints_.size();
+  }
+  [[nodiscard]] std::size_t in_buffer_bytes(EndpointId ep) const noexcept override {
+    return endpoints_[ep.value].in_bytes;
+  }
+  [[nodiscard]] std::size_t out_queue_depth(EndpointId ep) const noexcept override {
+    return endpoints_[ep.value].out.size();
+  }
+
  private:
   struct Endpoint {
     std::string name;
@@ -62,6 +75,7 @@ class SwitchFabric final : public Fabric {
   Params params_;
   std::vector<Endpoint> endpoints_;
   BusStats stats_;
+  FaultInjector* injector_{nullptr};
 };
 
 }  // namespace mgcomp

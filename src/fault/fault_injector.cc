@@ -1,0 +1,61 @@
+#include "fault/fault_injector.h"
+
+#include <cmath>
+
+namespace mgcomp {
+
+FaultDecision FaultInjector::on_transmit(const Message& msg) {
+  FaultDecision d;
+  if (!params_.any()) return d;
+
+  if (params_.drop_rate > 0.0 && rng_.chance(params_.drop_rate)) {
+    d.drop = true;
+    ++stats_.drops;
+    stats_.dropped_wire_bytes += msg.wire_bytes();
+    return d;
+  }
+
+  if (params_.bit_error_rate > 0.0) {
+    const std::uint32_t wire_bits = msg.wire_bytes() * 8;
+    // P(>=1 flip) = 1 - (1-ber)^bits, computed in log space so tiny rates
+    // (1e-12) survive the pow without rounding to zero.
+    const double p_msg =
+        -std::expm1(static_cast<double>(wire_bits) * std::log1p(-params_.bit_error_rate));
+    if (rng_.chance(p_msg)) {
+      const auto bit = static_cast<std::uint32_t>(rng_.below(wire_bits));
+      d.flip_bit = static_cast<std::int32_t>(bit);
+      ++stats_.bit_errors;
+      if (msg.has_payload() && bit >= msg.header_bits()) {
+        ++stats_.payload_errors;
+      } else {
+        ++stats_.header_errors;
+      }
+    }
+  }
+
+  if (params_.duplicate_rate > 0.0 && rng_.chance(params_.duplicate_rate)) {
+    d.duplicate = true;
+    ++stats_.duplicates;
+  }
+
+  if (params_.delay_rate > 0.0 && params_.max_delay > 0 &&
+      rng_.chance(params_.delay_rate)) {
+    d.extra_delay = 1 + static_cast<Tick>(rng_.below(params_.max_delay));
+    ++stats_.delays;
+    stats_.delay_cycles += d.extra_delay;
+  }
+
+  return d;
+}
+
+void FaultInjector::corrupt(Message& msg, std::uint32_t bit) noexcept {
+  const std::uint32_t hdr = msg.header_bits();
+  if (!msg.has_payload() || bit < hdr) {
+    msg.id = static_cast<std::uint16_t>(msg.id ^ (1u << (bit % 16u)));
+  } else {
+    const std::uint32_t p = (bit - hdr) % kLineBits;
+    msg.data[p / 8] = static_cast<std::uint8_t>(msg.data[p / 8] ^ (1u << (p % 8u)));
+  }
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,111 @@
+// Deterministic link-fault injection for the inter-GPU fabric.
+//
+// The paper evaluates compression on an ideal lossless bus; production
+// interconnects corrupt, drop, duplicate, and delay messages, and a
+// compressed payload amplifies the blast radius of one flipped bit. The
+// FaultInjector sits behind the Fabric interface: the fabric consults it
+// once per completed transmission (the faults model the wire, so the
+// serialization time is always paid) and applies the returned decision —
+// drop the message, deliver a corrupted copy, deliver it late, or deliver
+// it twice. All randomness comes from one seeded xoshiro256** stream drawn
+// in event order, so a given (workload, config, seed) triple produces a
+// bit-identical RunResult every run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fabric/message.h"
+
+namespace mgcomp {
+
+/// Link-fault configuration. All rates default to zero, which disables
+/// injection entirely (SystemConfig leaves the fabric untouched and arms no
+/// retransmission timers, so the reliability layer is zero-cost when idle).
+struct FaultParams {
+  /// Independent per-bit flip probability; a message of W wire bits is
+  /// corrupted with probability 1 - (1 - ber)^W. The flipped bit lands in
+  /// the header or the payload in proportion to their wire sizes.
+  double bit_error_rate{0.0};
+  /// Per-message loss probability (the wire time is still spent).
+  double drop_rate{0.0};
+  /// Per-message probability of delivering a second, clean copy.
+  double duplicate_rate{0.0};
+  /// Per-message probability of an extra in-flight delay (reordering).
+  double delay_rate{0.0};
+  /// Delayed messages arrive 1..max_delay cycles late (uniform).
+  Tick max_delay{64};
+  std::uint64_t seed{0x1badb002ULL};
+
+  [[nodiscard]] bool any() const noexcept {
+    return bit_error_rate > 0.0 || drop_rate > 0.0 || duplicate_rate > 0.0 ||
+           delay_rate > 0.0;
+  }
+};
+
+/// Requester-side retransmission tuning (used by RdmaEngine when faults are
+/// enabled).
+struct RetryParams {
+  /// Base response timeout in cycles; 0 disables retransmission (corrupt or
+  /// lost messages are then only visible in the counters).
+  Tick timeout{32768};
+  /// Timeout multiplier per retry (exponential backoff).
+  double backoff_factor{2.0};
+  /// Backoff ceiling.
+  Tick timeout_cap{1u << 20};
+  /// Retries before the request hard-fails with a LinkError.
+  std::uint32_t max_retries{8};
+};
+
+/// What the injector decided for one transmitted message.
+struct FaultDecision {
+  bool drop{false};
+  bool duplicate{false};
+  Tick extra_delay{0};
+  /// Wire-bit index to flip, or -1 for none. Bits below header_bits() hit
+  /// the header, the rest hit the payload.
+  std::int32_t flip_bit{-1};
+};
+
+/// Faults actually applied, for RunResult reporting.
+struct FaultStats {
+  std::uint64_t bit_errors{0};
+  std::uint64_t header_errors{0};   ///< flipped bit landed in the header
+  std::uint64_t payload_errors{0};  ///< flipped bit landed in the payload
+  std::uint64_t drops{0};
+  std::uint64_t dropped_wire_bytes{0};
+  std::uint64_t duplicates{0};
+  std::uint64_t delays{0};
+  Tick delay_cycles{0};
+
+  [[nodiscard]] std::uint64_t total_faults() const noexcept {
+    return bit_errors + drops + duplicates + delays;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultParams params) : params_(params), rng_(params.seed) {}
+
+  /// Rolls the dice for one completed transmission. A dropped message takes
+  /// precedence over every other fault (there is nothing left to corrupt,
+  /// duplicate, or delay).
+  [[nodiscard]] FaultDecision on_transmit(const Message& msg);
+
+  /// Applies a flip_bit decision to `msg`: a header hit flips a bit of the
+  /// 16-bit message id (routing-neutral but CRC-covered), a payload hit
+  /// flips one bit of the line data. Either way the stamped CRC no longer
+  /// matches, which is what the receiver detects.
+  static void corrupt(Message& msg, std::uint32_t bit) noexcept;
+
+  [[nodiscard]] const FaultParams& params() const noexcept { return params_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  FaultParams params_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace mgcomp

@@ -31,11 +31,12 @@ Gpu::Gpu(Engine& engine, Fabric& bus, GlobalMemory& mem, const AddressMap& map,
 }
 
 void Gpu::configure(EndpointId self_ep, std::function<EndpointId(GpuId)> gpu_endpoint,
-                    std::unique_ptr<CompressionPolicy> policy) {
+                    std::unique_ptr<CompressionPolicy> policy, const RetryParams& retry,
+                    bool link_faults) {
   rdma_.configure(
       self_ep, std::move(gpu_endpoint),
       [this](Addr addr, bool is_write) { return owner_access(addr, is_write); },
-      std::move(policy));
+      std::move(policy), retry, link_faults);
 }
 
 Tick Gpu::owner_access(Addr addr, bool is_write) {

@@ -38,9 +38,12 @@ class Gpu {
       Collector& collector, GpuId id, const GpuParams& params);
 
   /// Registers this GPU on the fabric and installs its compression policy.
-  /// `gpu_endpoint` maps a GpuId to its fabric endpoint.
+  /// `gpu_endpoint` maps a GpuId to its fabric endpoint. `retry` and
+  /// `link_faults` arm the RDMA engine's retransmission protocol; the
+  /// defaults keep it off (lossless fabric).
   void configure(EndpointId self_ep, std::function<EndpointId(GpuId)> gpu_endpoint,
-                 std::unique_ptr<CompressionPolicy> policy);
+                 std::unique_ptr<CompressionPolicy> policy,
+                 const RetryParams& retry = {}, bool link_faults = false);
 
   /// CU-facing vector memory access. Returns true if the op completed
   /// inline (L1 hit or posted local write); otherwise `done` fires later

@@ -1,43 +1,75 @@
 #include "gpu/rdma.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace mgcomp {
 
 std::uint16_t RdmaEngine::alloc_id() {
   // Outstanding requests are bounded by the CUs' windows (a few hundred),
-  // far below 2^16, so a simple wrapping counter with a uniqueness check
-  // is safe.
+  // far below 2^16, so a wrapping counter works — but only if it skips ids
+  // that are still live. Two classes must be avoided: ids in pending_
+  // (their response has not arrived) and quarantined ids (their request
+  // completed or hard-failed, but a stale response may still be in flight
+  // after retransmission). Reusing either would let an old response
+  // complete the wrong request.
   for (int guard = 0; guard < 1 << 16; ++guard) {
     const std::uint16_t id = next_id_++;
-    if (!pending_.contains(id)) return id;
+    if (!pending_.contains(id) && !quarantined_.contains(id)) return id;
   }
   MGCOMP_CHECK_MSG(false, "RDMA sequence-number space exhausted");
   return 0;
+}
+
+void RdmaEngine::quarantine_id(std::uint16_t id) {
+  if (!reliable_) return;  // without faults there are no stale responses
+  if (quarantined_.insert(id).second) {
+    quarantine_fifo_.push_back(id);
+    if (quarantine_fifo_.size() > kQuarantineCap) {
+      quarantined_.erase(quarantine_fifo_.front());
+      quarantine_fifo_.pop_front();
+    }
+  }
 }
 
 void RdmaEngine::remote_read(Addr addr, std::function<void()> done) {
   const GpuId owner = map_->owner(addr);
   MGCOMP_CHECK_MSG(owner != self_, "remote_read called for a local address");
   const std::uint16_t id = alloc_id();
-  pending_.emplace(id, PendingRequest{std::move(done)});
-
-  Message m;
-  m.type = MsgType::kReadReq;
-  m.id = id;
-  m.src = self_ep_;
-  m.dst = gpu_endpoint_(owner);
-  m.addr = line_base(addr);
-  m.length = kLineBytes;
-  bus_->send(std::move(m));
+  const auto [it, inserted] = pending_.emplace(
+      id, PendingRequest{std::move(done), line_base(addr), MsgType::kReadReq,
+                         gpu_endpoint_(owner), 0, false, nullptr});
+  MGCOMP_CHECK(inserted);
+  arm_timer(id, it->second);
+  send_request(id, it->second);
 }
 
 void RdmaEngine::remote_write(Addr addr, std::function<void()> done) {
   const GpuId owner = map_->owner(addr);
   MGCOMP_CHECK_MSG(owner != self_, "remote_write called for a local address");
   const std::uint16_t id = alloc_id();
-  pending_.emplace(id, PendingRequest{std::move(done)});
-  send_payload(line_base(addr), MsgType::kWriteReq, id, gpu_endpoint_(owner));
+  const auto [it, inserted] = pending_.emplace(
+      id, PendingRequest{std::move(done), line_base(addr), MsgType::kWriteReq,
+                         gpu_endpoint_(owner), 0, false, nullptr});
+  MGCOMP_CHECK(inserted);
+  arm_timer(id, it->second);
+  send_request(id, it->second);
+}
+
+void RdmaEngine::send_request(std::uint16_t id, const PendingRequest& req) {
+  if (req.type == MsgType::kWriteReq) {
+    send_payload(req.addr, MsgType::kWriteReq, id, req.dst);
+    return;
+  }
+  Message m;
+  m.type = MsgType::kReadReq;
+  m.id = id;
+  m.src = self_ep_;
+  m.dst = req.dst;
+  m.addr = req.addr;
+  m.length = kLineBytes;
+  bus_->send(std::move(m));
 }
 
 void RdmaEngine::send_payload(Addr addr, MsgType type, std::uint16_t id, EndpointId dst) {
@@ -72,12 +104,108 @@ void RdmaEngine::send_payload(Addr addr, MsgType type, std::uint16_t id, Endpoin
   }
 }
 
+void RdmaEngine::arm_timer(std::uint16_t id, PendingRequest& req) {
+  if (!reliable_ || retry_.timeout == 0) return;
+  Tick t = retry_.timeout;
+  for (std::uint32_t r = 0; r < req.retries; ++r) {
+    t = static_cast<Tick>(static_cast<double>(t) * std::max(retry_.backoff_factor, 1.0));
+    if (t >= retry_.timeout_cap) {
+      t = retry_.timeout_cap;
+      break;
+    }
+  }
+  if (req.retries > 0) collector_->link().backoff_cycles += t - retry_.timeout;
+  req.timer = engine_->schedule_cancellable_in(t, [this, id] { on_timeout(id); });
+}
+
+void RdmaEngine::cancel_timer(PendingRequest& req) {
+  if (req.timer) {
+    *req.timer = false;
+    req.timer.reset();
+  }
+}
+
+void RdmaEngine::on_timeout(std::uint16_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.completing) return;  // stale firing
+  policy_->on_link_feedback(LinkEvent::kTimeout);
+  retransmit(id, it->second, /*from_nack=*/false);
+}
+
+void RdmaEngine::retransmit(std::uint16_t id, PendingRequest& req, bool from_nack) {
+  if (req.retries >= retry_.max_retries) {
+    hard_fail(id, req);
+    return;
+  }
+  ++req.retries;
+  LinkStats& link = collector_->link();
+  if (from_nack) {
+    ++link.fast_retransmits;
+  } else {
+    ++link.timeout_retransmits;
+  }
+  cancel_timer(req);
+  arm_timer(id, req);
+  send_request(id, req);
+}
+
+void RdmaEngine::hard_fail(std::uint16_t id, PendingRequest& req) {
+  LinkStats& link = collector_->link();
+  ++link.hard_failures;
+  collector_->record_link_error(LinkError{self_, req.addr, req.type, req.retries});
+  policy_->on_link_feedback(LinkEvent::kHardFailure);
+  cancel_timer(req);
+  quarantine_id(id);
+  auto done = std::move(req.done);
+  pending_.erase(id);
+  done();  // release the CU window slot so the kernel drains
+}
+
+void RdmaEngine::replay_remember(EndpointId requester, std::uint16_t id, Addr addr) {
+  const std::uint64_t key = replay_key(requester, id);
+  if (replay_.insert_or_assign(key, addr).second) {
+    replay_fifo_.push_back(key);
+    if (replay_fifo_.size() > kReplayCap) {
+      replay_.erase(replay_fifo_.front());
+      replay_fifo_.pop_front();
+    }
+  }
+}
+
+bool RdmaEngine::crc_accept(const Message& msg) {
+  if (msg.crc == message_crc(msg)) return true;
+  LinkStats& link = collector_->link();
+  ++link.crc_failures;
+  link.wasted_wire_bytes += msg.wire_bytes();
+  const bool nackable = msg.has_payload();
+  const EndpointId sender = msg.src;
+  const std::uint16_t id = msg.id;
+  bus_->consume(self_ep_, msg.wire_bytes());
+  if (nackable) {
+    // The sender holds enough state to retransmit (pending write or
+    // replay-cache entry), so tell it immediately instead of waiting for
+    // the requester-side timeout.
+    ++link.nacks_sent;
+    Message nack;
+    nack.type = MsgType::kNack;
+    nack.id = id;  // possibly corrupted; suppression absorbs a mismatch
+    nack.src = self_ep_;
+    nack.dst = sender;
+    bus_->send(std::move(nack));
+  }
+  // Corrupt requests/ACKs/NACKs carry no recoverable intent — drop them;
+  // the affected request recovers via its timeout.
+  return false;
+}
+
 void RdmaEngine::deliver(Message&& msg) {
+  if (!crc_accept(msg)) return;
   switch (msg.type) {
     case MsgType::kReadReq: handle_read_req(std::move(msg)); break;
     case MsgType::kDataReady: handle_data_ready(std::move(msg)); break;
     case MsgType::kWriteReq: handle_write_req(std::move(msg)); break;
     case MsgType::kWriteAck: handle_write_ack(std::move(msg)); break;
+    case MsgType::kNack: handle_nack(std::move(msg)); break;
   }
 }
 
@@ -85,6 +213,9 @@ void RdmaEngine::handle_read_req(Message&& msg) {
   // Owner side: fetch the line from local L2/DRAM, then compress and
   // respond. The request's input-buffer space is held until the response
   // is handed to the fabric (it models unprocessed-message backlog).
+  // A duplicated/retransmitted request simply regenerates the response;
+  // the requester suppresses the extra copy.
+  if (reliable_) replay_remember(msg.src, msg.id, msg.addr);
   const Tick ready = owner_access_(msg.addr, /*is_write=*/false);
   const std::uint32_t req_wire = msg.wire_bytes();
   engine_->schedule_at(ready, [this, msg = std::move(msg), req_wire] {
@@ -96,15 +227,32 @@ void RdmaEngine::handle_read_req(Message&& msg) {
 void RdmaEngine::handle_data_ready(Message&& msg) {
   // Requester side: charge decompression (bypassed when Comp Alg is 0),
   // then complete the matching pending read.
+  const auto it = pending_.find(msg.id);
+  if (it == pending_.end() || it->second.completing ||
+      it->second.type != MsgType::kReadReq) {
+    // Duplicate or stale response — possible once the link duplicates
+    // messages or a retransmitted request is answered twice. Without
+    // faults this is a protocol violation worth aborting on.
+    MGCOMP_CHECK_MSG(reliable_, "Data-Ready for unknown request id");
+    LinkStats& link = collector_->link();
+    ++link.duplicates_suppressed;
+    link.wasted_wire_bytes += msg.wire_bytes();
+    bus_->consume(self_ep_, msg.wire_bytes());
+    return;
+  }
+  it->second.completing = true;
+  cancel_timer(it->second);
+
   const Tick lat = msg.decompress_latency;
   const Tick occ = msg.decompress_occupancy;
   auto finish = [this, msg = std::move(msg)] {
     collector_->on_payload_received(msg.decompress_energy_pj);
     bus_->consume(self_ep_, msg.wire_bytes());
-    const auto it = pending_.find(msg.id);
-    MGCOMP_CHECK_MSG(it != pending_.end(), "Data-Ready for unknown request id");
-    auto done = std::move(it->second.done);
-    pending_.erase(it);
+    const auto pit = pending_.find(msg.id);
+    MGCOMP_CHECK_MSG(pit != pending_.end(), "read completion raced with retirement");
+    if (pit->second.retries > 0) quarantine_id(msg.id);
+    auto done = std::move(pit->second.done);
+    pending_.erase(pit);
     done();
   };
   if (lat == 0) {
@@ -119,7 +267,9 @@ void RdmaEngine::handle_data_ready(Message&& msg) {
 
 void RdmaEngine::handle_write_req(Message&& msg) {
   // Owner side: decompress (if compressed), commit to local memory
-  // hierarchy, then acknowledge.
+  // hierarchy, then acknowledge. Re-committing a duplicated write is
+  // idempotent (same line contents), so no owner-side suppression is
+  // needed; the requester suppresses the duplicate ACK.
   const Tick lat = msg.decompress_latency;
   const Tick occ = msg.decompress_occupancy;
   auto commit = [this, msg = std::move(msg)] {
@@ -147,10 +297,51 @@ void RdmaEngine::handle_write_req(Message&& msg) {
 void RdmaEngine::handle_write_ack(Message&& msg) {
   bus_->consume(self_ep_, msg.wire_bytes());
   const auto it = pending_.find(msg.id);
-  MGCOMP_CHECK_MSG(it != pending_.end(), "Write-ACK for unknown request id");
+  if (it == pending_.end() || it->second.completing ||
+      it->second.type != MsgType::kWriteReq) {
+    MGCOMP_CHECK_MSG(reliable_, "Write-ACK for unknown request id");
+    LinkStats& link = collector_->link();
+    ++link.duplicates_suppressed;
+    link.wasted_wire_bytes += msg.wire_bytes();
+    return;
+  }
+  cancel_timer(it->second);
+  if (it->second.retries > 0) quarantine_id(msg.id);
   auto done = std::move(it->second.done);
   pending_.erase(it);
   done();
+}
+
+void RdmaEngine::handle_nack(Message&& msg) {
+  bus_->consume(self_ep_, msg.wire_bytes());
+  MGCOMP_CHECK_MSG(reliable_, "NACK on a lossless fabric");
+  LinkStats& link = collector_->link();
+  ++link.nacks_received;
+
+  // Case 1: one of our pending requests (a Write payload) was corrupted at
+  // the owner — fast retransmit. A NACK whose id was itself corrupted can
+  // alias an unrelated pending request here; the spurious resend is
+  // absorbed by duplicate suppression at the responder.
+  const auto it = pending_.find(msg.id);
+  if (it != pending_.end() && !it->second.completing && it->second.dst == msg.src) {
+    policy_->on_link_feedback(LinkEvent::kNackReceived);
+    retransmit(msg.id, it->second, /*from_nack=*/true);
+    return;
+  }
+
+  // Case 2: a Data-Ready we produced as owner was corrupted — replay it
+  // from the response cache.
+  const auto rit = replay_.find(replay_key(msg.src, msg.id));
+  if (rit != replay_.end()) {
+    ++link.replay_hits;
+    policy_->on_link_feedback(LinkEvent::kNackReceived);
+    send_payload(rit->second, MsgType::kDataReady, msg.id, msg.src);
+    return;
+  }
+
+  // Evicted replay entry or corrupted NACK id: the requester's timeout is
+  // the backstop.
+  ++link.stray_nacks;
 }
 
 }  // namespace mgcomp

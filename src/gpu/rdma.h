@@ -5,15 +5,29 @@
 // GPU's compression policy; every compressed payload it receives is charged
 // the decompression latency before delivery completes. Requests carry
 // 16-bit sequence numbers so responses can arrive out of order (Fig. 4).
+//
+// Reliability extension (active only when the system enables link faults):
+// every delivered message is CRC-checked first. Corrupt payload-bearing
+// messages (Data-Ready / Write) are NACKed back to the sender; corrupt
+// requests and ACKs are silently discarded and recovered by the requester's
+// timeout. Each outstanding request arms a cancellable timeout with
+// exponential backoff and a bounded retry budget; exhausting the budget
+// surfaces a structured LinkError in the run result instead of aborting.
+// Retransmission makes duplicate responses and stale ids possible, so
+// responses for unknown/completed ids are suppressed, and ids of requests
+// that saw retries are quarantined before reuse.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "adaptive/policy.h"
 #include "analysis/collector.h"
 #include "fabric/fabric.h"
+#include "fault/fault_injector.h"
 #include "memory/address_map.h"
 #include "memory/global_memory.h"
 #include "sim/engine.h"
@@ -32,13 +46,19 @@ class RdmaEngine {
       : engine_(&engine), bus_(&bus), mem_(&mem), map_(&map), collector_(&collector),
         self_(self) {}
 
-  /// Must be called once before simulation starts.
+  /// Must be called once before simulation starts. `link_faults` arms the
+  /// retransmission machinery (timers, replay cache); on a lossless fabric
+  /// it stays off so the engine schedules exactly the same events as a
+  /// build without the reliability layer.
   void configure(EndpointId self_ep, std::function<EndpointId(GpuId)> gpu_endpoint,
-                 OwnerAccessFn owner_access, std::unique_ptr<CompressionPolicy> policy) {
+                 OwnerAccessFn owner_access, std::unique_ptr<CompressionPolicy> policy,
+                 const RetryParams& retry = {}, bool link_faults = false) {
     self_ep_ = self_ep;
     gpu_endpoint_ = std::move(gpu_endpoint);
     owner_access_ = std::move(owner_access);
     policy_ = std::move(policy);
+    retry_ = retry;
+    reliable_ = link_faults;
   }
 
   /// Reads the remote line containing `addr`; `done` fires when the data
@@ -61,18 +81,61 @@ class RdmaEngine {
  private:
   struct PendingRequest {
     std::function<void()> done;
+    Addr addr{0};
+    MsgType type{MsgType::kReadReq};
+    EndpointId dst{};
+    std::uint32_t retries{0};
+    /// Response accepted, completion (decompression) in flight: further
+    /// responses/NACKs/timeouts for this id must be ignored.
+    bool completing{false};
+    Engine::CancelToken timer;
   };
 
   std::uint16_t alloc_id();
 
-  /// Runs the policy on `line` and, after the compression latency, sends a
-  /// payload-bearing message built by `fill` (which receives the decision).
+  /// Parks `id` so alloc_id skips it while stale responses to it may still
+  /// be in flight (hard failures and retransmitted-then-completed
+  /// requests). FIFO-bounded, far larger than any in-flight horizon.
+  void quarantine_id(std::uint16_t id);
+
+  /// Runs the policy on the line at `addr` and, after the compression
+  /// latency, sends a payload-bearing message (Data-Ready or Write).
   void send_payload(Addr addr, MsgType type, std::uint16_t id, EndpointId dst);
+
+  /// (Re)sends the request message for a pending entry.
+  void send_request(std::uint16_t id, const PendingRequest& req);
+
+  /// Arms (or re-arms) the request's timeout: base * backoff^retries,
+  /// capped. No-op unless link faults are enabled and timeout > 0.
+  void arm_timer(std::uint16_t id, PendingRequest& req);
+  void cancel_timer(PendingRequest& req);
+  void on_timeout(std::uint16_t id);
+
+  /// Retransmits after a NACK; counts toward the same retry budget as
+  /// timeouts so a livelocked link still terminates in a hard failure.
+  void retransmit(std::uint16_t id, PendingRequest& req, bool from_nack);
+
+  /// Retry budget exhausted: record a LinkError, quarantine the id, and
+  /// complete the request so the CU window drains (functional memory is
+  /// already correct; only the timing model loses this transfer).
+  void hard_fail(std::uint16_t id, PendingRequest& req);
+
+  /// Key of the owner-side Data-Ready replay cache: (requester, id).
+  [[nodiscard]] static std::uint64_t replay_key(EndpointId requester,
+                                                std::uint16_t id) noexcept {
+    return (static_cast<std::uint64_t>(requester.value) << 16) | id;
+  }
+  void replay_remember(EndpointId requester, std::uint16_t id, Addr addr);
 
   void handle_read_req(Message&& msg);
   void handle_data_ready(Message&& msg);
   void handle_write_req(Message&& msg);
   void handle_write_ack(Message&& msg);
+  void handle_nack(Message&& msg);
+
+  /// CRC gate: returns true when `msg` passed. On failure consumes the
+  /// buffer space, counts, NACKs payload-bearing types, and drops the rest.
+  bool crc_accept(const Message& msg);
 
   Engine* engine_;
   Fabric* bus_;
@@ -85,9 +148,22 @@ class RdmaEngine {
   std::function<EndpointId(GpuId)> gpu_endpoint_;
   OwnerAccessFn owner_access_;
   std::unique_ptr<CompressionPolicy> policy_;
+  RetryParams retry_{};
+  bool reliable_{false};
 
   std::unordered_map<std::uint16_t, PendingRequest> pending_;
   std::uint16_t next_id_{0};
+
+  /// Recently retired ids alloc_id must not reuse yet.
+  std::unordered_set<std::uint16_t> quarantined_;
+  std::deque<std::uint16_t> quarantine_fifo_;
+  static constexpr std::size_t kQuarantineCap = 8192;
+
+  /// Owner-side Data-Ready replay cache: lets a NACKed read response be
+  /// regenerated without the requester waiting out its full timeout.
+  std::unordered_map<std::uint64_t, Addr> replay_;
+  std::deque<std::uint64_t> replay_fifo_;
+  static constexpr std::size_t kReplayCap = 512;
 
   // Non-pipelined (de)compressor units: a line occupies a unit for its
   // full latency, so codec latency turns into throughput loss when

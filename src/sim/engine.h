@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -20,27 +21,51 @@ class Engine {
  public:
   using Callback = std::function<void()>;
 
+  /// Cancellation handle for timer-style events (retransmission timeouts,
+  /// watchdogs). Setting `*token = false` skips the event when it is popped
+  /// — crucially WITHOUT advancing now(), so a cancelled timer that
+  /// nominally outlives the last real event can never stretch the measured
+  /// execution time.
+  using CancelToken = std::shared_ptr<bool>;
+
   /// Schedules `cb` to run at absolute tick `t` (must be >= now()).
   void schedule_at(Tick t, Callback cb) {
     MGCOMP_CHECK_MSG(t >= now_, "cannot schedule into the past");
-    heap_.push(Event{t, seq_++, std::move(cb)});
+    heap_.push(Event{t, seq_++, std::move(cb), nullptr});
   }
 
   /// Schedules `cb` to run `dt` ticks from now.
   void schedule_in(Tick dt, Callback cb) { schedule_at(now_ + dt, std::move(cb)); }
 
+  /// Like schedule_at, but returns a CancelToken (or re-arms `token` when
+  /// one is passed in, letting periodic events share a single handle).
+  CancelToken schedule_cancellable_at(Tick t, Callback cb, CancelToken token = nullptr) {
+    MGCOMP_CHECK_MSG(t >= now_, "cannot schedule into the past");
+    if (!token) token = std::make_shared<bool>(true);
+    heap_.push(Event{t, seq_++, std::move(cb), token});
+    return token;
+  }
+
+  CancelToken schedule_cancellable_in(Tick dt, Callback cb, CancelToken token = nullptr) {
+    return schedule_cancellable_at(now_ + dt, std::move(cb), std::move(token));
+  }
+
   /// Current simulation time.
   [[nodiscard]] Tick now() const noexcept { return now_; }
 
-  /// Pending event count.
+  /// Pending event count (cancelled-but-not-yet-popped events included).
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
-  /// Runs one event; returns false if the queue is empty.
+  /// Pops one event; returns false if the queue is empty. A cancelled event
+  /// is discarded without running and without touching now() — the return
+  /// value still reports "made progress" so run()/run_until() loops drain
+  /// naturally.
   bool step() {
     if (heap_.empty()) return false;
     // The callback may schedule more events, so pop before invoking.
     Event ev = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
+    if (ev.token && !*ev.token) return true;
     now_ = ev.at;
     ev.fn();
     return true;
@@ -65,6 +90,7 @@ class Engine {
     Tick at;
     std::uint64_t seq;
     Callback fn;
+    CancelToken token;  ///< null for plain (non-cancellable) events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {

@@ -1,6 +1,8 @@
 // Event engine, cache, DRAM, address-map and bus unit tests.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "fabric/bus.h"
 #include "memory/address_map.h"
 #include "memory/cache.h"
@@ -54,6 +56,50 @@ TEST(Engine, RunUntilStopsAtDeadline) {
   EXPECT_EQ(count, 50);
   e.run();
   EXPECT_EQ(count, 100);
+}
+
+TEST(Engine, CancelledEventNeitherRunsNorAdvancesTime) {
+  Engine e;
+  bool ran = false;
+  Tick end = 0;
+  const Engine::CancelToken token =
+      e.schedule_cancellable_at(100, [&] { ran = true; });
+  e.schedule_at(10, [&] { end = e.now(); });
+  *token = false;  // cancel before run
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(end, 10u);
+  // The cancelled event at t=100 was popped but must not stretch the clock
+  // (exec_ticks reads now() after run).
+  EXPECT_EQ(e.now(), 10u);
+}
+
+TEST(Engine, CancellableEventRunsWhenNotCancelled) {
+  Engine e;
+  Tick fired_at = 0;
+  const Engine::CancelToken token =
+      e.schedule_cancellable_in(42, [&] { fired_at = e.now(); });
+  ASSERT_TRUE(token != nullptr);
+  e.run();
+  EXPECT_EQ(fired_at, 42u);
+  EXPECT_EQ(e.now(), 42u);
+}
+
+TEST(Engine, SharedTokenCancelsPeriodicChain) {
+  // One token arms a self-rescheduling chain (the watchdog pattern);
+  // flipping it stops the whole chain.
+  Engine e;
+  int fires = 0;
+  Engine::CancelToken token = std::make_shared<bool>(true);
+  std::function<void()> tick = [&] {
+    ++fires;
+    if (fires == 3) *token = false;
+    e.schedule_cancellable_in(10, tick, token);
+  };
+  e.schedule_cancellable_in(10, tick, token);
+  e.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(e.now(), 30u);  // the 4th, cancelled, event did not advance time
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,310 @@
+// Link-reliability layer: CRC integrity, deterministic fault injection,
+// retransmission/duplicate-suppression protocol, degrade-to-raw policy
+// fallback, and the stall watchdog.
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "common/crc32.h"
+#include "common/types.h"
+#include "core/system.h"
+#include "fault/fault_injector.h"
+#include "workloads/all_workloads.h"
+
+namespace mgcomp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC-32 and message integrity.
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, MatchesKnownVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(Crc32::of("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32::of("", 0), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const char buf[] = "adaptive inter-GPU compression";
+  Crc32 inc;
+  inc.update(buf, 10).update(buf + 10, sizeof(buf) - 1 - 10);
+  EXPECT_EQ(inc.value(), Crc32::of(buf, sizeof(buf) - 1));
+}
+
+Message payload_message() {
+  Message m;
+  m.type = MsgType::kDataReady;
+  m.id = 0x1234;
+  m.src = EndpointId{1};
+  m.dst = EndpointId{2};
+  m.addr = 0x40;
+  m.payload_bits = 500;
+  for (std::size_t i = 0; i < kLineBytes; ++i) m.data[i] = static_cast<std::uint8_t>(i);
+  m.crc = message_crc(m);
+  return m;
+}
+
+TEST(MessageCrc, DetectsEveryInjectedBitPosition) {
+  // Sweep flips across the whole wire image (header and payload): each one
+  // must break the stamped digest.
+  const Message clean = payload_message();
+  const std::uint32_t wire_bits = clean.wire_bytes() * 8;
+  for (std::uint32_t bit = 0; bit < wire_bits; bit += 7) {
+    Message m = clean;
+    FaultInjector::corrupt(m, bit);
+    EXPECT_NE(m.crc, message_crc(m)) << "flip at wire bit " << bit << " went undetected";
+  }
+}
+
+TEST(MessageCrc, HeaderFlipLandsInMsgId) {
+  Message m = payload_message();
+  FaultInjector::corrupt(m, /*bit=*/3);  // below header_bits()
+  EXPECT_NE(m.id, 0x1234);
+  EXPECT_EQ(m.data[3], 3);  // payload untouched
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector determinism and accounting.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameDecisionStream) {
+  FaultParams p;
+  p.bit_error_rate = 1e-4;
+  p.drop_rate = 0.05;
+  p.duplicate_rate = 0.05;
+  p.delay_rate = 0.1;
+  p.seed = 42;
+  FaultInjector a(p);
+  FaultInjector b(p);
+  const Message m = payload_message();
+  for (int i = 0; i < 2000; ++i) {
+    const FaultDecision da = a.on_transmit(m);
+    const FaultDecision db = b.on_transmit(m);
+    ASSERT_EQ(da.drop, db.drop);
+    ASSERT_EQ(da.duplicate, db.duplicate);
+    ASSERT_EQ(da.extra_delay, db.extra_delay);
+    ASSERT_EQ(da.flip_bit, db.flip_bit);
+  }
+  EXPECT_EQ(a.stats().total_faults(), b.stats().total_faults());
+  EXPECT_GT(a.stats().total_faults(), 0u);
+}
+
+TEST(FaultInjector, AllZeroRatesNeverFault) {
+  FaultInjector fi{FaultParams{}};
+  EXPECT_FALSE(fi.params().any());
+  const Message m = payload_message();
+  for (int i = 0; i < 100; ++i) {
+    const FaultDecision d = fi.on_transmit(m);
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_EQ(d.extra_delay, 0u);
+    EXPECT_EQ(d.flip_bit, -1);
+  }
+  EXPECT_EQ(fi.stats().total_faults(), 0u);
+}
+
+TEST(FaultInjector, DropPreemptsOtherFaults) {
+  FaultParams p;
+  p.drop_rate = 1.0;
+  p.bit_error_rate = 0.5;
+  p.duplicate_rate = 1.0;
+  FaultInjector fi(p);
+  const FaultDecision d = fi.on_transmit(payload_message());
+  EXPECT_TRUE(d.drop);
+  EXPECT_FALSE(d.duplicate);
+  EXPECT_EQ(d.flip_bit, -1);
+}
+
+// ---------------------------------------------------------------------------
+// System-level protocol behavior.
+// ---------------------------------------------------------------------------
+
+SystemConfig faulty_config(double ber, double drop = 0.0, double dup = 0.0) {
+  SystemConfig cfg;
+  cfg.policy = make_adaptive_policy(AdaptiveParams{.lambda = 6.0});
+  cfg.fault.bit_error_rate = ber;
+  cfg.fault.drop_rate = drop;
+  cfg.fault.duplicate_rate = dup;
+  // Small timeouts keep recovery-dominated tests fast.
+  cfg.retry.timeout = 4096;
+  cfg.retry.timeout_cap = 1u << 16;
+  return cfg;
+}
+
+TEST(FaultSystem, SameSeedIsBitReproducibleIncludingRecoveryCounters) {
+  auto run_once = [] {
+    auto wl = make_workload("MT", 0.2);
+    return run_workload(faulty_config(1e-5, 0.001, 0.001), *wl);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.exec_ticks, b.exec_ticks);
+  EXPECT_EQ(a.bus.total_messages(), b.bus.total_messages());
+  EXPECT_EQ(a.link.crc_failures, b.link.crc_failures);
+  EXPECT_EQ(a.link.fast_retransmits, b.link.fast_retransmits);
+  EXPECT_EQ(a.link.timeout_retransmits, b.link.timeout_retransmits);
+  EXPECT_EQ(a.link.duplicates_suppressed, b.link.duplicates_suppressed);
+  EXPECT_EQ(a.faults.total_faults(), b.faults.total_faults());
+  EXPECT_GT(a.faults.total_faults(), 0u);  // the run actually exercised faults
+}
+
+TEST(FaultSystem, ArmedButQuietReliabilityLayerIsZeroCost) {
+  // Timers armed (fault.any() is true) but the rate is so small no fault
+  // ever fires: measured time must match the lossless run exactly, proving
+  // cancelled timeout events never stretch the clock.
+  auto run_with = [](double dup_rate) {
+    SystemConfig cfg;
+    cfg.policy = make_static_policy(CodecId::kBdi);
+    cfg.fault.duplicate_rate = dup_rate;
+    auto wl = make_workload("BS", 0.1);
+    return run_workload(std::move(cfg), *wl);
+  };
+  const RunResult quiet = run_with(1e-15);
+  ASSERT_EQ(quiet.faults.total_faults(), 0u);
+  const RunResult lossless = run_with(0.0);
+  EXPECT_EQ(quiet.exec_ticks, lossless.exec_ticks);
+  EXPECT_EQ(quiet.bus.total_messages(), lossless.bus.total_messages());
+  EXPECT_EQ(quiet.link.retransmissions(), 0u);
+}
+
+TEST(FaultSystem, DuplicatedDeliveriesAreSuppressed) {
+  auto wl = make_workload("MT", 0.2);
+  const RunResult r = run_workload(faulty_config(0.0, 0.0, /*dup=*/0.05), *wl);
+  EXPECT_GT(r.faults.duplicates, 0u);
+  EXPECT_GT(r.link.duplicates_suppressed, 0u);
+  // Every request still completed exactly once: requests and responses
+  // stay paired even though the wire carried extra copies.
+  EXPECT_EQ(r.link.hard_failures, 0u);
+  EXPECT_LT(r.goodput_fraction(), 1.0);
+}
+
+TEST(FaultSystem, SurvivesInputBufferExhaustionUnderRetransmissionBursts) {
+  // Tiny input buffers (room for ~2 payload messages) + drops + duplicates:
+  // retransmission bursts constantly bounce off full buffers. The run must
+  // still drain without deadlock or watchdog abort.
+  SystemConfig cfg = faulty_config(1e-5, 0.01, 0.02);
+  cfg.bus.input_buffer_bytes = 192;
+  auto wl = make_workload("BS", 0.1);
+  const RunResult r = run_workload(std::move(cfg), *wl);
+  EXPECT_GT(r.link.retransmissions(), 0u);
+  EXPECT_EQ(r.link.hard_failures, 0u);  // everything recovered, nothing gave up
+}
+
+TEST(FaultSystem, HardFailureSurfacesLinkErrorInsteadOfAborting) {
+  // A fully dead link: every request exhausts its retry budget, completes
+  // via the hard-failure path, and the run finishes with structured
+  // diagnostics instead of hanging or aborting.
+  SystemConfig cfg;
+  cfg.policy = make_no_compression_policy();
+  cfg.fault.drop_rate = 1.0;
+  cfg.retry.timeout = 512;
+  cfg.retry.timeout_cap = 2048;
+  cfg.retry.max_retries = 2;
+  auto wl = make_workload("MT", 0.1);
+  const RunResult r = run_workload(std::move(cfg), *wl);
+  EXPECT_GT(r.link.hard_failures, 0u);
+  ASSERT_FALSE(r.link_errors.empty());
+  EXPECT_EQ(r.link_errors.front().retries, 2u);
+  EXPECT_LE(r.link_errors.size(), Collector::kMaxLinkErrors);
+  EXPECT_EQ(r.goodput_fraction(), 0.0);  // every transmitted byte was dropped
+}
+
+TEST(FaultSystem, AllWorkloadsProduceBitIdenticalOutputUnderLowBer) {
+  // Functional output is settled at trace-generation time, so a lossy link
+  // may cost time and bandwidth but never correctness. Compare a digest of
+  // every memory region after a BER=1e-6 run against the lossless run.
+  auto digest_after_run = [](std::string_view abbrev, double ber) {
+    SystemConfig cfg;
+    cfg.policy = make_adaptive_policy(AdaptiveParams{.lambda = 6.0});
+    cfg.fault.bit_error_rate = ber;
+    cfg.retry.timeout = 4096;
+    auto wl = make_workload(abbrev, 0.05);
+    MultiGpuSystem system(std::move(cfg));
+    (void)system.run(*wl);  // run() aborts internally if verify() fails
+    Crc32 crc;
+    for (const auto& region : system.memory().regions()) {
+      for (Addr a = region.base; a < region.base + region.bytes; a += kLineBytes) {
+        const Line l = system.memory().read_line(a);
+        crc.update(l.data(), l.size());
+      }
+    }
+    return crc.value();
+  };
+  for (const std::string_view abbrev : workload_abbrevs()) {
+    EXPECT_EQ(digest_after_run(abbrev, 1e-6), digest_after_run(abbrev, 0.0))
+        << "functional divergence for " << abbrev;
+  }
+}
+
+TEST(FaultSystem, AdaptivePolicyDegradesToRawAndReprobes) {
+  // A very lossy link must trip the degrade mechanism; after the cool-down
+  // the policy re-probes (sampling continues), so compressed transfers do
+  // not stop forever.
+  SystemConfig cfg;
+  AdaptiveParams ap;
+  ap.lambda = 6.0;
+  ap.degrade_window = 32;
+  ap.degrade_error_threshold = 0.02;
+  ap.degrade_cooldown_transfers = 64;
+  cfg.policy = make_adaptive_policy(ap);
+  cfg.fault.bit_error_rate = 3e-4;
+  cfg.retry.timeout = 4096;
+  auto wl = make_workload("MT", 0.3);
+  const RunResult r = run_workload(std::move(cfg), *wl);
+  EXPECT_GT(r.policy_stats.degrade_events, 0u);
+  EXPECT_GT(r.policy_stats.degraded_transfers, 0u);
+  // Re-probe: sampling resumed after a cool-down, so more than one vote
+  // was taken over the run.
+  EXPECT_GE(r.policy_stats.votes_taken, 2u);
+}
+
+TEST(FaultSystem, NackFastRetransmitBeatsTimeoutRecovery) {
+  // With corruption only (no drops), payload errors are NACKed, so most
+  // recovery should be NACK-driven fast retransmits or owner-side replays
+  // rather than timeout expiries.
+  auto wl = make_workload("MT", 0.2);
+  const RunResult r = run_workload(faulty_config(5e-5), *wl);
+  ASSERT_GT(r.link.crc_failures, 0u);
+  EXPECT_GT(r.link.nacks_sent, 0u);
+  EXPECT_GT(r.link.fast_retransmits + r.link.replay_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog and drain diagnostics (death tests).
+// ---------------------------------------------------------------------------
+
+using FaultSystemDeathTest = ::testing::Test;
+
+TEST(FaultSystemDeathTest, WatchdogDumpsDiagnosticsWhenNothingMoves) {
+  // Dead link + a first timeout far beyond the watchdog period: the fabric
+  // moves no message for a full interval while requests are outstanding.
+  EXPECT_DEATH(
+      {
+        SystemConfig cfg;
+        cfg.fault.drop_rate = 1.0;
+        cfg.retry.timeout = 1u << 30;
+        cfg.watchdog_interval = 1u << 16;
+        auto wl = make_workload("MT", 0.1);
+        (void)run_workload(std::move(cfg), *wl);
+      },
+      "watchdog: no fabric progress");
+}
+
+TEST(FaultSystemDeathTest, DrainFailureDumpsPerGpuOutstanding) {
+  // Retransmission disabled entirely: dropped responses leave requests
+  // pending forever and the event queue empties -> diagnostic abort, not a
+  // silent hang.
+  EXPECT_DEATH(
+      {
+        SystemConfig cfg;
+        cfg.fault.drop_rate = 1.0;
+        cfg.retry.timeout = 0;  // no retransmission
+        cfg.watchdog_interval = 0;
+        auto wl = make_workload("MT", 0.1);
+        (void)run_workload(std::move(cfg), *wl);
+      },
+      "kernel did not drain");
+}
+
+}  // namespace
+}  // namespace mgcomp
