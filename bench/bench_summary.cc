@@ -47,6 +47,8 @@ int main(int argc, char** argv) {
 
   double adaptive6_time = 1.0;
   double adaptive6_energy = 1.0;
+  MarkdownTable lat({"Bench", "read p50", "read p95", "read p99", "read max", "write p50",
+                     "write p95", "write p99"});
   for (const Case& c : cases) {
     std::vector<double> traffic, time, energy;
     std::size_t i = 0;
@@ -58,6 +60,15 @@ int main(int argc, char** argv) {
                      static_cast<double>(bases[i].exec_ticks));
       energy.push_back(r.total_link_energy_pj() / bases[i].total_link_energy_pj());
       ++i;
+      if (c.label == "Adaptive l=6") {
+        lat.add_row({std::string(abbrev), fmt(r.remote_read_latency.percentile(0.50), 0),
+                     fmt(r.remote_read_latency.percentile(0.95), 0),
+                     fmt(r.remote_read_latency.percentile(0.99), 0),
+                     std::to_string(r.remote_read_latency.max()),
+                     fmt(r.remote_write_latency.percentile(0.50), 0),
+                     fmt(r.remote_write_latency.percentile(0.95), 0),
+                     fmt(r.remote_write_latency.percentile(0.99), 0)});
+      }
     }
     figs.add_row({c.label, fmt(bench::geomean(traffic)), fmt(bench::geomean(time)),
                   fmt(bench::geomean(energy))});
@@ -67,6 +78,9 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", figs.to_string().c_str());
+
+  std::printf("## Remote completion latency @ Adaptive l=6 (cycles)\n\n%s\n",
+              lat.to_string().c_str());
 
   std::printf("## Headline vs paper\n\n");
   MarkdownTable headline({"Metric", "This repo", "Paper"});

@@ -15,6 +15,8 @@
 //     --ber       <bit error rate>            (default 0; enables reliability layer)
 //     --drop      <message drop rate>         (default 0)
 //     --characterize                          (adds Table V-style columns)
+//     --trace-out <file.json>                 (write Chrome trace-event JSON; open in Perfetto)
+//     --trace-limit <events>                  (trace ring capacity, default 262144)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -43,6 +45,8 @@ struct Options {
   bool characterize{false};
   bool json{false};
   std::string dump_trace;  ///< CSV path for Fig.1-style per-transfer series
+  std::string trace_out;   ///< Chrome trace-event JSON path (Perfetto)
+  std::size_t trace_limit{262144};  ///< event-ring capacity for --trace-out
 };
 
 bool parse(int argc, char** argv, Options& o) {
@@ -101,6 +105,15 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (v == nullptr) return false;
       o.dump_trace = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.trace_out = v;
+    } else if (arg == "--trace-limit") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.trace_limit = static_cast<std::size_t>(std::atoll(v));
+      if (o.trace_limit == 0) return false;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -118,7 +131,8 @@ void usage() {
       "                [--lambda F] [--scale F] [--gpus N] [--bus B/cyc]\n"
       "                [--samples N] [--running N] [--tier chip|die|package|node]\n"
       "                [--ber RATE] [--drop RATE]\n"
-      "                [--characterize] [--json] [--dump-trace out.csv]");
+      "                [--characterize] [--json] [--dump-trace out.csv]\n"
+      "                [--trace-out out.json] [--trace-limit EVENTS]");
 }
 
 }  // namespace
@@ -137,6 +151,7 @@ int main(int argc, char** argv) {
   cfg.fault.bit_error_rate = o.ber;
   cfg.fault.drop_rate = o.drop;
   if (!o.dump_trace.empty()) cfg.trace_samples = 5000;
+  if (!o.trace_out.empty()) cfg.trace_events = o.trace_limit;
   cfg.energy_tier = o.tier == "chip"      ? FabricTier::kOnChip
                     : o.tier == "package" ? FabricTier::kInterPackage
                     : o.tier == "node"    ? FabricTier::kInterNode
@@ -171,6 +186,23 @@ int main(int argc, char** argv) {
 
   const RunResult r = run_workload(std::move(cfg), *wl);
 
+  if (!o.trace_out.empty()) {
+    if (std::FILE* f = std::fopen(o.trace_out.c_str(), "w")) {
+      std::fwrite(r.trace_json.data(), 1, r.trace_json.size(), f);
+      std::fclose(f);
+      if (!o.json) {
+        std::printf("wrote %llu trace events (%llu evicted) to %s\n",
+                    static_cast<unsigned long long>(r.trace_events_recorded -
+                                                    r.trace_events_dropped),
+                    static_cast<unsigned long long>(r.trace_events_dropped),
+                    o.trace_out.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", o.trace_out.c_str());
+      return 1;
+    }
+  }
+
   if (o.json) {
     JsonObject out;
     out.field("workload", o.workload)
@@ -182,8 +214,11 @@ int main(int argc, char** argv) {
         .field("remote_reads", r.remote_reads())
         .field("remote_writes", r.remote_writes())
         .field("inter_gpu_traffic_bytes", r.inter_gpu_traffic_bytes())
+        .field("inter_gpu_offered_traffic_bytes", r.bus.inter_gpu_offered_wire_bytes)
         .field("payload_raw_bits", r.bus.inter_gpu_payload_raw_bits)
         .field("payload_wire_bits", r.bus.inter_gpu_payload_wire_bits)
+        .field("offered_payload_raw_bits", r.bus.inter_gpu_offered_payload_raw_bits)
+        .field("offered_payload_wire_bits", r.bus.inter_gpu_offered_payload_wire_bits)
         .field("fabric_energy_pj", r.fabric_energy_pj)
         .field("compressor_energy_pj", r.compressor_energy_pj)
         .field("decompressor_energy_pj", r.decompressor_energy_pj)
@@ -195,7 +230,23 @@ int main(int argc, char** argv) {
         .field("hard_failures", r.link.hard_failures)
         .field("degrade_events", r.policy_stats.degrade_events)
         .field("goodput_fraction", r.goodput_fraction())
-        .field("raw_throughput_bytes_per_cycle", r.raw_throughput_bytes_per_cycle());
+        .field("raw_throughput_bytes_per_cycle", r.raw_throughput_bytes_per_cycle())
+        .field("remote_read_latency_count", r.remote_read_latency.count())
+        .field("remote_read_latency_p50", r.remote_read_latency.percentile(0.50))
+        .field("remote_read_latency_p95", r.remote_read_latency.percentile(0.95))
+        .field("remote_read_latency_p99", r.remote_read_latency.percentile(0.99))
+        .field("remote_read_latency_max",
+               static_cast<std::uint64_t>(r.remote_read_latency.max()))
+        .field("remote_write_latency_count", r.remote_write_latency.count())
+        .field("remote_write_latency_p50", r.remote_write_latency.percentile(0.50))
+        .field("remote_write_latency_p95", r.remote_write_latency.percentile(0.95))
+        .field("remote_write_latency_p99", r.remote_write_latency.percentile(0.99))
+        .field("remote_write_latency_max",
+               static_cast<std::uint64_t>(r.remote_write_latency.max()));
+    if (!o.trace_out.empty()) {
+      out.field("trace_events_recorded", r.trace_events_recorded)
+          .field("trace_events_dropped", r.trace_events_dropped);
+    }
     std::printf("%s\n", out.to_string().c_str());
     return 0;
   }
@@ -224,6 +275,20 @@ int main(int argc, char** argv) {
               r.compressor_energy_pj / 1e6, r.decompressor_energy_pj / 1e6);
   std::printf("caches (hit rates)    L1V %.1f%%  L1S %.1f%%  L2 %.1f%%\n",
               100.0 * r.l1v.hit_rate(), 100.0 * r.l1s.hit_rate(), 100.0 * r.l2.hit_rate());
+  if (r.remote_read_latency.count() > 0) {
+    std::printf("remote read latency   p50 %.0f  p95 %.0f  p99 %.0f  max %llu cycles\n",
+                r.remote_read_latency.percentile(0.50),
+                r.remote_read_latency.percentile(0.95),
+                r.remote_read_latency.percentile(0.99),
+                static_cast<unsigned long long>(r.remote_read_latency.max()));
+  }
+  if (r.remote_write_latency.count() > 0) {
+    std::printf("remote write latency  p50 %.0f  p95 %.0f  p99 %.0f  max %llu cycles\n",
+                r.remote_write_latency.percentile(0.50),
+                r.remote_write_latency.percentile(0.95),
+                r.remote_write_latency.percentile(0.99),
+                static_cast<unsigned long long>(r.remote_write_latency.max()));
+  }
 
   std::printf("\nwire payloads by codec:\n");
   for (const CodecId id :

@@ -6,9 +6,21 @@
 
 #include "adaptive/penalty.h"
 #include "common/assert.h"
+#include "obs/tracer.h"
 
 namespace mgcomp {
 namespace {
+
+/// Static-storage phase labels for the tracer (recording never allocates).
+[[nodiscard]] const char* running_phase_name(CodecId id) noexcept {
+  switch (id) {
+    case CodecId::kNone: return "running(raw)";
+    case CodecId::kFpc: return "running(FPC)";
+    case CodecId::kBdi: return "running(BDI)";
+    case CodecId::kCpackZ: return "running(C-Pack+Z)";
+  }
+  return "running";
+}
 
 /// Fills in the latency/energy fields of a decision for the case where one
 /// codec ran and produced `comp`. When the codec failed to shrink the line
@@ -119,6 +131,19 @@ class AdaptivePolicy final : public CompressionPolicy {
 
   void set_pressure_probe(PressureProbe probe) override { probe_ = std::move(probe); }
 
+  void set_tracer(Tracer* tracer, std::uint32_t track) override {
+    tracer_ = tracer;
+    track_ = track;
+    if (tracer_ != nullptr) phase_start_ = tracer_->now();
+  }
+
+  void trace_flush() override {
+    if (tracer_ == nullptr) return;
+    const Tick now = tracer_->now();
+    tracer_->span(track_, phase_name_, "policy", phase_start_, now);
+    phase_start_ = now;  // idempotent: a second flush emits an empty span
+  }
+
   /// Candidate currently locked in (meaningful during the running phase).
   [[nodiscard]] CodecId selected() const noexcept { return selected_; }
 
@@ -126,6 +151,19 @@ class AdaptivePolicy final : public CompressionPolicy {
 
  private:
   enum class Phase : std::uint8_t { kSampling, kRunning };
+
+  /// Closes the current phase span and opens `name`'s. Phase spans tile the
+  /// timeline per GPU track, so one degrade event shows as exactly one
+  /// "degraded" span in the exported trace.
+  void switch_phase(const char* name) {
+    if (phase_name_ == name) return;
+    if (tracer_ != nullptr) {
+      const Tick now = tracer_->now();
+      tracer_->span(track_, phase_name_, "policy", phase_start_, now);
+      phase_start_ = now;
+    }
+    phase_name_ = name;
+  }
 
   /// Scores a candidate under the configured criterion; lower wins.
   [[nodiscard]] double score(std::uint32_t size_bits, CodecId id) const {
@@ -226,6 +264,7 @@ class AdaptivePolicy final : public CompressionPolicy {
     sample_count_ = 0;
     run_count_ = 0;
     phase_ = params_.running_transfers > 0 ? Phase::kRunning : Phase::kSampling;
+    if (phase_ == Phase::kRunning) switch_phase(running_phase_name(selected_));
   }
 
   /// Counts one non-degraded transfer toward the error-rate window and
@@ -239,14 +278,20 @@ class AdaptivePolicy final : public CompressionPolicy {
         static_cast<double>(window_errors_) / static_cast<double>(window_transfers_);
     window_transfers_ = 0;
     window_errors_ = 0;
+    if (tracer_ != nullptr) tracer_->counter(track_, "window_error_rate", rate);
     if (rate >= params_.degrade_error_threshold) {
       degrade_remaining_ = params_.degrade_cooldown_transfers;
       ++stats_.degrade_events;
+      switch_phase("degraded");
     }
   }
 
   /// Re-probe after a degrade cool-down: discard the stale vote state and
-  /// start a fresh sampling phase.
+  /// start a fresh sampling phase. The error window is cleared too —
+  /// feedback for transfers issued before or during the cool-down must not
+  /// count against the first post-degrade window, or a single burst of
+  /// stale NACKs re-trips the degrade and the policy oscillates raw/probe
+  /// without ever re-measuring the link.
   void reset_to_sampling() {
     phase_ = Phase::kSampling;
     selected_ = CodecId::kNone;
@@ -254,6 +299,9 @@ class AdaptivePolicy final : public CompressionPolicy {
     run_count_ = 0;
     votes_.fill(0);
     penalty_sums_.fill(0.0);
+    window_transfers_ = 0;
+    window_errors_ = 0;
+    switch_phase("sampling");
   }
 
   CompressionDecision decide_running(LineView line) {
@@ -266,7 +314,10 @@ class AdaptivePolicy final : public CompressionPolicy {
       const Compressed comp = codecs_->get(selected_).compress(line);
       d = single_codec_decision(comp, selected_);
     }
-    if (++run_count_ >= params_.running_transfers) phase_ = Phase::kSampling;
+    if (++run_count_ >= params_.running_transfers) {
+      phase_ = Phase::kSampling;
+      switch_phase("sampling");
+    }
     return d;
   }
 
@@ -292,6 +343,12 @@ class AdaptivePolicy final : public CompressionPolicy {
   std::uint32_t window_transfers_{0};
   std::uint32_t window_errors_{0};
   std::uint32_t degrade_remaining_{0};
+
+  // Phase tracing (null when observability is off).
+  Tracer* tracer_{nullptr};
+  std::uint32_t track_{0};
+  Tick phase_start_{0};
+  const char* phase_name_{"sampling"};
 };
 
 }  // namespace

@@ -22,6 +22,8 @@
 
 namespace mgcomp {
 
+class Tracer;
+
 /// Outcome of a policy's decision for one outgoing line.
 struct CompressionDecision {
   /// Codec id to put in the message header; kNone when the line travels
@@ -109,6 +111,18 @@ class CompressionPolicy {
   /// Link-reliability feedback from the owning RDMA engine. Default:
   /// ignored (only the adaptive policy degrades on unreliable links).
   virtual void on_link_feedback(LinkEvent ev) { (void)ev; }
+
+  /// Installs an event tracer; `track` is the swim lane of the GPU this
+  /// policy's sender lives on. Default: ignored (static policies have no
+  /// phases worth tracing).
+  virtual void set_tracer(Tracer* tracer, std::uint32_t track) {
+    (void)tracer;
+    (void)track;
+  }
+
+  /// Closes any open trace span (e.g. the current policy phase) at end of
+  /// run. Default: nothing to flush.
+  virtual void trace_flush() {}
 
   [[nodiscard]] const PolicyStats& stats() const noexcept { return stats_; }
 

@@ -20,6 +20,7 @@
 #include "compression/codec_set.h"
 #include "compression/cost_model.h"
 #include "fabric/message.h"
+#include "obs/latency_histogram.h"
 
 namespace mgcomp {
 
@@ -127,6 +128,19 @@ class Collector {
 
   static constexpr std::size_t kMaxLinkErrors = 64;
 
+  /// Completion-latency hooks: issue-to-retire cycles for remote reads
+  /// (CU issue -> data decompressed and available) and remote writes
+  /// (CU issue -> Write-ACK). Hard failures are excluded — a drained
+  /// window slot after retry exhaustion is not a completion.
+  void record_read_latency(Tick cycles) { read_latency_.record(cycles); }
+  void record_write_latency(Tick cycles) { write_latency_.record(cycles); }
+  [[nodiscard]] const LatencyHistogram& read_latency() const noexcept {
+    return read_latency_;
+  }
+  [[nodiscard]] const LatencyHistogram& write_latency() const noexcept {
+    return write_latency_;
+  }
+
  private:
   const CodecSet* codecs_{nullptr};
   bool characterize_{false};
@@ -138,6 +152,8 @@ class Collector {
   std::vector<TraceSample> trace_;
   LinkStats link_;
   std::vector<LinkError> link_errors_;
+  LatencyHistogram read_latency_;
+  LatencyHistogram write_latency_;
 };
 
 }  // namespace mgcomp

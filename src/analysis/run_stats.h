@@ -14,6 +14,7 @@
 #include "fabric/bus.h"
 #include "fault/fault_injector.h"
 #include "memory/cache.h"
+#include "obs/latency_histogram.h"
 
 namespace mgcomp {
 
@@ -57,6 +58,18 @@ struct RunResult {
   Characterization characterization;
   /// Filled only when the run had tracing enabled.
   std::vector<TraceSample> trace;
+
+  /// Completion-latency distributions (issue-to-retire cycles) for remote
+  /// reads and writes, aggregated across all GPUs.
+  LatencyHistogram remote_read_latency;
+  LatencyHistogram remote_write_latency;
+
+  /// Chrome trace-event JSON (empty unless the run had tracing enabled via
+  /// SystemConfig::trace_events). Write to a file and open in Perfetto.
+  std::string trace_json;
+  /// Events recorded / evicted by the trace ring over the whole run.
+  std::uint64_t trace_events_recorded{0};
+  std::uint64_t trace_events_dropped{0};
 
   /// Reliability-protocol counters (zero on a lossless run).
   LinkStats link;

@@ -28,6 +28,11 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
     fault_ = std::make_unique<FaultInjector>(config_.fault);
     bus_->set_fault_injector(fault_.get());
   }
+  if (config_.trace_events > 0) {
+    tracer_ = std::make_unique<Tracer>(*engine_, config_.trace_events);
+    bus_->set_tracer(tracer_.get());
+    tracer_->set_track_name(kFabricTrack, "fabric");
+  }
   cpu_ = std::make_unique<CpuHost>(*bus_, *map_, *mem_);
 
   for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
@@ -50,6 +55,15 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
     gpus_[g]->configure(
         gpu_endpoints_[g], [this](GpuId id) { return gpu_endpoints_.at(id.value); },
         std::move(policy), config_.retry, config_.fault.any());
+    if (tracer_ != nullptr) {
+      gpus_[g]->rdma().set_tracer(tracer_.get(), endpoint_track(gpu_endpoints_[g].value));
+    }
+  }
+  if (tracer_ != nullptr) {
+    for (std::size_t e = 0; e < bus_->endpoint_count(); ++e) {
+      const EndpointId ep{static_cast<std::uint32_t>(e)};
+      tracer_->set_track_name(endpoint_track(ep.value), bus_->endpoint_name(ep));
+    }
   }
 }
 
@@ -163,6 +177,15 @@ RunResult MultiGpuSystem::run(Workload& workload) {
   r.link = collector_->link();
   r.link_errors = collector_->link_errors();
   if (fault_ != nullptr) r.faults = fault_->stats();
+  r.remote_read_latency = collector_->read_latency();
+  r.remote_write_latency = collector_->write_latency();
+  if (tracer_ != nullptr) {
+    // Close each policy's open phase span so the trace tiles the full run.
+    for (auto& gpu : gpus_) gpu->rdma().policy().trace_flush();
+    r.trace_json = tracer_->export_json();
+    r.trace_events_recorded = tracer_->recorded();
+    r.trace_events_dropped = tracer_->dropped();
+  }
 
   for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
     const PolicyStats& ps = gpus_[g]->rdma().policy().stats();

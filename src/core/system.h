@@ -15,6 +15,7 @@
 #include "core/system_config.h"
 #include "core/workload.h"
 #include "gpu/gpu.h"
+#include "obs/tracer.h"
 
 namespace mgcomp {
 
@@ -58,6 +59,7 @@ class MultiGpuSystem {
   std::unique_ptr<AddressMap> map_;
   std::unique_ptr<CodecSet> codecs_;
   std::unique_ptr<Collector> collector_;
+  std::unique_ptr<Tracer> tracer_;  ///< null unless config_.trace_events > 0
   std::unique_ptr<Fabric> bus_;
   std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<CpuHost> cpu_;

@@ -34,6 +34,13 @@ struct SystemConfig {
   /// Record the first N payloads' entropy + per-codec sizes (Fig. 1).
   std::size_t trace_samples{0};
 
+  /// Event-trace ring capacity (events). Non-zero attaches a Tracer to the
+  /// fabric, every RDMA engine and every policy, and RunResult::trace_json
+  /// carries the Chrome trace-event export. 0 (default) leaves every
+  /// tracer pointer null — the run's event schedule and results are
+  /// bit-identical to a build without the observability layer.
+  std::size_t trace_events{0};
+
   /// Link-fault injection (reliability extension). All-zero rates (the
   /// default) build a lossless system identical in behavior to one without
   /// the reliability layer: no injector is attached to the fabric and no

@@ -26,16 +26,61 @@ namespace mgcomp {
 
 /// Aggregate fabric counters, split by message type and by whether both
 /// ends are GPUs (inter-GPU) or one end is the CPU.
+///
+/// Inter-GPU traffic is counted twice, at two points of the message life
+/// cycle: *offered* counters accrue when a transmission finishes occupying
+/// the wire (including messages the fault injector then drops), *delivered*
+/// counters only when the message actually reaches its destination's input
+/// buffer. On a lossless fabric the two are identical; under faults the
+/// paper-figure metrics (compression ratio, traffic reduction) must use the
+/// delivered counters, because dropped bytes never arrived and crediting
+/// them would flatter the ratio exactly when the link is at its worst.
 struct BusStats {
-  std::uint64_t messages[kNumMsgTypes]{};        ///< per MsgType, all traffic
-  std::uint64_t wire_bytes[kNumMsgTypes]{};      ///< per MsgType, all traffic
+  std::uint64_t messages[kNumMsgTypes]{};        ///< per MsgType, all transmissions
+  std::uint64_t wire_bytes[kNumMsgTypes]{};      ///< per MsgType, all transmissions
   std::uint64_t inter_gpu_by_type[kNumMsgTypes]{};  ///< per MsgType, GPU<->GPU only
+  /// Delivered GPU<->GPU traffic (excludes fault-dropped messages).
   std::uint64_t inter_gpu_messages{0};
   std::uint64_t inter_gpu_wire_bytes{0};
   std::uint64_t inter_gpu_payload_raw_bits{0};
   std::uint64_t inter_gpu_payload_wire_bits{0};
+  /// Offered GPU<->GPU traffic (every completed transmission, dropped or
+  /// not). offered - delivered = bytes the link destroyed in flight.
+  std::uint64_t inter_gpu_offered_messages{0};
+  std::uint64_t inter_gpu_offered_wire_bytes{0};
+  std::uint64_t inter_gpu_offered_payload_raw_bits{0};
+  std::uint64_t inter_gpu_offered_payload_wire_bits{0};
   Tick busy_cycles{0};
   std::size_t max_out_queue_depth{0};
+
+  /// Books one finished transmission (wire time spent; fault outcome not
+  /// yet known). Both fabrics call this at the top of their complete().
+  void record_transmit(const Message& msg, bool inter_gpu) {
+    const auto t = static_cast<std::size_t>(msg.type);
+    ++messages[t];
+    wire_bytes[t] += msg.wire_bytes();
+    if (!inter_gpu) return;
+    ++inter_gpu_by_type[t];
+    ++inter_gpu_offered_messages;
+    inter_gpu_offered_wire_bytes += msg.wire_bytes();
+    if (msg.has_payload()) {
+      inter_gpu_offered_payload_raw_bits += kLineBits;
+      inter_gpu_offered_payload_wire_bits += msg.payload_bits;
+    }
+  }
+
+  /// Books a message that will reach its destination (i.e. the injector
+  /// did not drop it; corruption and delay still count as delivered — the
+  /// bytes arrive, the receiver's CRC path accounts for the waste).
+  void record_delivered(const Message& msg, bool inter_gpu) {
+    if (!inter_gpu) return;
+    ++inter_gpu_messages;
+    inter_gpu_wire_bytes += msg.wire_bytes();
+    if (msg.has_payload()) {
+      inter_gpu_payload_raw_bits += kLineBits;
+      inter_gpu_payload_wire_bits += msg.payload_bits;
+    }
+  }
 
   /// Coarse utilization timeline: busy cycles accumulated per fixed-width
   /// time bucket (grown on demand). Lets tools plot phase behavior
@@ -125,13 +170,14 @@ class BusFabric final : public Fabric {
   [[nodiscard]] const BusStats& stats() const noexcept override { return stats_; }
   [[nodiscard]] bool idle() const noexcept { return !busy_; }
   [[nodiscard]] std::size_t num_endpoints() const noexcept { return endpoints_.size(); }
-  [[nodiscard]] const std::string& endpoint_name(EndpointId ep) const {
+  [[nodiscard]] const std::string& endpoint_name(EndpointId ep) const override {
     return endpoints_.at(ep.value).name;
   }
 
   void set_fault_injector(FaultInjector* injector) noexcept override {
     injector_ = injector;
   }
+  void set_tracer(Tracer* tracer) noexcept override { tracer_ = tracer; }
   [[nodiscard]] std::size_t endpoint_count() const noexcept override {
     return endpoints_.size();
   }
@@ -163,6 +209,7 @@ class BusFabric final : public Fabric {
   std::vector<Endpoint> endpoints_;
   BusStats stats_;
   FaultInjector* injector_{nullptr};
+  Tracer* tracer_{nullptr};
   bool busy_{false};
   Message in_flight_{};
   std::size_t rr_next_{0};  ///< round-robin scan start

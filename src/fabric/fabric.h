@@ -16,6 +16,7 @@ namespace mgcomp {
 
 struct BusStats;     // defined in fabric/bus.h; shared by all fabrics
 class FaultInjector;  // defined in fault/fault_injector.h
+class Tracer;         // defined in obs/tracer.h
 
 class Fabric {
  public:
@@ -25,6 +26,14 @@ class Fabric {
 
   /// Registers an endpoint; `is_gpu` controls inter-GPU accounting.
   virtual EndpointId add_endpoint(std::string name, bool is_gpu, DeliverFn deliver) = 0;
+
+  /// Name given to `ep` at registration (track labels, diagnostics).
+  [[nodiscard]] virtual const std::string& endpoint_name(EndpointId ep) const = 0;
+
+  /// Installs an event tracer recording per-message transmission spans and
+  /// occupancy counters; null (the default) disables tracing at the cost
+  /// of one branch per message.
+  virtual void set_tracer(Tracer* tracer) noexcept { (void)tracer; }
 
   /// Queues `msg` for transmission from `msg.src` to `msg.dst`.
   virtual void send(Message msg) = 0;

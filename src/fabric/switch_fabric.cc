@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "fault/fault_injector.h"
+#include "obs/tracer.h"
 
 namespace mgcomp {
 
@@ -23,6 +24,10 @@ void SwitchFabric::consume(EndpointId id, std::size_t bytes) {
   Endpoint& ep = endpoints_[id.value];
   MGCOMP_CHECK_MSG(ep.in_bytes >= bytes, "input-buffer release underflow");
   ep.in_bytes -= bytes;
+  if (tracer_ != nullptr) {
+    tracer_->counter(endpoint_track(id.value), "in_buffer_bytes",
+                     static_cast<double>(ep.in_bytes));
+  }
   // Any source whose head-of-line message targets this endpoint may now
   // proceed. Endpoint counts are tiny (CPU + a few GPUs), so scan all.
   for (std::size_t s = 0; s < endpoints_.size(); ++s) {
@@ -61,25 +66,30 @@ void SwitchFabric::pump(std::size_t src_idx) {
 }
 
 void SwitchFabric::complete(Message msg) {
-  const auto t = static_cast<std::size_t>(msg.type);
-  ++stats_.messages[t];
-  stats_.wire_bytes[t] += msg.wire_bytes();
   stats_.record_pair(msg.src, msg.dst, endpoints_.size(), msg.wire_bytes());
   const bool inter_gpu =
       endpoints_[msg.src.value].is_gpu && endpoints_[msg.dst.value].is_gpu;
-  if (inter_gpu) {
-    ++stats_.inter_gpu_by_type[t];
-    ++stats_.inter_gpu_messages;
-    stats_.inter_gpu_wire_bytes += msg.wire_bytes();
-    if (msg.has_payload()) {
-      stats_.inter_gpu_payload_raw_bits += kLineBits;
-      stats_.inter_gpu_payload_wire_bits += msg.payload_bits;
-    }
+  stats_.record_transmit(msg, inter_gpu);
+
+  if (tracer_ != nullptr) {
+    const Tick end = engine_->now();
+    const Tick cycles = std::max<Tick>(
+        (msg.wire_bytes() + params_.bytes_per_cycle - 1) / params_.bytes_per_cycle, 1);
+    tracer_->span(kFabricTrack, msg_type_name(msg.type).data(), "fabric", end - cycles, end,
+                  msg.wire_bytes());
+    tracer_->counter(
+        kFabricTrack, "utilization",
+        stats_.utilization(static_cast<std::size_t>(end / BusStats::kUtilizationBucketCycles)));
   }
-  // Link faults apply per completed transfer, exactly as on the shared bus.
+
+  // Link faults apply per completed transfer, exactly as on the shared bus;
+  // delivered stats accrue only for messages that pass the drop gate.
   if (injector_ != nullptr) {
     const FaultDecision fd = injector_->on_transmit(msg);
     if (fd.drop) {
+      if (tracer_ != nullptr) {
+        tracer_->instant(kFabricTrack, "drop", "fault", msg.wire_bytes());
+      }
       consume(msg.dst, msg.wire_bytes());  // releases buffer, wakes blocked sources
       return;
     }
@@ -91,6 +101,7 @@ void SwitchFabric::complete(Message msg) {
       FaultInjector::corrupt(msg, static_cast<std::uint32_t>(fd.flip_bit));
     }
     if (fd.extra_delay > 0) {
+      stats_.record_delivered(msg, inter_gpu);
       engine_->schedule_in(fd.extra_delay, [this, msg = std::move(msg)]() mutable {
         endpoints_[msg.dst.value].deliver(std::move(msg));
       });
@@ -98,6 +109,7 @@ void SwitchFabric::complete(Message msg) {
     }
   }
 
+  stats_.record_delivered(msg, inter_gpu);
   endpoints_[msg.dst.value].deliver(std::move(msg));
 }
 

@@ -41,10 +41,14 @@ class SwitchFabric final : public Fabric {
 
   [[nodiscard]] const BusStats& stats() const noexcept override { return stats_; }
   [[nodiscard]] std::size_t num_endpoints() const noexcept { return endpoints_.size(); }
+  [[nodiscard]] const std::string& endpoint_name(EndpointId ep) const override {
+    return endpoints_.at(ep.value).name;
+  }
 
   void set_fault_injector(FaultInjector* injector) noexcept override {
     injector_ = injector;
   }
+  void set_tracer(Tracer* tracer) noexcept override { tracer_ = tracer; }
   [[nodiscard]] std::size_t endpoint_count() const noexcept override {
     return endpoints_.size();
   }
@@ -76,6 +80,7 @@ class SwitchFabric final : public Fabric {
   std::vector<Endpoint> endpoints_;
   BusStats stats_;
   FaultInjector* injector_{nullptr};
+  Tracer* tracer_{nullptr};
 };
 
 }  // namespace mgcomp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/tracer.h"
 
 namespace mgcomp {
 
@@ -39,7 +40,7 @@ void RdmaEngine::remote_read(Addr addr, std::function<void()> done) {
   const std::uint16_t id = alloc_id();
   const auto [it, inserted] = pending_.emplace(
       id, PendingRequest{std::move(done), line_base(addr), MsgType::kReadReq,
-                         gpu_endpoint_(owner), 0, false, nullptr});
+                         gpu_endpoint_(owner), engine_->now(), 0, false, nullptr});
   MGCOMP_CHECK(inserted);
   arm_timer(id, it->second);
   send_request(id, it->second);
@@ -51,7 +52,7 @@ void RdmaEngine::remote_write(Addr addr, std::function<void()> done) {
   const std::uint16_t id = alloc_id();
   const auto [it, inserted] = pending_.emplace(
       id, PendingRequest{std::move(done), line_base(addr), MsgType::kWriteReq,
-                         gpu_endpoint_(owner), 0, false, nullptr});
+                         gpu_endpoint_(owner), engine_->now(), 0, false, nullptr});
   MGCOMP_CHECK(inserted);
   arm_timer(id, it->second);
   send_request(id, it->second);
@@ -144,6 +145,10 @@ void RdmaEngine::retransmit(std::uint16_t id, PendingRequest& req, bool from_nac
   } else {
     ++link.timeout_retransmits;
   }
+  if (tracer_ != nullptr) {
+    tracer_->instant(track_, from_nack ? "fast_retransmit" : "timeout_retransmit", "link",
+                     req.addr);
+  }
   cancel_timer(req);
   arm_timer(id, req);
   send_request(id, req);
@@ -153,6 +158,7 @@ void RdmaEngine::hard_fail(std::uint16_t id, PendingRequest& req) {
   LinkStats& link = collector_->link();
   ++link.hard_failures;
   collector_->record_link_error(LinkError{self_, req.addr, req.type, req.retries});
+  if (tracer_ != nullptr) tracer_->instant(track_, "hard_failure", "link", req.addr);
   policy_->on_link_feedback(LinkEvent::kHardFailure);
   cancel_timer(req);
   quarantine_id(id);
@@ -177,6 +183,7 @@ bool RdmaEngine::crc_accept(const Message& msg) {
   LinkStats& link = collector_->link();
   ++link.crc_failures;
   link.wasted_wire_bytes += msg.wire_bytes();
+  if (tracer_ != nullptr) tracer_->instant(track_, "crc_reject", "link", msg.wire_bytes());
   const bool nackable = msg.has_payload();
   const EndpointId sender = msg.src;
   const std::uint16_t id = msg.id;
@@ -250,6 +257,11 @@ void RdmaEngine::handle_data_ready(Message&& msg) {
     bus_->consume(self_ep_, msg.wire_bytes());
     const auto pit = pending_.find(msg.id);
     MGCOMP_CHECK_MSG(pit != pending_.end(), "read completion raced with retirement");
+    const Tick issued = pit->second.issued;
+    collector_->record_read_latency(engine_->now() - issued);
+    if (tracer_ != nullptr) {
+      tracer_->span(track_, "remote_read", "rdma", issued, engine_->now(), msg.addr);
+    }
     if (pit->second.retries > 0) quarantine_id(msg.id);
     auto done = std::move(pit->second.done);
     pending_.erase(pit);
@@ -306,6 +318,11 @@ void RdmaEngine::handle_write_ack(Message&& msg) {
     return;
   }
   cancel_timer(it->second);
+  const Tick issued = it->second.issued;
+  collector_->record_write_latency(engine_->now() - issued);
+  if (tracer_ != nullptr) {
+    tracer_->span(track_, "remote_write", "rdma", issued, engine_->now(), it->second.addr);
+  }
   if (it->second.retries > 0) quarantine_id(msg.id);
   auto done = std::move(it->second.done);
   pending_.erase(it);

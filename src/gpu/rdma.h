@@ -26,6 +26,7 @@
 
 #include "adaptive/policy.h"
 #include "analysis/collector.h"
+#include "common/assert.h"
 #include "fabric/fabric.h"
 #include "fault/fault_injector.h"
 #include "memory/address_map.h"
@@ -33,6 +34,8 @@
 #include "sim/engine.h"
 
 namespace mgcomp {
+
+class Tracer;
 
 class RdmaEngine {
  public:
@@ -53,6 +56,12 @@ class RdmaEngine {
   void configure(EndpointId self_ep, std::function<EndpointId(GpuId)> gpu_endpoint,
                  OwnerAccessFn owner_access, std::unique_ptr<CompressionPolicy> policy,
                  const RetryParams& retry = {}, bool link_faults = false) {
+    // A backoff cap below the base timeout is degenerate: every armed timer
+    // clamps to the cap, and with cap == 0 the "timeout" fires in the same
+    // tick as the send — an infinite retransmit storm that never lets the
+    // response arrive. Reject the configuration instead of livelocking.
+    MGCOMP_CHECK_MSG(!link_faults || retry.timeout == 0 || retry.timeout_cap >= retry.timeout,
+                     "RetryParams::timeout_cap must be >= timeout when retransmission is armed");
     self_ep_ = self_ep;
     gpu_endpoint_ = std::move(gpu_endpoint);
     owner_access_ = std::move(owner_access);
@@ -73,7 +82,16 @@ class RdmaEngine {
   void deliver(Message&& msg);
 
   [[nodiscard]] const CompressionPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] CompressionPolicy& policy() noexcept { return *policy_; }
   [[nodiscard]] EndpointId endpoint() const noexcept { return self_ep_; }
+
+  /// Installs an event tracer; `track` is this GPU's swim lane. Also
+  /// forwarded to the compression policy (phase spans share the lane).
+  void set_tracer(Tracer* tracer, std::uint32_t track) {
+    tracer_ = tracer;
+    track_ = track;
+    if (policy_) policy_->set_tracer(tracer, track);
+  }
 
   /// Requests currently awaiting a response.
   [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
@@ -84,6 +102,7 @@ class RdmaEngine {
     Addr addr{0};
     MsgType type{MsgType::kReadReq};
     EndpointId dst{};
+    Tick issued{0};  ///< CU issue tick, for completion-latency accounting
     std::uint32_t retries{0};
     /// Response accepted, completion (decompression) in flight: further
     /// responses/NACKs/timeouts for this id must be ignored.
@@ -150,6 +169,8 @@ class RdmaEngine {
   std::unique_ptr<CompressionPolicy> policy_;
   RetryParams retry_{};
   bool reliable_{false};
+  Tracer* tracer_{nullptr};
+  std::uint32_t track_{0};
 
   std::unordered_map<std::uint16_t, PendingRequest> pending_;
   std::uint16_t next_id_{0};

@@ -283,11 +283,29 @@ TEST(FaultSystemDeathTest, WatchdogDumpsDiagnosticsWhenNothingMoves) {
         SystemConfig cfg;
         cfg.fault.drop_rate = 1.0;
         cfg.retry.timeout = 1u << 30;
+        cfg.retry.timeout_cap = 1u << 30;  // cap must cover the base timeout
         cfg.watchdog_interval = 1u << 16;
         auto wl = make_workload("MT", 0.1);
         (void)run_workload(std::move(cfg), *wl);
       },
       "watchdog: no fabric progress");
+}
+
+TEST(FaultSystemDeathTest, DegenerateRetryBackoffCapIsRejected) {
+  // A backoff cap below the base timeout clamps every armed timer to the
+  // cap; with cap == 0 the timeout fires in the same tick as the send and
+  // the engine retransmits forever. The configuration is rejected at
+  // construction instead of livelocking the run.
+  EXPECT_DEATH(
+      {
+        SystemConfig cfg;
+        cfg.fault.bit_error_rate = 1e-6;
+        cfg.retry.timeout = 1024;
+        cfg.retry.timeout_cap = 0;
+        auto wl = make_workload("MT", 0.05);
+        (void)run_workload(std::move(cfg), *wl);
+      },
+      "timeout_cap must be >= timeout");
 }
 
 TEST(FaultSystemDeathTest, DrainFailureDumpsPerGpuOutstanding) {

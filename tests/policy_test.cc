@@ -400,6 +400,43 @@ TEST(AdaptivePolicy, DynamicLambdaTracksFabricPressure) {
   EXPECT_GE(idle[static_cast<std::size_t>(CodecId::kBdi)], 1u);
 }
 
+TEST(AdaptivePolicy, StaleWindowErrorsDoNotRetriggerDegradeAfterCooldown) {
+  // Regression: link feedback is asynchronous, so NACKs/timeouts for
+  // transfers issued before (or during) a degrade cool-down keep arriving
+  // while the policy sends raw. reset_to_sampling() must clear the error
+  // window, or the stale burst closes the first post-degrade window hot
+  // and the policy re-degrades back-to-back without re-measuring the link.
+  CodecSet set;
+  AdaptiveParams params;
+  params.degrade_window = 8;
+  params.degrade_error_threshold = 0.25;
+  params.degrade_cooldown_transfers = 16;
+  auto policy = make_adaptive_policy(params)(set);
+  Rng rng(7);
+
+  // Window 1 closes with a 100% error rate: one genuine degrade.
+  for (int i = 0; i < 8; ++i) {
+    policy->on_link_feedback(LinkEvent::kTimeout);
+    (void)policy->decide(sparse_line(rng));
+  }
+  ASSERT_EQ(policy->stats().degrade_events, 1u);
+
+  // Cool-down: stale feedback keeps arriving for in-flight transfers. The
+  // 16th degraded transfer ends the cool-down and resets to sampling.
+  for (int i = 0; i < 16; ++i) {
+    policy->on_link_feedback(LinkEvent::kNackReceived);
+    (void)policy->decide(sparse_line(rng));
+  }
+  ASSERT_EQ(policy->stats().degraded_transfers, 16u);
+  ASSERT_EQ(policy->stats().degrade_events, 1u);
+
+  // The link is clean now; two full windows of error-free transfers must
+  // not trip a second degrade off the stale errors.
+  for (int i = 0; i < 16; ++i) (void)policy->decide(sparse_line(rng));
+  EXPECT_EQ(policy->stats().degrade_events, 1u);
+  EXPECT_EQ(policy->stats().degraded_transfers, 16u);
+}
+
 // Parameterized sweep: the adaptive policy must never *increase* total
 // payload bits versus no compression, for any lambda.
 class AdaptiveLambdaSweep : public ::testing::TestWithParam<double> {};

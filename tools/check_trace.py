@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Schema check for the trace files written by `simulate --trace-out`.
+
+Validates the Chrome trace-event dialect the Tracer exporter promises
+(docs/architecture.md, "Observability"): well-formed JSON, known event
+phases, named tracks, non-negative span durations, and per-track counter
+timestamps that never run backwards. Exits non-zero on the first
+violation so CI fails loudly.
+
+Usage: check_trace.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py TRACE.json")
+
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("missing or empty traceEvents array")
+
+    named_tracks = set()
+    used_tracks = set()
+    last_counter_ts: dict[tuple[int, str], float] = {}
+    counts = {"M": 0, "X": 0, "i": 0, "C": 0}
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in counts:
+            fail(f"event {i}: unknown phase {ph!r}")
+        counts[ph] += 1
+        if ev.get("pid") != 0:
+            fail(f"event {i}: expected pid 0, got {ev.get('pid')!r}")
+        tid = ev.get("tid")
+        if not isinstance(tid, int) or tid < 0:
+            fail(f"event {i}: bad tid {tid!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(f"event {i}: missing name")
+
+        if ph == "M":
+            if ev["name"] != "thread_name":
+                fail(f"event {i}: unexpected metadata {ev['name']!r}")
+            named_tracks.add(tid)
+            continue
+
+        used_tracks.add(tid)
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i}: span with bad dur {dur!r}")
+            if not ev.get("cat"):
+                fail(f"event {i}: span without category")
+        elif ph == "i":
+            if ev.get("s") != "t":
+                fail(f"event {i}: instant without thread scope")
+        elif ph == "C":
+            if "value" not in ev.get("args", {}):
+                fail(f"event {i}: counter without args.value")
+            key = (tid, ev["name"])
+            if ts < last_counter_ts.get(key, 0.0):
+                fail(f"event {i}: counter {ev['name']!r} ts went backwards")
+            last_counter_ts[key] = ts
+
+    unnamed = used_tracks - named_tracks
+    if unnamed:
+        fail(f"tracks used but never named: {sorted(unnamed)}")
+    if counts["X"] == 0:
+        fail("trace contains no spans")
+
+    print(
+        f"check_trace: OK: {counts['X']} spans, {counts['i']} instants, "
+        f"{counts['C']} counter samples across {len(used_tracks)} tracks"
+    )
+
+
+if __name__ == "__main__":
+    main()
