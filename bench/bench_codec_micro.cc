@@ -81,6 +81,48 @@ void BM_Compress(benchmark::State& state) {
                  std::to_string(i == 0 ? 0 : total_bits / i));
 }
 
+// Probe vs. full encode, side by side: BM_Probe and BM_CompressInto run
+// the identical (codec, corpus) grid as BM_Compress, so one report shows
+// how much of the encode cost the size-only fast path avoids and what
+// buffer recycling saves over fresh allocations.
+void BM_Probe(benchmark::State& state) {
+  static CodecSet set;
+  const auto id = static_cast<CodecId>(state.range(0));
+  const auto corpus = static_cast<Corpus>(state.range(1));
+  const Codec& codec = set.get(id);
+  const std::vector<Line> lines = make_corpus(corpus, 256);
+
+  std::uint64_t total_bits = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::uint32_t bits = codec.probe(lines[i % lines.size()]);
+    benchmark::DoNotOptimize(bits);
+    total_bits += bits;
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+  state.SetLabel(std::string(codec.name()) + "/" + corpus_name(corpus) + " avg_bits=" +
+                 std::to_string(i == 0 ? 0 : total_bits / i));
+}
+
+void BM_CompressInto(benchmark::State& state) {
+  static CodecSet set;
+  const auto id = static_cast<CodecId>(state.range(0));
+  const auto corpus = static_cast<Corpus>(state.range(1));
+  const Codec& codec = set.get(id);
+  const std::vector<Line> lines = make_corpus(corpus, 256);
+
+  Compressed scratch;  // recycled across iterations, as the policies do
+  std::size_t i = 0;
+  for (auto _ : state) {
+    codec.compress_into(lines[i % lines.size()], scratch);
+    benchmark::DoNotOptimize(scratch.size_bits);
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+  state.SetLabel(std::string(codec.name()) + "/" + corpus_name(corpus));
+}
+
 void BM_RoundTrip(benchmark::State& state) {
   static CodecSet set;
   const auto id = static_cast<CodecId>(state.range(0));
@@ -101,6 +143,8 @@ void register_all() {
   for (const int codec : {1, 2, 3}) {  // FPC, BDI, C-Pack+Z
     for (int corpus = 0; corpus <= 4; ++corpus) {
       benchmark::RegisterBenchmark("BM_Compress", &BM_Compress)->Args({codec, corpus});
+      benchmark::RegisterBenchmark("BM_Probe", &BM_Probe)->Args({codec, corpus});
+      benchmark::RegisterBenchmark("BM_CompressInto", &BM_CompressInto)->Args({codec, corpus});
     }
     benchmark::RegisterBenchmark("BM_RoundTrip", &BM_RoundTrip)->Args({codec, 0});
   }

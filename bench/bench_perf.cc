@@ -1,0 +1,168 @@
+// Simulator-throughput benchmark: how fast the SIMULATOR itself runs, as
+// opposed to how fast the simulated machine is.
+//
+// For every workload x policy case it measures wall time around
+// run_workload() and reports events/sec (executed engine callbacks per
+// wall second) and simulated-ticks/sec. The event schedule is a pure
+// function of the config, so `events` is identical across simulator
+// versions and events/sec ratios equal wall-time ratios — making
+// BENCH_PERF.json directly comparable between commits.
+//
+//   ./bench_perf [scale] [output.json] [repeats]
+//
+// Defaults: scale 0.5, BENCH_PERF.json in the working directory, 3 repeats
+// (best-of, to shed scheduler noise). Use a small scale (e.g. 0.05) for a
+// CI smoke run. Build Release; a Debug build measures the assertions.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace mgcomp;
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  std::string workload;
+  std::string policy;
+  double wall_ms{0.0};
+  std::uint64_t events{0};
+  Tick sim_ticks{0};
+
+  [[nodiscard]] double events_per_sec() const noexcept {
+    return wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms / 1e3) : 0.0;
+  }
+  [[nodiscard]] double sim_ticks_per_sec() const noexcept {
+    return wall_ms > 0.0 ? static_cast<double>(sim_ticks) / (wall_ms / 1e3) : 0.0;
+  }
+};
+
+std::vector<bench::PolicyCase> perf_policies() {
+  std::vector<bench::PolicyCase> v;
+  v.push_back({"raw", make_no_compression_policy()});
+  v.push_back({"FPC", make_static_policy(CodecId::kFpc)});
+  v.push_back({"BDI", make_static_policy(CodecId::kBdi)});
+  v.push_back({"C-Pack+Z", make_static_policy(CodecId::kCpackZ)});
+  v.push_back({"adaptive", make_adaptive_policy(AdaptiveParams{})});
+  return v;
+}
+
+Measurement measure(std::string_view abbrev, const bench::PolicyCase& c, double scale,
+                    int repeats) {
+  Measurement best;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = Clock::now();
+    const RunResult r = bench::run(abbrev, scale, c.factory);
+    const auto t1 = Clock::now();
+    const double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+            .count();
+    if (rep == 0 || ms < best.wall_ms) {
+      best.workload = std::string(abbrev);
+      best.policy = c.label;
+      best.wall_ms = ms;
+      best.events = r.events_executed;
+      best.sim_ticks = r.exec_ticks;
+    }
+  }
+  return best;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += '"';
+}
+
+std::string to_json(const std::vector<Measurement>& ms, double scale, int repeats) {
+  std::string out = "{\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"schema\": \"mgcomp-bench-perf-v1\",\n  \"scale\": %g,\n"
+                "  \"repeats\": %d,\n  \"results\": [\n",
+                scale, repeats);
+  out += buf;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const Measurement& m = ms[i];
+    out += "    {\"workload\": ";
+    append_json_string(out, m.workload);
+    out += ", \"policy\": ";
+    append_json_string(out, m.policy);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"wall_ms\": %.3f, \"events\": %llu, \"sim_ticks\": %llu, "
+                  "\"events_per_sec\": %.1f, \"sim_ticks_per_sec\": %.1f}",
+                  m.wall_ms, static_cast<unsigned long long>(m.events),
+                  static_cast<unsigned long long>(m.sim_ticks), m.events_per_sec(),
+                  m.sim_ticks_per_sec());
+    out += buf;
+    out += i + 1 < ms.size() ? ",\n" : "\n";
+  }
+  // Aggregate: total wall time and overall events/sec, plus the adaptive-
+  // only slice (the configuration the hot-path work targets).
+  double total_ms = 0.0, adaptive_ms = 0.0;
+  std::uint64_t total_events = 0, adaptive_events = 0;
+  for (const Measurement& m : ms) {
+    total_ms += m.wall_ms;
+    total_events += m.events;
+    if (m.policy == "adaptive") {
+      adaptive_ms += m.wall_ms;
+      adaptive_events += m.events;
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"total\": {\"wall_ms\": %.3f, \"events\": %llu, "
+                "\"events_per_sec\": %.1f},\n"
+                "  \"adaptive\": {\"wall_ms\": %.3f, \"events\": %llu, "
+                "\"events_per_sec\": %.1f}\n}\n",
+                total_ms, static_cast<unsigned long long>(total_events),
+                total_ms > 0.0 ? static_cast<double>(total_events) / (total_ms / 1e3) : 0.0,
+                adaptive_ms, static_cast<unsigned long long>(adaptive_events),
+                adaptive_ms > 0.0 ? static_cast<double>(adaptive_events) / (adaptive_ms / 1e3)
+                                  : 0.0);
+  out += buf;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_PERF.json";
+  const int repeats = argc > 3 ? std::max(1, std::atoi(argv[3])) : 3;
+
+#ifndef NDEBUG
+  std::fprintf(stderr, "bench_perf: WARNING: assertions enabled — numbers below measure a "
+                       "Debug build\n");
+#endif
+
+  std::vector<Measurement> results;
+  std::printf("%-4s %-9s %10s %12s %14s %14s\n", "wl", "policy", "wall_ms", "events",
+              "events/s", "sim_ticks/s");
+  for (const auto abbrev : workload_abbrevs()) {
+    for (const bench::PolicyCase& c : perf_policies()) {
+      const Measurement m = measure(abbrev, c, scale, repeats);
+      std::printf("%-4s %-9s %10.2f %12llu %14.0f %14.0f\n", m.workload.c_str(),
+                  m.policy.c_str(), m.wall_ms, static_cast<unsigned long long>(m.events),
+                  m.events_per_sec(), m.sim_ticks_per_sec());
+      results.push_back(m);
+    }
+  }
+
+  const std::string json = to_json(results, scale, repeats);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_perf: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

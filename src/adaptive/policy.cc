@@ -6,6 +6,7 @@
 
 #include "adaptive/penalty.h"
 #include "common/assert.h"
+#include "common/payload_pool.h"
 #include "obs/tracer.h"
 
 namespace mgcomp {
@@ -62,11 +63,22 @@ class StaticPolicy final : public CompressionPolicy {
   StaticPolicy(const CodecSet& codecs, CodecId codec)
       : codec_(&codecs.get(codec)), id_(codec) {}
 
+  ~StaticPolicy() override {
+    if (pool_ != nullptr) pool_->release(std::move(scratch_.payload));
+  }
+
   [[nodiscard]] CompressionDecision decide(LineView line) override {
-    const Compressed comp = codec_->compress(line);
-    CompressionDecision d = single_codec_decision(comp, id_);
+    // The one candidate is always the winner, so encode directly into the
+    // recycled scratch buffer (no per-transfer allocation).
+    codec_->compress_into(line, scratch_);
+    CompressionDecision d = single_codec_decision(scratch_, id_);
     ++stats_.wire_counts[static_cast<std::size_t>(d.wire_codec)];
     return d;
+  }
+
+  void set_payload_pool(PayloadPool* pool) override {
+    pool_ = pool;
+    scratch_.payload = pool_->acquire();
   }
 
   [[nodiscard]] std::string_view name() const noexcept override { return codec_->name(); }
@@ -74,6 +86,8 @@ class StaticPolicy final : public CompressionPolicy {
  private:
   const Codec* codec_;
   CodecId id_;
+  PayloadPool* pool_{nullptr};
+  Compressed scratch_;
 };
 
 /// Section V state machine. Starts in the sampling phase. Each sampling
@@ -104,6 +118,10 @@ class AdaptivePolicy final : public CompressionPolicy {
     }
   }
 
+  ~AdaptivePolicy() override {
+    if (pool_ != nullptr) pool_->release(std::move(scratch_.payload));
+  }
+
   [[nodiscard]] CompressionDecision decide(LineView line) override {
     CompressionDecision d;
     if (degrade_remaining_ > 0) {
@@ -130,6 +148,11 @@ class AdaptivePolicy final : public CompressionPolicy {
   }
 
   void set_pressure_probe(PressureProbe probe) override { probe_ = std::move(probe); }
+
+  void set_payload_pool(PayloadPool* pool) override {
+    pool_ = pool;
+    scratch_.payload = pool_->acquire();
+  }
 
   void set_tracer(Tracer* tracer, std::uint32_t track) override {
     tracer_ = tracer;
@@ -190,20 +213,25 @@ class AdaptivePolicy final : public CompressionPolicy {
   }
 
   CompressionDecision decide_sampling(LineView line) {
-    // Run every real compressor; the best candidate under the selection
-    // criterion gets this transfer's vote and carries this transfer's
-    // data.
+    // Score every real compressor via its allocation-free probe; the best
+    // candidate under the selection criterion gets this transfer's vote
+    // and carries this transfer's data. Only that winner is fully encoded
+    // (below) — the losers never materialize a payload.
     double best_penalty = score(kLineBits, CodecId::kNone);  // "send raw"
     CodecId best = CodecId::kNone;
     std::uint32_t best_bits = kLineBits;
     for (const Codec* c : real_) {
-      const Compressed comp = c->compress(line);
-      const double p = score(comp.size_bits, c->id());
-      if (comp.is_compressed() && p < best_penalty) {
+      const std::uint32_t bits = c->probe(line);
+      const double p = score(bits, c->id());
+      if (bits < kLineBits && p < best_penalty) {
         best_penalty = p;
         best = c->id();
-        best_bits = comp.size_bits;
+        best_bits = bits;
       }
+    }
+    if (best != CodecId::kNone) {
+      codecs_->get(best).compress_into(line, scratch_);
+      MGCOMP_CHECK(scratch_.size_bits == best_bits);
     }
 
     ++votes_[static_cast<std::size_t>(best)];
@@ -311,8 +339,8 @@ class AdaptivePolicy final : public CompressionPolicy {
       d.wire_codec = CodecId::kNone;
       d.payload_bits = kLineBits;
     } else {
-      const Compressed comp = codecs_->get(selected_).compress(line);
-      d = single_codec_decision(comp, selected_);
+      codecs_->get(selected_).compress_into(line, scratch_);
+      d = single_codec_decision(scratch_, selected_);
     }
     if (++run_count_ >= params_.running_transfers) {
       phase_ = Phase::kSampling;
@@ -331,6 +359,8 @@ class AdaptivePolicy final : public CompressionPolicy {
 
   PressureProbe probe_;
   FabricPressure last_pressure_{};
+  PayloadPool* pool_{nullptr};
+  Compressed scratch_;
 
   Phase phase_{Phase::kSampling};
   CodecId selected_{CodecId::kNone};

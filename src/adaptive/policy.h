@@ -22,6 +22,7 @@
 
 namespace mgcomp {
 
+class PayloadPool;
 class Tracer;
 
 /// Outcome of a policy's decision for one outgoing line.
@@ -107,6 +108,13 @@ class CompressionPolicy {
   /// Installs a fabric-load probe. Default: ignored (static policies and
   /// the paper's fixed-lambda scheme don't look at the fabric).
   virtual void set_pressure_probe(PressureProbe probe) { (void)probe; }
+
+  /// Installs the owning endpoint's payload-buffer pool. Policies that
+  /// encode borrow their scratch buffer from it and return the storage on
+  /// destruction, keeping the steady state allocation-free. Default:
+  /// ignored (the no-compression policy never encodes). The pool must
+  /// outlive the policy.
+  virtual void set_payload_pool(PayloadPool* pool) { (void)pool; }
 
   /// Link-reliability feedback from the owning RDMA engine. Default:
   /// ignored (only the adaptive policy degrades on unreliable links).

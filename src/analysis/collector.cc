@@ -13,10 +13,13 @@ void Collector::on_payload_sent(LineView line, const CompressionDecision& d) {
   sample.size_bits[static_cast<std::size_t>(CodecId::kNone)] = kLineBits;
   for (const Codec* codec : codecs_->real_codecs()) {
     const auto idx = static_cast<std::size_t>(codec->id());
-    const Compressed comp =
-        codec->compress(line, characterize_ ? &charz_.patterns[idx] : nullptr);
-    sample.size_bits[idx] = comp.size_bits;
-    if (characterize_) charz_.compressed_bits[idx] += comp.size_bits;
+    // probe() is exact on size and patterns, so characterization stays
+    // bit-identical to the full-encode implementation while never
+    // materializing a payload.
+    const std::uint32_t bits =
+        codec->probe(line, characterize_ ? &charz_.patterns[idx] : nullptr);
+    sample.size_bits[idx] = bits;
+    if (characterize_) charz_.compressed_bits[idx] += bits;
   }
   if (characterize_) {
     ++charz_.payloads;

@@ -1,0 +1,145 @@
+// Canonical 64-bit fingerprint over every counter, histogram, and stat of
+// a RunResult.
+//
+// Two runs with equal fingerprints executed, for all practical purposes,
+// the same simulation: the digest folds in execution time, all fabric
+// counters (offered and delivered, per message type, per endpoint pair,
+// per utilization bucket), energies, policy decisions, cache behavior,
+// reliability-protocol counters, latency histograms, and — when enabled —
+// the characterization and Fig. 1 trace samples. Doubles are hashed by
+// bit pattern, so even a 1-ulp drift is caught.
+//
+// Used by the perf-identity regression suite to pin the hot-path rewrite
+// (probe-based sampling, slab event engine, payload pooling) to the exact
+// event schedule and measurements of the original implementation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "analysis/run_stats.h"
+
+namespace mgcomp {
+
+/// FNV-1a (64-bit) accumulator with typed helpers. Self-contained so the
+/// digest never changes out from under recorded golden values.
+class FingerprintHasher {
+ public:
+  void add_byte(std::uint8_t b) noexcept {
+    h_ ^= b;
+    h_ *= 1099511628211ULL;
+  }
+
+  void add_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) add_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// Bit-pattern hash: distinguishes -0.0 from 0.0 and any ulp difference.
+  void add_double(double v) noexcept { add_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void add_str(std::string_view s) noexcept {
+    add_u64(s.size());
+    for (const char c : s) add_byte(static_cast<std::uint8_t>(c));
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_{14695981039346656037ULL};
+};
+
+/// Digest of one RunResult. Field order is part of the format; append-only
+/// changes (new trailing fields) invalidate recorded goldens, so prefer
+/// adding a second fingerprint function over editing this one.
+[[nodiscard]] inline std::uint64_t run_fingerprint(const RunResult& r) {
+  FingerprintHasher f;
+  f.add_str(r.workload);
+  f.add_str(r.policy);
+  f.add_u64(r.exec_ticks);
+
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
+    f.add_u64(r.bus.messages[t]);
+    f.add_u64(r.bus.wire_bytes[t]);
+    f.add_u64(r.bus.inter_gpu_by_type[t]);
+  }
+  f.add_u64(r.bus.inter_gpu_messages);
+  f.add_u64(r.bus.inter_gpu_wire_bytes);
+  f.add_u64(r.bus.inter_gpu_payload_raw_bits);
+  f.add_u64(r.bus.inter_gpu_payload_wire_bits);
+  f.add_u64(r.bus.inter_gpu_offered_messages);
+  f.add_u64(r.bus.inter_gpu_offered_wire_bytes);
+  f.add_u64(r.bus.inter_gpu_offered_payload_raw_bits);
+  f.add_u64(r.bus.inter_gpu_offered_payload_wire_bits);
+  f.add_u64(r.bus.busy_cycles);
+  f.add_u64(r.bus.max_out_queue_depth);
+  f.add_u64(r.bus.busy_by_bucket.size());
+  for (const std::uint32_t b : r.bus.busy_by_bucket) f.add_u64(b);
+  f.add_u64(r.bus.endpoints);
+  for (const std::uint64_t b : r.bus.pair_wire_bytes) f.add_u64(b);
+
+  f.add_double(r.fabric_energy_pj);
+  f.add_double(r.compressor_energy_pj);
+  f.add_double(r.decompressor_energy_pj);
+
+  for (std::size_t i = 0; i < kNumCodecIds; ++i) {
+    f.add_u64(r.policy_stats.wire_counts[i]);
+    f.add_u64(r.policy_stats.vote_wins[i]);
+  }
+  f.add_u64(r.policy_stats.sampled_transfers);
+  f.add_u64(r.policy_stats.votes_taken);
+  f.add_u64(r.policy_stats.degrade_events);
+  f.add_u64(r.policy_stats.degraded_transfers);
+
+  for (const CacheStats* c : {&r.l1v, &r.l1s, &r.l2}) {
+    f.add_u64(c->read_hits);
+    f.add_u64(c->read_misses);
+    f.add_u64(c->write_hits);
+    f.add_u64(c->write_misses);
+  }
+
+  for (std::size_t i = 0; i < kNumCodecIds; ++i) {
+    f.add_u64(r.characterization.compressed_bits[i]);
+    for (const std::uint64_t c : r.characterization.patterns[i].counts) f.add_u64(c);
+  }
+  f.add_u64(r.characterization.payloads);
+  f.add_double(r.characterization.entropy.normalized());
+
+  f.add_u64(r.trace.size());
+  for (const TraceSample& s : r.trace) {
+    f.add_double(s.entropy);
+    for (const std::uint32_t b : s.size_bits) f.add_u64(b);
+  }
+
+  for (const LatencyHistogram* h : {&r.remote_read_latency, &r.remote_write_latency}) {
+    f.add_u64(h->count());
+    f.add_u64(h->max());
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) f.add_u64(h->bucket(b));
+  }
+
+  f.add_u64(r.link.crc_failures);
+  f.add_u64(r.link.nacks_sent);
+  f.add_u64(r.link.nacks_received);
+  f.add_u64(r.link.stray_nacks);
+  f.add_u64(r.link.fast_retransmits);
+  f.add_u64(r.link.timeout_retransmits);
+  f.add_u64(r.link.replay_hits);
+  f.add_u64(r.link.duplicates_suppressed);
+  f.add_u64(r.link.hard_failures);
+  f.add_u64(r.link.backoff_cycles);
+  f.add_u64(r.link.wasted_wire_bytes);
+  f.add_u64(r.link_errors.size());
+
+  f.add_u64(r.faults.bit_errors);
+  f.add_u64(r.faults.header_errors);
+  f.add_u64(r.faults.payload_errors);
+  f.add_u64(r.faults.drops);
+  f.add_u64(r.faults.dropped_wire_bytes);
+  f.add_u64(r.faults.duplicates);
+  f.add_u64(r.faults.delays);
+  f.add_u64(r.faults.delay_cycles);
+
+  return f.value();
+}
+
+}  // namespace mgcomp

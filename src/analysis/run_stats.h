@@ -25,6 +25,13 @@ struct RunResult {
   /// End-to-end execution time in 1 GHz cycles.
   Tick exec_ticks{0};
 
+  /// Discrete events the simulation kernel executed to produce this run.
+  /// Deterministic for a fixed config (the schedule is a pure function of
+  /// the config), so wall_time / events_executed is a fair cross-version
+  /// throughput metric. Excluded from result fingerprints: it measures the
+  /// simulator, not the simulated machine.
+  std::uint64_t events_executed{0};
+
   BusStats bus;
 
   /// GPU->GPU requests (the Table V Read/Write columns).

@@ -19,16 +19,33 @@ class BitWriter {
  public:
   BitWriter() = default;
 
-  /// Appends the low `nbits` bits of `value` (0 <= nbits <= 64).
+  /// Adopts `recycle`'s storage: the buffer is cleared but its capacity is
+  /// kept, so a writer fed a warmed buffer never allocates. take_bytes()
+  /// hands the storage back for the next round trip.
+  explicit BitWriter(std::vector<std::uint8_t> recycle) noexcept
+      : bytes_(std::move(recycle)) {
+    bytes_.clear();
+  }
+
+  /// Appends the low `nbits` bits of `value` (0 <= nbits <= 64), packed
+  /// LSB-first: the partial tail byte is topped up, then whole bytes are
+  /// stored directly.
   void put(std::uint64_t value, unsigned nbits) {
     MGCOMP_CHECK(nbits <= 64);
-    for (unsigned i = 0; i < nbits; ++i) {
-      const unsigned byte = static_cast<unsigned>(bit_count_ >> 3);
-      if (byte >= bytes_.size()) bytes_.push_back(0);
-      if ((value >> i) & 1ULL) {
-        bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | (1U << (bit_count_ & 7U)));
-      }
-      ++bit_count_;
+    if (nbits == 0) return;
+    if (nbits < 64) value &= (1ULL << nbits) - 1;
+    const std::size_t need = static_cast<std::size_t>((bit_count_ + nbits + 7) >> 3);
+    if (bytes_.size() < need) bytes_.resize(need, 0);
+    std::size_t byte = static_cast<std::size_t>(bit_count_ >> 3);
+    const unsigned off = static_cast<unsigned>(bit_count_ & 7U);
+    bit_count_ += nbits;
+    bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | (value << off));
+    unsigned written = std::min(nbits, 8U - off);
+    value >>= written;
+    while (written < nbits) {
+      bytes_[++byte] = static_cast<std::uint8_t>(value);
+      value >>= 8;
+      written += 8;
     }
   }
 
@@ -60,16 +77,22 @@ class BitReader {
   explicit BitReader(const std::vector<std::uint8_t>& bytes) noexcept
       : BitReader(bytes.data(), static_cast<std::uint64_t>(bytes.size()) * 8) {}
 
-  /// Reads `nbits` bits; aborts if the stream is exhausted.
+  /// Reads `nbits` bits; aborts if the stream is exhausted. Mirrors
+  /// BitWriter::put: the partial head byte first, then whole bytes.
   std::uint64_t get(unsigned nbits) {
     MGCOMP_CHECK(nbits <= 64);
     MGCOMP_CHECK_MSG(pos_ + nbits <= bit_count_, "bitstream underrun");
-    std::uint64_t v = 0;
-    for (unsigned i = 0; i < nbits; ++i) {
-      const std::uint64_t bit = (data_[pos_ >> 3] >> (pos_ & 7U)) & 1U;
-      v |= bit << i;
-      ++pos_;
+    if (nbits == 0) return 0;
+    std::size_t byte = static_cast<std::size_t>(pos_ >> 3);
+    const unsigned off = static_cast<unsigned>(pos_ & 7U);
+    pos_ += nbits;
+    std::uint64_t v = static_cast<std::uint64_t>(data_[byte]) >> off;
+    unsigned got = 8 - off;
+    while (got < nbits) {
+      v |= static_cast<std::uint64_t>(data_[++byte]) << got;
+      got += 8;
     }
+    if (nbits < 64) v &= (1ULL << nbits) - 1;
     return v;
   }
 

@@ -1,0 +1,58 @@
+// Per-endpoint recycling pool for codec payload buffers.
+//
+// Every payload-bearing transfer used to allocate (and immediately discard)
+// one std::vector<uint8_t> per codec invocation. The pool keeps released
+// buffers and hands their storage back out, so a sender's steady state is
+// allocation-free: each policy warms one scratch buffer to the largest
+// encoding it ever produces and reuses it for the rest of the run.
+//
+// Not thread-safe by design: each RDMA engine owns its own pool (one per
+// endpoint), matching the one-policy-per-sender structure, and sweep
+// workers never share a System.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mgcomp {
+
+class PayloadPool {
+ public:
+  /// Returns an empty buffer, reusing the capacity of a released one when
+  /// available.
+  [[nodiscard]] std::vector<std::uint8_t> acquire() {
+    if (free_.empty()) {
+      ++misses_;
+      return {};
+    }
+    ++hits_;
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  /// Returns `buf`'s storage to the pool. Capacity-less buffers are dropped
+  /// (nothing to recycle); beyond kMaxFree the storage is simply freed.
+  void release(std::vector<std::uint8_t>&& buf) {
+    if (buf.capacity() == 0 || free_.size() >= kMaxFree) return;
+    free_.push_back(std::move(buf));
+    free_.back().clear();
+  }
+
+  /// acquire() calls served from a recycled buffer.
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  /// acquire() calls that had to hand out a fresh (empty) buffer.
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  /// More than any sender ever holds live at once (one scratch per policy
+  /// plus headroom for future per-pipeline buffers).
+  static constexpr std::size_t kMaxFree = 8;
+
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+};
+
+}  // namespace mgcomp

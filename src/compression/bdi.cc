@@ -88,56 +88,85 @@ bool BdiCodec::form_valid(LineView line, unsigned k, unsigned d) noexcept {
   return true;
 }
 
-Compressed BdiCodec::compress(LineView line, PatternStats* stats) const {
-  Compressed out;
+namespace {
+
+// Smallest valid (k, d) form for `line`, or nullptr when none applies;
+// ties resolve to the lower pattern number (kForms is not size-ordered,
+// so scan all). Shared by the probe and encode paths so the two can never
+// disagree on the selected form.
+const Form* best_form(LineView line) noexcept {
+  const Form* best = nullptr;
+  std::uint32_t best_bits = kLineBits;
+  for (const Form& f : kForms) {
+    const std::uint32_t bits = BdiCodec::form_bits(f.pattern);
+    if (bits >= best_bits) continue;
+    if (BdiCodec::form_valid(line, f.base_bytes, f.delta_bytes)) {
+      best = &f;
+      best_bits = bits;
+    }
+  }
+  return best;
+}
+
+bool repeated_words(LineView line) noexcept {
+  const std::uint64_t w0 = load_le<std::uint64_t>(line, 0);
+  for (std::size_t i = 1; i < 8; ++i) {
+    if (load_le<std::uint64_t>(line, i * 8) != w0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t BdiCodec::probe(LineView line, PatternStats* stats) const {
+  if (all_zero(line)) {
+    if (stats != nullptr) stats->add(kZeroBlock);
+    return form_bits(kZeroBlock);
+  }
+  if (repeated_words(line)) {
+    if (stats != nullptr) stats->add(kRepeatedWords);
+    return form_bits(kRepeatedWords);
+  }
+  const Form* best = best_form(line);
+  if (best == nullptr) {
+    if (stats != nullptr) stats->add(kUncompressed);
+    return kLineBits;
+  }
+  if (stats != nullptr) stats->add(best->pattern);
+  return form_bits(best->pattern);
+}
+
+void BdiCodec::compress_into(LineView line, Compressed& out, PatternStats* stats) const {
   out.codec = CodecId::kBdi;
 
   if (all_zero(line)) {
     out.mode = EncodingMode::kZeroBlock;
     out.size_bits = form_bits(kZeroBlock);
+    out.payload.clear();
     if (stats != nullptr) stats->add(kZeroBlock);
-    return out;
+    return;
   }
 
   // Repeated 64-bit words (pattern 2).
-  {
-    const std::uint64_t w0 = load_le<std::uint64_t>(line, 0);
-    bool repeated = true;
-    for (std::size_t i = 1; i < 8 && repeated; ++i) {
-      repeated = load_le<std::uint64_t>(line, i * 8) == w0;
-    }
-    if (repeated) {
-      BitWriter bw;
-      bw.put(kRepeatedWords, kPrefixBits);
-      bw.put(w0, 64);
-      out.mode = EncodingMode::kStream;
-      out.size_bits = form_bits(kRepeatedWords);
-      MGCOMP_CHECK(bw.bit_count() == out.size_bits);
-      out.payload = bw.take_bytes();
-      if (stats != nullptr) stats->add(kRepeatedWords);
-      return out;
-    }
+  if (repeated_words(line)) {
+    BitWriter bw(std::move(out.payload));
+    bw.put(kRepeatedWords, kPrefixBits);
+    bw.put(load_le<std::uint64_t>(line, 0), 64);
+    out.mode = EncodingMode::kStream;
+    out.size_bits = form_bits(kRepeatedWords);
+    MGCOMP_CHECK(bw.bit_count() == out.size_bits);
+    out.payload = bw.take_bytes();
+    if (stats != nullptr) stats->add(kRepeatedWords);
+    return;
   }
 
-  // Pick the smallest valid (k, d) form; ties resolve to the lower pattern
-  // number (kForms is not size-ordered, so scan all).
-  const Form* best = nullptr;
-  std::uint32_t best_bits = kLineBits;
-  for (const Form& f : kForms) {
-    const std::uint32_t bits = form_bits(f.pattern);
-    if (bits >= best_bits) continue;
-    if (form_valid(line, f.base_bytes, f.delta_bytes)) {
-      best = &f;
-      best_bits = bits;
-    }
-  }
-
+  const Form* best = best_form(line);
   if (best == nullptr) {
     out.mode = EncodingMode::kRaw;
     out.size_bits = kLineBits;
     out.payload.assign(line.begin(), line.end());
     if (stats != nullptr) stats->add(kUncompressed);
-    return out;
+    return;
   }
 
   const unsigned k = best->base_bytes;
@@ -145,7 +174,7 @@ Compressed BdiCodec::compress(LineView line, PatternStats* stats) const {
   const std::size_t n = kLineBytes / k;
   const std::uint64_t base = load_element(line, k, 0);
 
-  BitWriter bw;
+  BitWriter bw(std::move(out.payload));
   bw.put(best->pattern, kPrefixBits);
   bw.put(base, 8 * k);
   // Base-choice mask: bit i set => element i uses the explicit base.
@@ -168,7 +197,6 @@ Compressed BdiCodec::compress(LineView line, PatternStats* stats) const {
   MGCOMP_CHECK(bw.bit_count() == out.size_bits);
   out.payload = bw.take_bytes();
   if (stats != nullptr) stats->add(best->pattern);
-  return out;
 }
 
 Line BdiCodec::decompress(const Compressed& c) const {

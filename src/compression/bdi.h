@@ -29,7 +29,10 @@ class BdiCodec final : public Codec {
 
   [[nodiscard]] CodecId id() const noexcept override { return CodecId::kBdi; }
   [[nodiscard]] std::string_view name() const noexcept override { return "BDI"; }
-  [[nodiscard]] Compressed compress(LineView line, PatternStats* stats = nullptr) const override;
+  [[nodiscard]] std::uint32_t probe(LineView line,
+                                    PatternStats* stats = nullptr) const override;
+  void compress_into(LineView line, Compressed& out,
+                     PatternStats* stats = nullptr) const override;
   [[nodiscard]] Line decompress(const Compressed& c) const override;
 
   [[nodiscard]] PatternSupport support() const noexcept override {

@@ -41,9 +41,15 @@ class BitplaneCodec final : public Codec {
   [[nodiscard]] CodecId id() const noexcept override { return inner_->id(); }
   [[nodiscard]] std::string_view name() const noexcept override { return "BPC+inner"; }
 
-  [[nodiscard]] Compressed compress(LineView line, PatternStats* stats = nullptr) const override {
+  [[nodiscard]] std::uint32_t probe(LineView line, PatternStats* stats = nullptr) const override {
     const Line t = bitplane_transform(line);
-    return inner_->compress(t, stats);
+    return inner_->probe(t, stats);
+  }
+
+  void compress_into(LineView line, Compressed& out,
+                     PatternStats* stats = nullptr) const override {
+    const Line t = bitplane_transform(line);
+    inner_->compress_into(t, out, stats);
   }
 
   [[nodiscard]] Line decompress(const Compressed& c) const override {

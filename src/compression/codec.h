@@ -77,6 +77,8 @@ struct PatternStats {
 
   void add(std::size_t pattern, std::uint64_t n = 1) noexcept { counts[pattern] += n; }
 
+  [[nodiscard]] bool operator==(const PatternStats&) const noexcept = default;
+
   [[nodiscard]] std::uint64_t total() const noexcept {
     std::uint64_t t = 0;
     for (const auto c : counts) t += c;
@@ -107,6 +109,17 @@ struct PatternSupport {
 /// rebuilt per line, matching the paper: "the dictionary can be generated
 /// on-the-fly, based on the compressed block"), so one instance can be
 /// shared by all links and threads.
+///
+/// Two encoding entry points exist. `probe()` is the sampling fast path:
+/// it computes the exact encoded size and pattern tallies WITHOUT
+/// materializing the bit stream, so the adaptive selector can score all
+/// candidates allocation-free and fully encode only the winner.
+/// `compress_into()` produces the real bit stream, recycling the payload
+/// buffer of the `Compressed` it is handed. The contract binding them:
+///
+///   probe(line, &s) == compress(line, &s').size_bits  with  s == s'
+///
+/// for every line — the property suite enforces this for all codecs.
 class Codec {
  public:
   virtual ~Codec() = default;
@@ -114,10 +127,25 @@ class Codec {
   [[nodiscard]] virtual CodecId id() const noexcept = 0;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
-  /// Compresses `line`. If `stats` is non-null, Table II pattern usage for
-  /// this line is accumulated into it (including pattern counts for lines
-  /// that end up raw).
-  [[nodiscard]] virtual Compressed compress(LineView line, PatternStats* stats = nullptr) const = 0;
+  /// Size-only fast path: exact encoded size in bits for `line` (prefix and
+  /// metadata included, as in Table II), never allocating. If `stats` is
+  /// non-null, Table II pattern usage is accumulated into it exactly as
+  /// compress() would (including pattern counts for lines that end up raw).
+  [[nodiscard]] virtual std::uint32_t probe(LineView line,
+                                            PatternStats* stats = nullptr) const = 0;
+
+  /// Compresses `line` into `out`, reusing `out.payload`'s capacity (no
+  /// allocation once the buffer has warmed to the codec's maximum encoded
+  /// size). All fields of `out` are overwritten.
+  virtual void compress_into(LineView line, Compressed& out,
+                             PatternStats* stats = nullptr) const = 0;
+
+  /// Convenience wrapper over compress_into() with a fresh output.
+  [[nodiscard]] Compressed compress(LineView line, PatternStats* stats = nullptr) const {
+    Compressed out;
+    compress_into(line, out, stats);
+    return out;
+  }
 
   /// Reconstructs the original line from `c`. `c.codec` must match id().
   [[nodiscard]] virtual Line decompress(const Compressed& c) const = 0;

@@ -61,6 +61,73 @@ bool all_zero(LineView line) noexcept {
   return std::all_of(line.begin(), line.end(), [](std::uint8_t b) { return b == 0; });
 }
 
+/// Discards field values and accumulates only the stream length, making the
+/// probe path an exact bit-count mirror of the encode path.
+struct CountingSink {
+  std::uint32_t bits{0};
+  void put(std::uint64_t, unsigned nbits) noexcept { bits += nbits; }
+};
+
+/// Forwards fields to a real BitWriter.
+struct WriterSink {
+  BitWriter* bw;
+  void put(std::uint64_t value, unsigned nbits) { bw->put(value, nbits); }
+};
+
+/// The C-Pack word walk, shared by probe() and compress_into(): one code
+/// path decides patterns and dictionary updates, the sink decides whether
+/// bits are materialized or merely counted.
+template <typename Sink>
+void encode_words(LineView line, PatternStats& local, Sink& sink) {
+  Dictionary dict;
+  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
+    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
+
+    // Cheapest-first candidate order: zero (2b) < full match (8b) <
+    // narrow byte (12b) < three-byte match (16b) < halfword match (24b)
+    // < literal insert (34b).
+    if (w == 0) {
+      sink.put(kTagZero, 2);
+      local.add(CpackZCodec::kZeroWord);
+      continue;
+    }
+    if (const int idx = dict.find_full(w); idx >= 0) {
+      sink.put(kTagExt, 2);
+      sink.put(kSubFull, 2);
+      sink.put(static_cast<std::uint64_t>(idx), 4);
+      local.add(CpackZCodec::kFullMatch);
+      continue;
+    }
+    if ((w & 0xFFFFFF00U) == 0) {
+      sink.put(kTagExt, 2);
+      sink.put(kSubNarrow, 2);
+      sink.put(w & 0xFFU, 8);
+      local.add(CpackZCodec::kNarrowByte);
+      continue;
+    }
+    if (const int idx = dict.find_three_byte(w); idx >= 0) {
+      sink.put(kTagExt, 2);
+      sink.put(kSubThreeByte, 2);
+      sink.put(static_cast<std::uint64_t>(idx), 4);
+      sink.put(w & 0xFFU, 8);
+      local.add(CpackZCodec::kThreeByteMatch);
+      continue;
+    }
+    if (const int idx = dict.find_half(w); idx >= 0) {
+      sink.put(kTagExt, 2);
+      sink.put(kSubHalf, 2);
+      sink.put(static_cast<std::uint64_t>(idx), 4);
+      sink.put(w & 0xFFFFU, 16);
+      local.add(CpackZCodec::kHalfwordMatch);
+      continue;
+    }
+    sink.put(kTagNew, 2);
+    sink.put(w, 32);
+    dict.insert(w);
+    local.add(CpackZCodec::kNewWord);
+  }
+}
+
 }  // namespace
 
 unsigned CpackZCodec::pattern_bits(Pattern p) noexcept {
@@ -77,80 +144,51 @@ unsigned CpackZCodec::pattern_bits(Pattern p) noexcept {
   return kLineBits;
 }
 
-Compressed CpackZCodec::compress(LineView line, PatternStats* stats) const {
-  Compressed out;
+std::uint32_t CpackZCodec::probe(LineView line, PatternStats* stats) const {
+  if (all_zero(line)) {
+    if (stats != nullptr) stats->add(kZeroBlock);
+    return pattern_bits(kZeroBlock);
+  }
+  PatternStats local;
+  CountingSink sink;
+  encode_words(line, local, sink);
+  if (sink.bits >= kLineBits) {
+    if (stats != nullptr) stats->add(kUncompressed);
+    return kLineBits;
+  }
+  if (stats != nullptr) *stats += local;
+  return sink.bits;
+}
+
+void CpackZCodec::compress_into(LineView line, Compressed& out, PatternStats* stats) const {
   out.codec = CodecId::kCpackZ;
 
   if (all_zero(line)) {
     out.mode = EncodingMode::kZeroBlock;
     out.size_bits = pattern_bits(kZeroBlock);
+    out.payload.clear();
     if (stats != nullptr) stats->add(kZeroBlock);
-    return out;
+    return;
   }
 
-  Dictionary dict;
-  BitWriter bw;
+  BitWriter bw(std::move(out.payload));
   PatternStats local;
-  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
-    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
-
-    // Cheapest-first candidate order: zero (2b) < full match (8b) <
-    // narrow byte (12b) < three-byte match (16b) < halfword match (24b)
-    // < literal insert (34b).
-    if (w == 0) {
-      bw.put(kTagZero, 2);
-      local.add(kZeroWord);
-      continue;
-    }
-    if (const int idx = dict.find_full(w); idx >= 0) {
-      bw.put(kTagExt, 2);
-      bw.put(kSubFull, 2);
-      bw.put(static_cast<std::uint64_t>(idx), 4);
-      local.add(kFullMatch);
-      continue;
-    }
-    if ((w & 0xFFFFFF00U) == 0) {
-      bw.put(kTagExt, 2);
-      bw.put(kSubNarrow, 2);
-      bw.put(w & 0xFFU, 8);
-      local.add(kNarrowByte);
-      continue;
-    }
-    if (const int idx = dict.find_three_byte(w); idx >= 0) {
-      bw.put(kTagExt, 2);
-      bw.put(kSubThreeByte, 2);
-      bw.put(static_cast<std::uint64_t>(idx), 4);
-      bw.put(w & 0xFFU, 8);
-      local.add(kThreeByteMatch);
-      continue;
-    }
-    if (const int idx = dict.find_half(w); idx >= 0) {
-      bw.put(kTagExt, 2);
-      bw.put(kSubHalf, 2);
-      bw.put(static_cast<std::uint64_t>(idx), 4);
-      bw.put(w & 0xFFFFU, 16);
-      local.add(kHalfwordMatch);
-      continue;
-    }
-    bw.put(kTagNew, 2);
-    bw.put(w, 32);
-    dict.insert(w);
-    local.add(kNewWord);
-  }
+  WriterSink sink{&bw};
+  encode_words(line, local, sink);
 
   if (bw.bit_count() >= kLineBits) {
     out.mode = EncodingMode::kRaw;
     out.size_bits = kLineBits;
+    out.payload = bw.take_bytes();
     out.payload.assign(line.begin(), line.end());
     if (stats != nullptr) stats->add(kUncompressed);
-    return out;
+    return;
   }
 
   out.mode = EncodingMode::kStream;
   out.size_bits = bw.bit_count();
   out.payload = bw.take_bytes();
   if (stats != nullptr) *stats += local;
-  return out;
 }
 
 Line CpackZCodec::decompress(const Compressed& c) const {

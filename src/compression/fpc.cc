@@ -46,15 +46,41 @@ FpcCodec::Pattern FpcCodec::classify_word(std::uint32_t w) noexcept {
   return kUncompressed;
 }
 
-Compressed FpcCodec::compress(LineView line, PatternStats* stats) const {
-  Compressed out;
+std::uint32_t FpcCodec::probe(LineView line, PatternStats* stats) const {
+  if (all_zero(line)) {
+    if (stats != nullptr) stats->add(kZeroBlock);
+    return kPrefixBits;  // single 3-bit "zero block" code
+  }
+  std::uint32_t total_bits = 0;
+  std::array<Pattern, kWordsPerLine> patterns{};
+  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
+    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
+    patterns[i] = classify_word(w);
+    if (patterns[i] == kUncompressed) {
+      if (stats != nullptr) stats->add(kUncompressed);
+      return kLineBits;
+    }
+    total_bits += kPrefixBits + payload_bits(patterns[i]);
+  }
+  if (total_bits >= kLineBits) {
+    if (stats != nullptr) stats->add(kUncompressed);
+    return kLineBits;
+  }
+  if (stats != nullptr) {
+    for (const Pattern p : patterns) stats->add(p);
+  }
+  return total_bits;
+}
+
+void FpcCodec::compress_into(LineView line, Compressed& out, PatternStats* stats) const {
   out.codec = CodecId::kFpc;
 
   if (all_zero(line)) {
     out.mode = EncodingMode::kZeroBlock;
     out.size_bits = kPrefixBits;  // single 3-bit "zero block" code
+    out.payload.clear();
     if (stats != nullptr) stats->add(kZeroBlock);
-    return out;
+    return;
   }
 
   // First pass: classify every word; a single unmatched word forces the
@@ -77,11 +103,11 @@ Compressed FpcCodec::compress(LineView line, PatternStats* stats) const {
     out.size_bits = kLineBits;
     out.payload.assign(line.begin(), line.end());
     if (stats != nullptr) stats->add(kUncompressed);
-    return out;
+    return;
   }
 
-  // Second pass: emit the bit stream.
-  BitWriter bw;
+  // Second pass: emit the bit stream into the recycled payload buffer.
+  BitWriter bw(std::move(out.payload));
   for (std::size_t i = 0; i < kWordsPerLine; ++i) {
     const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
     const Pattern p = patterns[i];
@@ -106,7 +132,6 @@ Compressed FpcCodec::compress(LineView line, PatternStats* stats) const {
   out.mode = EncodingMode::kStream;
   out.size_bits = total_bits;
   out.payload = bw.take_bytes();
-  return out;
 }
 
 Line FpcCodec::decompress(const Compressed& c) const {

@@ -17,14 +17,18 @@ class NullCodec final : public Codec {
   [[nodiscard]] CodecId id() const noexcept override { return CodecId::kNone; }
   [[nodiscard]] std::string_view name() const noexcept override { return "None"; }
 
-  [[nodiscard]] Compressed compress(LineView line, PatternStats* stats) const override {
+  [[nodiscard]] std::uint32_t probe(LineView line, PatternStats* stats) const override {
+    (void)line;
     (void)stats;
-    Compressed out;
+    return kLineBits;
+  }
+
+  void compress_into(LineView line, Compressed& out, PatternStats* stats) const override {
+    (void)stats;
     out.codec = CodecId::kNone;
     out.mode = EncodingMode::kRaw;
     out.size_bits = kLineBits;
     out.payload.assign(line.begin(), line.end());
-    return out;
   }
 
   [[nodiscard]] Line decompress(const Compressed& c) const override {

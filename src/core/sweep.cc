@@ -1,6 +1,8 @@
 #include "core/sweep.h"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "common/assert.h"
@@ -20,18 +22,35 @@ std::vector<RunResult> run_sweep(std::vector<SweepJob> jobs, unsigned threads) {
     return results;
   }
 
+  // A job that throws must not unwind a worker thread (that would
+  // std::terminate the whole process). The first exception is captured,
+  // dispatch stops so the pool drains quickly, every worker is joined, and
+  // the exception is rethrown on the caller's thread — the same contract
+  // the serial path has for free.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   auto worker = [&] {
     for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      results[i] = jobs[i]();
+      try {
+        results[i] = jobs[i]();
+      } catch (...) {
+        const std::scoped_lock lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

@@ -167,6 +167,7 @@ RunResult MultiGpuSystem::run(Workload& workload) {
   RunResult r;
   r.workload = std::string(workload.abbrev());
   r.exec_ticks = engine_->now();
+  r.events_executed = engine_->events_executed();
   r.bus = bus_->stats();
   r.fabric_energy_pj = static_cast<double>(r.bus.inter_gpu_wire_bytes) * 8.0 *
                        fabric_pj_per_bit(config_.energy_tier);

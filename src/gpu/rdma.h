@@ -27,6 +27,7 @@
 #include "adaptive/policy.h"
 #include "analysis/collector.h"
 #include "common/assert.h"
+#include "common/payload_pool.h"
 #include "fabric/fabric.h"
 #include "fault/fault_injector.h"
 #include "memory/address_map.h"
@@ -66,6 +67,7 @@ class RdmaEngine {
     gpu_endpoint_ = std::move(gpu_endpoint);
     owner_access_ = std::move(owner_access);
     policy_ = std::move(policy);
+    policy_->set_payload_pool(&payload_pool_);
     retry_ = retry;
     reliable_ = link_faults;
   }
@@ -166,6 +168,9 @@ class RdmaEngine {
   EndpointId self_ep_{};
   std::function<EndpointId(GpuId)> gpu_endpoint_;
   OwnerAccessFn owner_access_;
+  /// Declared before policy_ so released scratch buffers outlive their
+  /// borrowers during destruction.
+  PayloadPool payload_pool_;
   std::unique_ptr<CompressionPolicy> policy_;
   RetryParams retry_{};
   bool reliable_{false};

@@ -1,0 +1,140 @@
+// Small-buffer-optimized, move-only callback for the event engine.
+//
+// std::function heap-allocates any callable larger than its tiny internal
+// buffer (typically 16-32 bytes). The simulator's hot-path events capture a
+// whole Message by value (~128 bytes: the functional Line plus header and
+// decompression metadata), so with std::function every payload hop costs a
+// heap round trip. InlineFunction raises the inline capacity to
+// kInlineBytes — sized so every callback the RDMA/fabric path schedules
+// fits — and keeps a heap fallback for oversized or throwing-move
+// callables, so it is a drop-in for any `void()` callable.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace mgcomp {
+
+class InlineFunction {
+ public:
+  /// Inline storage size. The largest hot-path capture is a Message plus a
+  /// couple of pointers (~144 bytes); anything bigger silently degrades to
+  /// the heap, it does not break.
+  static constexpr std::size_t kInlineBytes = 160;
+
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(&storage_, &other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InlineFunction& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() {
+    MGCOMP_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineFunction");
+    ops_->invoke(&storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the held callable (if any), returning to the empty state.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  /// Per-callable-type operation table; relocate = move-construct into dst
+  /// and destroy src (pointer fixup only for heap-held callables).
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool held_inline() noexcept {
+    return sizeof(F) <= kInlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  struct InlineOps {
+    static void invoke(void* s) { (*static_cast<F*>(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static void destroy(void* s) noexcept { static_cast<F*>(s)->~F(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static void invoke(void* s) { (**static_cast<F**>(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      *static_cast<F**>(dst) = *static_cast<F**>(src);
+    }
+    static void destroy(void* s) noexcept { delete *static_cast<F**>(s); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (held_inline<Fn>()) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      *reinterpret_cast<Fn**>(&storage_) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace mgcomp

@@ -47,13 +47,20 @@ void GradientDescentWorkload::setup(GlobalMemory& mem) {
   }
 }
 
-double GradientDescentWorkload::predict(const GlobalMemory& mem, std::uint32_t i) const {
+double GradientDescentWorkload::predict(std::span<const float> weights,
+                                        std::span<const float> sample) const {
   double acc = 0.0;
   for (std::uint32_t f = 0; f < p_.d; ++f) {
-    acc += static_cast<double>(mem.load<float>(weights_ + static_cast<Addr>(f) * 4)) *
-           static_cast<double>(mem.load<float>(sample_addr(i) + static_cast<Addr>(f) * 4));
+    acc += static_cast<double>(weights[f]) * static_cast<double>(sample[f]);
   }
   return acc;
+}
+
+void GradientDescentWorkload::load_floats(const GlobalMemory& mem, Addr base,
+                                          std::span<float> out) const {
+  for (std::size_t f = 0; f < out.size(); ++f) {
+    out[f] = mem.load<float>(base + static_cast<Addr>(f) * 4);
+  }
 }
 
 KernelTrace GradientDescentWorkload::generate_kernel(std::size_t kern, GlobalMemory& mem) {
@@ -69,6 +76,12 @@ KernelTrace GradientDescentWorkload::generate_gradient(std::size_t iter, GlobalM
       write_param_line(mem, params_, iter * 2, {features_, targets_, weights_, p_.n, p_.d});
 
   const std::size_t weight_lines = static_cast<std::size_t>(p_.d) * 4 / kLineBytes;
+  // Weights are read-only during the gradient kernel (stores go to the
+  // partials region), so one batched load serves every sample.
+  std::vector<float> wvec(p_.d);
+  load_floats(mem, weights_, wvec);
+  std::vector<float> feat(p_.d);
+
   trace.workgroups.reserve(num_wgs_);
   for (std::uint32_t w = 0; w < num_wgs_; ++w) {
     WorkgroupTrace wg;
@@ -82,12 +95,12 @@ KernelTrace GradientDescentWorkload::generate_gradient(std::size_t iter, GlobalM
         emit_read(wg, sample_addr(i) + static_cast<Addr>(f) * 4);
       }
       emit_read(wg, targets_ + static_cast<Addr>(i) * 4);
+      load_floats(mem, sample_addr(i), feat);
       const double err =
-          predict(mem, i) -
+          predict(wvec, feat) -
           static_cast<double>(mem.load<float>(targets_ + static_cast<Addr>(i) * 4));
       for (std::uint32_t f = 0; f < p_.d; ++f) {
-        grad[f] += err * static_cast<double>(
-                             mem.load<float>(sample_addr(i) + static_cast<Addr>(f) * 4));
+        grad[f] += err * static_cast<double>(feat[f]);
       }
     }
     const Addr part = partials_ + static_cast<Addr>(w) * p_.d * 4;
@@ -134,11 +147,16 @@ KernelTrace GradientDescentWorkload::generate_update(std::size_t iter, GlobalMem
     trace.workgroups.push_back(std::move(wg));
   }
 
-  // Record loss for convergence verification.
+  // Record loss for convergence verification. The update loop above is
+  // done, so the weight vector is stable for the whole scan.
+  std::vector<float> wvec(p_.d);
+  load_floats(mem, weights_, wvec);
+  std::vector<float> feat(p_.d);
   double loss = 0.0;
   for (std::uint32_t i = 0; i < p_.n; i += 16) {
+    load_floats(mem, sample_addr(i), feat);
     const double err =
-        predict(mem, i) -
+        predict(wvec, feat) -
         static_cast<double>(mem.load<float>(targets_ + static_cast<Addr>(i) * 4));
     loss += err * err;
   }

@@ -11,6 +11,7 @@
 // the narrow 1.2-1.4x band of Table V.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/workload.h"
@@ -47,7 +48,13 @@ class GradientDescentWorkload final : public Workload {
   [[nodiscard]] Addr sample_addr(std::uint32_t i) const noexcept {
     return features_ + static_cast<Addr>(i) * p_.d * 4;
   }
-  [[nodiscard]] double predict(const GlobalMemory& mem, std::uint32_t i) const;
+  // Dot product over pre-loaded values; callers batch the GlobalMemory
+  // loads (weights once per kernel, each sample once) so the O(n*d) loops
+  // skip the page map. Accumulation order and values are unchanged, so
+  // every gradient, weight, and loss is bit-identical.
+  [[nodiscard]] double predict(std::span<const float> weights,
+                               std::span<const float> sample) const;
+  void load_floats(const GlobalMemory& mem, Addr base, std::span<float> out) const;
 
   KernelTrace generate_gradient(std::size_t iter, GlobalMemory& mem);
   KernelTrace generate_update(std::size_t iter, GlobalMemory& mem);

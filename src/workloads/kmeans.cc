@@ -63,18 +63,16 @@ void KMeansWorkload::setup(GlobalMemory& mem) {
   }
 }
 
-std::uint32_t KMeansWorkload::nearest_centroid(const GlobalMemory& mem,
-                                               std::uint32_t point) const {
+std::uint32_t KMeansWorkload::nearest_centroid(
+    std::span<const std::int32_t> features,
+    std::span<const std::int32_t> centroids) const {
   std::uint32_t best = 0;
   double best_dist = std::numeric_limits<double>::max();
   for (std::uint32_t c = 0; c < p_.k; ++c) {
     double dist = 0.0;
     for (std::uint32_t f = 0; f < p_.d; ++f) {
-      const double diff =
-          static_cast<double>(
-              mem.load<std::int32_t>(point_addr(point) + static_cast<Addr>(f) * 4)) -
-          static_cast<double>(
-              mem.load<std::int32_t>(centroids_ + (static_cast<Addr>(c) * p_.d + f) * 4));
+      const double diff = static_cast<double>(features[f]) -
+                          static_cast<double>(centroids[static_cast<std::size_t>(c) * p_.d + f]);
       dist += diff * diff;
     }
     if (dist < best_dist) {
@@ -101,6 +99,14 @@ KernelTrace KMeansWorkload::generate_assign(std::size_t iter, GlobalMemory& mem)
   const std::size_t centroid_lines =
       (static_cast<std::size_t>(p_.k) * p_.d * 4 + kLineBytes - 1) / kLineBytes;
 
+  // Centroids are read-only during assign (stores go to labels/partials),
+  // so load the whole block once instead of k*d map lookups per point.
+  std::vector<std::int32_t> cents(static_cast<std::size_t>(p_.k) * p_.d);
+  for (std::size_t i = 0; i < cents.size(); ++i) {
+    cents[i] = mem.load<std::int32_t>(centroids_ + static_cast<Addr>(i) * 4);
+  }
+  std::vector<std::int32_t> feat(p_.d);
+
   trace.workgroups.reserve(num_wgs_);
   for (std::uint32_t w = 0; w < num_wgs_; ++w) {
     WorkgroupTrace wg;
@@ -116,13 +122,15 @@ KernelTrace KMeansWorkload::generate_assign(std::size_t iter, GlobalMemory& mem)
       for (std::uint32_t f = 0; f < p_.d; f += kLineBytes / 4) {
         emit_read(wg, point_addr(i) + static_cast<Addr>(f) * 4);
       }
-      const std::uint32_t c = nearest_centroid(mem, i);
+      for (std::uint32_t f = 0; f < p_.d; ++f) {
+        feat[f] = mem.load<std::int32_t>(point_addr(i) + static_cast<Addr>(f) * 4);
+      }
+      const std::uint32_t c = nearest_centroid(feat, cents);
       mem.store<std::int32_t>(labels_ + static_cast<Addr>(i) * 4,
                               static_cast<std::int32_t>(c));
       ++counts[c];
       for (std::uint32_t f = 0; f < p_.d; ++f) {
-        sums[static_cast<std::size_t>(c) * p_.d + f] +=
-            mem.load<std::int32_t>(point_addr(i) + static_cast<Addr>(f) * 4);
+        sums[static_cast<std::size_t>(c) * p_.d + f] += feat[f];
       }
     }
     // Label lines (one per 16 points).

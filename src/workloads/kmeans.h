@@ -13,6 +13,7 @@
 // needs a whole line to share one delta range, lags far behind (Table V).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/workload.h"
@@ -48,8 +49,14 @@ class KMeansWorkload final : public Workload {
   [[nodiscard]] Addr point_addr(std::uint32_t i) const noexcept {
     return points_ + static_cast<Addr>(i) * p_.d * 4;
   }
-  [[nodiscard]] std::uint32_t nearest_centroid(const GlobalMemory& mem,
-                                               std::uint32_t point) const;
+  // Pure arithmetic over pre-loaded feature/centroid values; the caller
+  // batches the GlobalMemory loads (one pass per kernel for centroids, one
+  // per point for features) so the O(n*k*d) distance loop never touches
+  // the page map. Same values, same iteration order, same doubles — the
+  // labels are bit-identical to loading inside the loop.
+  [[nodiscard]] std::uint32_t nearest_centroid(
+      std::span<const std::int32_t> features,
+      std::span<const std::int32_t> centroids) const;
 
   KernelTrace generate_assign(std::size_t iter, GlobalMemory& mem);
   KernelTrace generate_update(std::size_t iter, GlobalMemory& mem);

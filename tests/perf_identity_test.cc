@@ -1,0 +1,127 @@
+// Pins the hot-path rewrite (probe-based sampling, slab event engine,
+// payload pooling, bulk bitstream I/O) to the EXACT results of the
+// original implementation.
+//
+// The golden values below are run_fingerprint() digests recorded from the
+// pre-rewrite tree for every workload x policy/instrumentation case at
+// scale 0.1. The fingerprint folds in every counter, histogram, energy,
+// and characterization stat of the RunResult, with doubles hashed by bit
+// pattern — so a single displaced event, a 1-ulp energy drift, or one
+// mis-tallied Table VI pattern fails the suite. Any legitimate
+// behavior-changing commit must re-record these values and say so.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/fingerprint.h"
+#include "core/system.h"
+#include "workloads/all_workloads.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr double kScale = 0.1;
+
+struct Golden {
+  const char* workload;
+  const char* label;
+  std::uint64_t fingerprint;
+};
+
+// Recorded from the pre-rewrite implementation (commit 8519d25).
+constexpr Golden kGoldens[] = {
+    {"AES", "raw", 0x187c8636e856318dULL},
+    {"AES", "fpc", 0x6adb673c8c597b46ULL},
+    {"AES", "bdi", 0x221185d2c61263a1ULL},
+    {"AES", "cpackz", 0x26232182e50686afULL},
+    {"AES", "adaptive", 0x5d679b9b1fb4f3c3ULL},
+    {"AES", "adaptive+charz", 0x18fdb15f0c25ca8fULL},
+    {"BS", "raw", 0xe89832200e33eb2aULL},
+    {"BS", "fpc", 0x1056171fb5a70d4cULL},
+    {"BS", "bdi", 0x5e2108406e56c8faULL},
+    {"BS", "cpackz", 0x61f577dc879b98c1ULL},
+    {"BS", "adaptive", 0xb971d124f42f39a3ULL},
+    {"BS", "adaptive+charz", 0xbfd3a4e7e38c1991ULL},
+    {"FIR", "raw", 0x7d67b9b2aa34145bULL},
+    {"FIR", "fpc", 0xb3ae993aecf0ad97ULL},
+    {"FIR", "bdi", 0x79ecf9eef5241110ULL},
+    {"FIR", "cpackz", 0xe0bf0390d7891283ULL},
+    {"FIR", "adaptive", 0x3878b10fd03eb2daULL},
+    {"FIR", "adaptive+charz", 0x04feec9e05f434cbULL},
+    {"GD", "raw", 0xcffac5954a18e998ULL},
+    {"GD", "fpc", 0x2fd7ad3c36464422ULL},
+    {"GD", "bdi", 0x7e24224e11784447ULL},
+    {"GD", "cpackz", 0x095e959e0b8d5729ULL},
+    {"GD", "adaptive", 0xc509fb5b17a53da6ULL},
+    {"GD", "adaptive+charz", 0x80ebe3e4a01c3b0cULL},
+    {"KM", "raw", 0xdb901d738e484a03ULL},
+    {"KM", "fpc", 0x8f4f0db1c3bda6ccULL},
+    {"KM", "bdi", 0xc830e44f37588e4dULL},
+    {"KM", "cpackz", 0x2760ab7c1d5fe5b4ULL},
+    {"KM", "adaptive", 0x5ffefd0dc5b946e9ULL},
+    {"KM", "adaptive+charz", 0x691a95ceebd6852aULL},
+    {"MT", "raw", 0x4fa8559cc126741dULL},
+    {"MT", "fpc", 0x38b243fc9ae8acb0ULL},
+    {"MT", "bdi", 0x65e6546ceebad692ULL},
+    {"MT", "cpackz", 0x8a1ec70327a4a1c4ULL},
+    {"MT", "adaptive", 0xd7f080b64f348e16ULL},
+    {"MT", "adaptive+charz", 0x317ddefcad5a9f3cULL},
+    {"SC", "raw", 0x0ab9117df61bede9ULL},
+    {"SC", "fpc", 0x8072f6c54832e926ULL},
+    {"SC", "bdi", 0xc474289165e501d0ULL},
+    {"SC", "cpackz", 0x3fa996ed22adce28ULL},
+    {"SC", "adaptive", 0x9b987dfb183fc2f6ULL},
+    {"SC", "adaptive+charz", 0xc54a87030970c553ULL},
+};
+
+struct CaseSetup {
+  PolicyFactory factory;
+  bool characterize{false};
+  std::size_t trace_samples{0};
+};
+
+CaseSetup setup_for(const std::string& label) {
+  if (label == "raw") return {make_no_compression_policy()};
+  if (label == "fpc") return {make_static_policy(CodecId::kFpc)};
+  if (label == "bdi") return {make_static_policy(CodecId::kBdi)};
+  if (label == "cpackz") return {make_static_policy(CodecId::kCpackZ)};
+  if (label == "adaptive") return {make_adaptive_policy(AdaptiveParams{})};
+  if (label == "adaptive+charz") return {make_adaptive_policy(AdaptiveParams{}), true, 64};
+  ADD_FAILURE() << "unknown case label " << label;
+  return {make_no_compression_policy()};
+}
+
+class PerfIdentityTest : public testing::TestWithParam<Golden> {};
+
+TEST_P(PerfIdentityTest, FingerprintMatchesPreRewriteImplementation) {
+  const Golden& g = GetParam();
+  const CaseSetup c = setup_for(g.label);
+  SystemConfig cfg;
+  cfg.policy = c.factory;
+  cfg.characterize = c.characterize;
+  cfg.trace_samples = c.trace_samples;
+  auto wl = make_workload(g.workload, kScale);
+  const RunResult r = run_workload(std::move(cfg), *wl);
+  EXPECT_EQ(run_fingerprint(r), g.fingerprint)
+      << g.workload << " / " << g.label
+      << ": results diverged from the pre-rewrite implementation";
+  // The schedule itself must be non-trivial for the fingerprint to mean
+  // anything.
+  EXPECT_GT(r.events_executed, 0U);
+  EXPECT_GT(r.exec_ticks, 0U);
+}
+
+std::string golden_name(const testing::TestParamInfo<Golden>& info) {
+  std::string name = std::string(info.param.workload) + "_" + info.param.label;
+  for (char& c : name) {
+    if (c == '+' || c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloadsAllPolicies, PerfIdentityTest,
+                         testing::ValuesIn(kGoldens), golden_name);
+
+}  // namespace
+}  // namespace mgcomp

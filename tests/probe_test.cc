@@ -1,0 +1,208 @@
+// Property suite for the probe/encode split: for EVERY codec and EVERY
+// line, probe() must report exactly the size_bits and pattern tallies that
+// a full compress() produces. The adaptive selector votes on probe results
+// and only encodes the winner, so any divergence here would silently skew
+// policy decisions and Table VI characterization.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/payload_pool.h"
+#include "common/rng.h"
+#include "common/word_io.h"
+#include "compression/bitplane.h"
+#include "compression/codec_set.h"
+#include "compression/null_codec.h"
+#include "core/workload.h"
+#include "workloads/all_workloads.h"
+
+namespace mgcomp {
+namespace {
+
+/// All codecs behind the Codec interface, plus the bit-plane wrapper over
+/// each real one (the wrapper must preserve the contract by delegation).
+class CodecsUnderTest {
+ public:
+  CodecsUnderTest() {
+    codecs_.push_back(&set_.get(CodecId::kNone));
+    for (const Codec* c : set_.real_codecs()) {
+      codecs_.push_back(c);
+      wrapped_.push_back(std::make_unique<BitplaneCodec>(*c));
+      codecs_.push_back(wrapped_.back().get());
+    }
+  }
+
+  [[nodiscard]] const std::vector<const Codec*>& all() const noexcept { return codecs_; }
+
+ private:
+  CodecSet set_;
+  std::vector<std::unique_ptr<BitplaneCodec>> wrapped_;
+  std::vector<const Codec*> codecs_;
+};
+
+void expect_probe_matches_compress(const Codec& codec, LineView line) {
+  PatternStats probe_stats;
+  PatternStats compress_stats;
+  const std::uint32_t probed = codec.probe(line, &probe_stats);
+  const Compressed full = codec.compress(line, &compress_stats);
+  EXPECT_EQ(probed, full.size_bits) << codec.name() << ": probe size diverged";
+  EXPECT_EQ(probe_stats, compress_stats) << codec.name() << ": pattern tallies diverged";
+  // Stats-less probe must agree with the stats-collecting one.
+  EXPECT_EQ(codec.probe(line), probed) << codec.name();
+}
+
+Line filled_line(std::uint8_t byte) {
+  Line l;
+  l.fill(byte);
+  return l;
+}
+
+std::vector<Line> adversarial_lines() {
+  std::vector<Line> lines;
+  lines.push_back(filled_line(0x00));  // all-zero -> zero-block fast path
+  lines.push_back(filled_line(0xFF));  // all-ones
+  lines.push_back(filled_line(0x7F));
+  // Narrow values: every word small and positive / small and negative.
+  Line narrow{};
+  Line narrow_neg{};
+  for (std::size_t w = 0; w < 16; ++w) {
+    store_le<std::uint32_t>(narrow, w * 4, static_cast<std::uint32_t>(w));
+    store_le<std::uint32_t>(narrow_neg, w * 4, static_cast<std::uint32_t>(-3 - static_cast<int>(w)));
+  }
+  lines.push_back(narrow);
+  lines.push_back(narrow_neg);
+  // Repeated 64-bit word (BDI pattern 2).
+  Line repeated{};
+  for (std::size_t w = 0; w < 8; ++w) {
+    store_le<std::uint64_t>(repeated, w * 8, 0x0123456789ABCDEFULL);
+  }
+  lines.push_back(repeated);
+  // Single nonzero byte at each extreme.
+  Line lone_first{};
+  lone_first[0] = 0x80;
+  lines.push_back(lone_first);
+  Line lone_last{};
+  lone_last[kLineBytes - 1] = 0x01;
+  lines.push_back(lone_last);
+  // One word exactly at the size_bits >= kLineBits boundary feeders:
+  // high-entropy words that defeat every pattern.
+  Line hostile{};
+  for (std::size_t w = 0; w < 16; ++w) {
+    store_le<std::uint32_t>(hostile, w * 4, 0x9E3779B9U * static_cast<std::uint32_t>(w + 1));
+  }
+  lines.push_back(hostile);
+  return lines;
+}
+
+TEST(ProbeContract, AdversarialLines) {
+  CodecsUnderTest codecs;
+  for (const Line& l : adversarial_lines()) {
+    for (const Codec* c : codecs.all()) expect_probe_matches_compress(*c, l);
+  }
+}
+
+TEST(ProbeContract, RandomAndStructuredLines) {
+  CodecsUnderTest codecs;
+  Rng rng(97);
+  for (int i = 0; i < 3000; ++i) {
+    Line l{};
+    switch (rng.below(5)) {
+      case 0:  // uniform random
+        for (auto& b : l) b = static_cast<std::uint8_t>(rng.next());
+        break;
+      case 1:  // sparse small words
+        for (std::size_t w = 0; w < 16; ++w) {
+          if (rng.chance(0.4)) {
+            store_le<std::uint32_t>(l, w * 4, static_cast<std::uint32_t>(rng.below(500)));
+          }
+        }
+        break;
+      case 2: {  // low dynamic range around a random base
+        const auto base = static_cast<std::uint32_t>(rng.next());
+        for (std::size_t w = 0; w < 16; ++w) {
+          store_le<std::uint32_t>(l, w * 4, base + static_cast<std::uint32_t>(rng.below(64)));
+        }
+        break;
+      }
+      case 3:  // dictionary-friendly: few distinct full words
+        for (std::size_t w = 0; w < 16; ++w) {
+          store_le<std::uint32_t>(l, w * 4,
+                                  0xDEAD0000U + static_cast<std::uint32_t>(rng.below(3)));
+        }
+        break;
+      default:  // halfword-structured
+        for (std::size_t w = 0; w < 16; ++w) {
+          store_le<std::uint32_t>(l, w * 4, static_cast<std::uint32_t>(rng.below(1 << 16))
+                                                << 16);
+        }
+        break;
+    }
+    for (const Codec* c : codecs.all()) expect_probe_matches_compress(*c, l);
+  }
+}
+
+TEST(ProbeContract, WorkloadDerivedLines) {
+  // Genuine benchmark data: set up each Table IV workload, run its first
+  // kernel functionally, and probe the lines its buffers actually hold.
+  CodecsUnderTest codecs;
+  for (const auto abbrev : workload_abbrevs()) {
+    auto wl = make_workload(abbrev, 0.05);
+    ASSERT_NE(wl, nullptr);
+    GlobalMemory mem;
+    wl->setup(mem);
+    (void)wl->generate_kernel(0, mem);
+    for (std::size_t i = 0; i < 512; ++i) {
+      const Line l = mem.read_line(static_cast<Addr>(i) * kLineBytes);
+      for (const Codec* c : codecs.all()) expect_probe_matches_compress(*c, l);
+    }
+  }
+}
+
+TEST(ProbeContract, CompressIntoRecyclesBufferAndStaysExact) {
+  // One Compressed reused across many lines must always equal a fresh
+  // compress() — the recycled buffer's stale contents must never leak into
+  // size, mode, or payload — and the encoded stream must round-trip.
+  CodecSet set;
+  Rng rng(98);
+  for (const Codec* c : set.real_codecs()) {
+    Compressed scratch;
+    for (int i = 0; i < 500; ++i) {
+      Line l{};
+      for (auto& b : l) {
+        b = rng.chance(0.5) ? 0 : static_cast<std::uint8_t>(rng.next());
+      }
+      c->compress_into(l, scratch);
+      const Compressed fresh = c->compress(l);
+      ASSERT_EQ(scratch.size_bits, fresh.size_bits) << c->name();
+      ASSERT_EQ(scratch.mode, fresh.mode) << c->name();
+      ASSERT_EQ(scratch.payload, fresh.payload) << c->name();
+      ASSERT_EQ(c->decompress(scratch), l) << c->name();
+    }
+  }
+}
+
+TEST(PayloadPool, RecyclesCapacityAndCountsHits) {
+  PayloadPool pool;
+  std::vector<std::uint8_t> a = pool.acquire();
+  EXPECT_EQ(pool.misses(), 1U);
+  EXPECT_TRUE(a.empty());
+  a.resize(64);
+  const std::uint8_t* storage = a.data();
+  pool.release(std::move(a));
+  std::vector<std::uint8_t> b = pool.acquire();
+  EXPECT_EQ(pool.hits(), 1U);
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), 64U);
+  EXPECT_EQ(b.data(), storage);  // same storage came back
+}
+
+TEST(PayloadPool, DropsCapacitylessBuffers) {
+  PayloadPool pool;
+  pool.release({});
+  std::vector<std::uint8_t> v = pool.acquire();
+  EXPECT_EQ(pool.hits(), 0U);
+  EXPECT_EQ(pool.misses(), 1U);
+}
+
+}  // namespace
+}  // namespace mgcomp

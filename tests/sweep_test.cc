@@ -1,6 +1,11 @@
-// Parallel sweep runner: order preservation, thread-count handling, and
-// result equivalence with serial execution.
+// Parallel sweep runner: order preservation, thread-count handling, result
+// equivalence with serial execution, and exception propagation.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
 
 #include "core/sweep.h"
 #include "core/system.h"
@@ -58,6 +63,49 @@ TEST(Sweep, MoreThreadsThanJobsIsFine) {
   const auto results = run_sweep({job_for("MT", CodecId::kNone)}, 64);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_GT(results[0].exec_ticks, 0u);
+}
+
+// Regression: a throwing job used to unwind its worker thread, which
+// std::terminate()s the whole process. The first exception must instead be
+// rethrown on the caller's thread after the pool joins.
+TEST(Sweep, ThrowingJobPropagatesToCaller) {
+  std::vector<SweepJob> jobs;
+  jobs.push_back(job_for("MT", CodecId::kNone));
+  jobs.push_back([]() -> RunResult { throw std::runtime_error("job 1 exploded"); });
+  jobs.push_back(job_for("BS", CodecId::kNone));
+  jobs.push_back(job_for("SC", CodecId::kNone));
+  try {
+    (void)run_sweep(std::move(jobs), 4);
+    FAIL() << "expected the job's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 1 exploded");
+  }
+}
+
+TEST(Sweep, FailureStopsDispatchingNewJobs) {
+  // After the failing job runs, workers must stop picking up fresh work;
+  // jobs already past the failure check may still run, but with the
+  // failing job first and many trailing jobs, at least the tail must be
+  // skipped.
+  constexpr int kTrailing = 64;
+  std::atomic<int> executed{0};
+  std::vector<SweepJob> jobs;
+  jobs.push_back([]() -> RunResult { throw std::runtime_error("first job fails"); });
+  for (int i = 0; i < kTrailing; ++i) {
+    jobs.push_back([&executed]() -> RunResult {
+      executed.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return RunResult{};
+    });
+  }
+  EXPECT_THROW(run_sweep(std::move(jobs), 2), std::runtime_error);
+  EXPECT_LT(executed.load(), kTrailing);
+}
+
+TEST(Sweep, SerialPathAlsoPropagates) {
+  std::vector<SweepJob> jobs;
+  jobs.push_back([]() -> RunResult { throw std::logic_error("serial"); });
+  EXPECT_THROW(run_sweep(std::move(jobs), 1), std::logic_error);
 }
 
 }  // namespace

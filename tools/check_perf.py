@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_PERF.json written by `bench_perf`.
+
+Validates the mgcomp-bench-perf-v1 schema (docs/architecture.md,
+"Performance"): header fields, one result row per workload x policy with
+positive wall time and event counts, derived rates consistent with the
+raw numbers, and aggregate totals that match the sum of the rows. Exits
+non-zero on the first violation so CI fails loudly.
+
+Usage: check_perf.py BENCH_PERF.json
+"""
+
+import json
+import sys
+
+EXPECTED_POLICIES = {"raw", "FPC", "BDI", "C-Pack+Z", "adaptive"}
+RESULT_FIELDS = {
+    "workload": str,
+    "policy": str,
+    "wall_ms": float,
+    "events": int,
+    "sim_ticks": int,
+    "events_per_sec": float,
+    "sim_ticks_per_sec": float,
+}
+
+
+def fail(msg: str) -> None:
+    print(f"check_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_rate(label: str, rate: float, count: int, wall_ms: float) -> None:
+    expected = count / (wall_ms / 1e3)
+    # The producer rounds to one decimal; allow generous slack.
+    if abs(rate - expected) > max(1.0, expected * 1e-3):
+        fail(f"{label}: rate {rate} inconsistent with {count} / {wall_ms} ms")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_perf.py BENCH_PERF.json")
+
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if doc.get("schema") != "mgcomp-bench-perf-v1":
+        fail(f"unexpected schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("scale"), (int, float)) or doc["scale"] <= 0:
+        fail(f"bad scale {doc.get('scale')!r}")
+    if not isinstance(doc.get("repeats"), int) or doc["repeats"] < 1:
+        fail(f"bad repeats {doc.get('repeats')!r}")
+
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail("missing or empty results array")
+
+    seen = set()
+    sum_ms = 0.0
+    sum_events = 0
+    adaptive_ms = 0.0
+    adaptive_events = 0
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            fail(f"result {i}: not an object")
+        for field, kind in RESULT_FIELDS.items():
+            v = row.get(field)
+            if kind is float:
+                ok = isinstance(v, (int, float))
+            else:
+                ok = isinstance(v, kind)
+            if not ok:
+                fail(f"result {i}: bad {field} {v!r}")
+        if row["policy"] not in EXPECTED_POLICIES:
+            fail(f"result {i}: unknown policy {row['policy']!r}")
+        key = (row["workload"], row["policy"])
+        if key in seen:
+            fail(f"result {i}: duplicate case {key}")
+        seen.add(key)
+        if row["wall_ms"] <= 0 or row["events"] <= 0 or row["sim_ticks"] <= 0:
+            fail(f"result {i}: non-positive measurement in {key}")
+        check_rate(f"result {i} events_per_sec", row["events_per_sec"],
+                   row["events"], row["wall_ms"])
+        check_rate(f"result {i} sim_ticks_per_sec", row["sim_ticks_per_sec"],
+                   row["sim_ticks"], row["wall_ms"])
+        sum_ms += row["wall_ms"]
+        sum_events += row["events"]
+        if row["policy"] == "adaptive":
+            adaptive_ms += row["wall_ms"]
+            adaptive_events += row["events"]
+
+    workloads = {w for (w, _) in seen}
+    policies = {p for (_, p) in seen}
+    if len(seen) != len(workloads) * len(policies):
+        fail("results grid is not a full workload x policy cross product")
+    if "adaptive" not in policies:
+        fail("no adaptive rows — the hot-path target configuration is missing")
+
+    for name, want_ms, want_events in (
+        ("total", sum_ms, sum_events),
+        ("adaptive", adaptive_ms, adaptive_events),
+    ):
+        agg = doc.get(name)
+        if not isinstance(agg, dict):
+            fail(f"missing {name} aggregate")
+        if agg.get("events") != want_events:
+            fail(f"{name}.events {agg.get('events')!r} != sum of rows {want_events}")
+        if not isinstance(agg.get("wall_ms"), (int, float)) or \
+                abs(agg["wall_ms"] - want_ms) > 0.01 * len(results):
+            fail(f"{name}.wall_ms {agg.get('wall_ms')!r} != sum of rows {want_ms:.3f}")
+        check_rate(f"{name}.events_per_sec", agg.get("events_per_sec", -1.0),
+                   want_events, agg["wall_ms"])
+
+    print(f"check_perf: OK: {len(results)} cases over {len(workloads)} workloads x "
+          f"{len(policies)} policies, {sum_events} events in {sum_ms:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()
