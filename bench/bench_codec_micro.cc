@@ -1,11 +1,18 @@
 // Microbenchmarks (google-benchmark): codec compression/decompression
 // throughput on characteristic line corpora. Not a paper figure —
 // engineering sanity for the library itself.
+//
+// --simd=<scalar|sse42|avx2|neon> pins the kernel backend for the whole
+// run (default: best available), so backends can be compared back to back.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "common/rng.h"
 #include "common/word_io.h"
 #include "compression/codec_set.h"
+#include "compression/simd/dispatch.h"
 
 namespace {
 
@@ -105,6 +112,28 @@ void BM_Probe(benchmark::State& state) {
                  std::to_string(i == 0 ? 0 : total_bits / i));
 }
 
+// The adaptive sampling hot path: all three codecs probed at once via the
+// fused CodecSet::probe_all(). Compare against the sum of the three
+// BM_Probe rows to see what fusion saves.
+void BM_ProbeAll(benchmark::State& state) {
+  static CodecSet set;
+  const auto corpus = static_cast<Corpus>(state.range(0));
+  const std::vector<Line> lines = make_corpus(corpus, 256);
+
+  std::array<std::uint32_t, kNumCodecIds> bits{};
+  std::uint64_t total_bits = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    set.probe_all(lines[i % lines.size()], bits);
+    benchmark::DoNotOptimize(bits);
+    total_bits += bits[1] + bits[2] + bits[3];
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+  state.SetLabel(std::string("all/") + corpus_name(corpus) + " avg_bits=" +
+                 std::to_string(i == 0 ? 0 : total_bits / (3 * i)));
+}
+
 void BM_CompressInto(benchmark::State& state) {
   static CodecSet set;
   const auto id = static_cast<CodecId>(state.range(0));
@@ -148,11 +177,38 @@ void register_all() {
     }
     benchmark::RegisterBenchmark("BM_RoundTrip", &BM_RoundTrip)->Args({codec, 0});
   }
+  for (int corpus = 0; corpus <= 4; ++corpus) {
+    benchmark::RegisterBenchmark("BM_ProbeAll", &BM_ProbeAll)->Args({corpus});
+  }
+}
+
+/// Consumes a leading --simd=<backend> argument (google-benchmark rejects
+/// flags it does not know). Returns false on an unknown backend name.
+bool apply_simd_flag(int& argc, char** argv) {
+  int out = 1;
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--simd=", 7) == 0) {
+      const char* name = argv[i] + 7;
+      if (!mgcomp::simd::set_backend(name)) {
+        std::fprintf(stderr, "bench_codec_micro: unknown or unavailable SIMD backend '%s'\n",
+                     name);
+        ok = false;
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!apply_simd_flag(argc, argv)) return 2;
+  std::printf("simd backend: %s\n",
+              std::string(mgcomp::simd::backend_name(mgcomp::simd::active_backend())).c_str());
   register_all();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

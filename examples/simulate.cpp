@@ -17,12 +17,14 @@
 //     --characterize                          (adds Table V-style columns)
 //     --trace-out <file.json>                 (write Chrome trace-event JSON; open in Perfetto)
 //     --trace-limit <events>                  (trace ring capacity, default 262144)
+//     --simd      scalar|sse42|avx2|neon      (pin codec kernel backend; default best)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "analysis/report.h"
+#include "compression/simd/dispatch.h"
 #include "core/system.h"
 #include "workloads/all_workloads.h"
 
@@ -47,6 +49,7 @@ struct Options {
   std::string dump_trace;  ///< CSV path for Fig.1-style per-transfer series
   std::string trace_out;   ///< Chrome trace-event JSON path (Perfetto)
   std::size_t trace_limit{262144};  ///< event-ring capacity for --trace-out
+  std::string simd;        ///< pinned SIMD backend ("" = best available)
 };
 
 bool parse(int argc, char** argv, Options& o) {
@@ -114,6 +117,10 @@ bool parse(int argc, char** argv, Options& o) {
       if (v == nullptr) return false;
       o.trace_limit = static_cast<std::size_t>(std::atoll(v));
       if (o.trace_limit == 0) return false;
+    } else if (arg == "--simd") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.simd = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -132,7 +139,8 @@ void usage() {
       "                [--samples N] [--running N] [--tier chip|die|package|node]\n"
       "                [--ber RATE] [--drop RATE]\n"
       "                [--characterize] [--json] [--dump-trace out.csv]\n"
-      "                [--trace-out out.json] [--trace-limit EVENTS]");
+      "                [--trace-out out.json] [--trace-limit EVENTS]\n"
+      "                [--simd scalar|sse42|avx2|neon]");
 }
 
 }  // namespace
@@ -141,6 +149,10 @@ int main(int argc, char** argv) {
   Options o;
   if (!parse(argc, argv, o)) {
     usage();
+    return 2;
+  }
+  if (!o.simd.empty() && !simd::set_backend(o.simd)) {
+    std::fprintf(stderr, "unknown or unavailable SIMD backend: %s\n", o.simd.c_str());
     return 2;
   }
 

@@ -103,6 +103,7 @@ class AdaptivePolicy final : public CompressionPolicy {
     MGCOMP_CHECK(params_.sample_transfers > 0);
     if (params_.candidates.empty()) {
       real_ = codecs.real_codecs();
+      full_candidate_set_ = true;  // sampling can use the fused probe
     } else {
       for (const CodecId id : params_.candidates) {
         MGCOMP_CHECK_MSG(id != CodecId::kNone, "kNone is implicit, not a candidate");
@@ -220,13 +221,30 @@ class AdaptivePolicy final : public CompressionPolicy {
     double best_penalty = score(kLineBits, CodecId::kNone);  // "send raw"
     CodecId best = CodecId::kNone;
     std::uint32_t best_bits = kLineBits;
-    for (const Codec* c : real_) {
-      const std::uint32_t bits = c->probe(line);
-      const double p = score(bits, c->id());
-      if (bits < kLineBits && p < best_penalty) {
-        best_penalty = p;
-        best = c->id();
-        best_bits = bits;
+    if (full_candidate_set_) {
+      // All three compressors are candidates: one fused pass over the line
+      // replaces three independent probes (identical results by contract).
+      std::array<std::uint32_t, kNumCodecIds> all_bits;
+      codecs_->probe_all(line, all_bits);
+      for (std::size_t i = 1; i < kNumCodecIds; ++i) {
+        const std::uint32_t bits = all_bits[i];
+        const auto id = static_cast<CodecId>(i);
+        const double p = score(bits, id);
+        if (bits < kLineBits && p < best_penalty) {
+          best_penalty = p;
+          best = id;
+          best_bits = bits;
+        }
+      }
+    } else {
+      for (const Codec* c : real_) {
+        const std::uint32_t bits = c->probe(line);
+        const double p = score(bits, c->id());
+        if (bits < kLineBits && p < best_penalty) {
+          best_penalty = p;
+          best = c->id();
+          best_bits = bits;
+        }
       }
     }
     if (best != CodecId::kNone) {
@@ -353,6 +371,7 @@ class AdaptivePolicy final : public CompressionPolicy {
   AdaptiveParams params_;
   PenaltyFunction penalty_;
   std::vector<const Codec*> real_;
+  bool full_candidate_set_{false};
   Tick sample_latency_{0};
   Tick sample_occupancy_{0};
   double sample_energy_pj_{0.0};

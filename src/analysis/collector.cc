@@ -10,18 +10,21 @@ void Collector::on_payload_sent(LineView line, const CompressionDecision& d) {
 
   TraceSample sample;
   sample.entropy = byte_entropy_normalized(line);
-  sample.size_bits[static_cast<std::size_t>(CodecId::kNone)] = kLineBits;
-  for (const Codec* codec : codecs_->real_codecs()) {
-    const auto idx = static_cast<std::size_t>(codec->id());
-    // probe() is exact on size and patterns, so characterization stays
-    // bit-identical to the full-encode implementation while never
-    // materializing a payload.
-    const std::uint32_t bits =
-        codec->probe(line, characterize_ ? &charz_.patterns[idx] : nullptr);
-    sample.size_bits[idx] = bits;
-    if (characterize_) charz_.compressed_bits[idx] += bits;
-  }
+  // One fused pass computes what used to be three independent probes.
+  // probe_all() is exact on sizes and patterns, so characterization stays
+  // bit-identical to the full-encode implementation while never
+  // materializing a payload.
+  std::array<PatternStats*, kNumCodecIds> sinks{};
   if (characterize_) {
+    for (std::size_t idx = 1; idx < kNumCodecIds; ++idx) {
+      sinks[idx] = &charz_.patterns[idx];
+    }
+  }
+  codecs_->probe_all(line, sample.size_bits, sinks);
+  if (characterize_) {
+    for (std::size_t idx = 1; idx < kNumCodecIds; ++idx) {
+      charz_.compressed_bits[idx] += sample.size_bits[idx];
+    }
     ++charz_.payloads;
     charz_.entropy.add(line);
   }

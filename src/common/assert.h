@@ -28,3 +28,26 @@ namespace mgcomp::detail {
 #define MGCOMP_CHECK_MSG(expr, msg)                                      \
   ((expr) ? static_cast<void>(0)                                         \
           : ::mgcomp::detail::assert_fail(#expr, __FILE__, __LINE__, msg))
+
+// Whether an address-sanitized build is active (GCC and Clang spell the
+// detection macro differently).
+#if defined(__SANITIZE_ADDRESS__)
+#define MGCOMP_ASAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MGCOMP_ASAN_ENABLED 1
+#endif
+#endif
+#if !defined(MGCOMP_ASAN_ENABLED)
+#define MGCOMP_ASAN_ENABLED 0
+#endif
+
+/// Debug-only invariant check for per-byte hot paths (word loads/stores)
+/// where even a predictable branch is measurable. Active in Debug builds
+/// and in any sanitizer build; compiled out entirely under NDEBUG. The
+/// expression is still parsed (sizeof) so it cannot bit-rot.
+#if !defined(NDEBUG) || MGCOMP_ASAN_ENABLED
+#define MGCOMP_DCHECK(expr) MGCOMP_CHECK(expr)
+#else
+#define MGCOMP_DCHECK(expr) (static_cast<void>(sizeof(!(expr))))
+#endif

@@ -1,7 +1,11 @@
 // Little-endian word accessors over raw line bytes.
 //
 // Codecs view a 64-byte line as 8/16/32 fixed-width little-endian integers.
-// Accessors are branch-free and avoid strict-aliasing issues.
+// Accessors are branch-free and avoid strict-aliasing issues. Bounds are
+// validated with MGCOMP_DCHECK only (Debug and sanitizer builds): these
+// run several times per transferred line, making them the hottest checks
+// in the simulator, and every call site passes offsets derived from fixed
+// line geometry.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +19,7 @@ namespace mgcomp {
 /// Loads a little-endian unsigned integer of Width bytes at byte offset `off`.
 template <typename T>
 [[nodiscard]] inline T load_le(std::span<const std::uint8_t> bytes, std::size_t off) noexcept {
-  MGCOMP_CHECK(off + sizeof(T) <= bytes.size());
+  MGCOMP_DCHECK(off + sizeof(T) <= bytes.size());
   T v{};
   std::memcpy(&v, bytes.data() + off, sizeof(T));
   return v;  // host is little-endian on all supported platforms
@@ -24,7 +28,7 @@ template <typename T>
 /// Stores a little-endian unsigned integer at byte offset `off`.
 template <typename T>
 inline void store_le(std::span<std::uint8_t> bytes, std::size_t off, T v) noexcept {
-  MGCOMP_CHECK(off + sizeof(T) <= bytes.size());
+  MGCOMP_DCHECK(off + sizeof(T) <= bytes.size());
   std::memcpy(bytes.data() + off, &v, sizeof(T));
 }
 

@@ -6,6 +6,7 @@
 #include "common/assert.h"
 #include "common/bitstream.h"
 #include "common/word_io.h"
+#include "compression/simd/dispatch.h"
 
 namespace mgcomp {
 namespace {
@@ -58,8 +59,12 @@ DeltaChoice choose_delta(std::uint64_t e, std::uint64_t base, unsigned k, unsign
   return {false, false};
 }
 
-bool all_zero(LineView line) noexcept {
-  return std::all_of(line.begin(), line.end(), [](std::uint8_t b) { return b == 0; });
+// The (k, d) geometry of a kernel-selected form pattern.
+const Form* form_for_pattern(std::uint8_t pattern) noexcept {
+  for (const Form& f : kForms) {
+    if (f.pattern == pattern) return &f;
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -88,58 +93,18 @@ bool BdiCodec::form_valid(LineView line, unsigned k, unsigned d) noexcept {
   return true;
 }
 
-namespace {
-
-// Smallest valid (k, d) form for `line`, or nullptr when none applies;
-// ties resolve to the lower pattern number (kForms is not size-ordered,
-// so scan all). Shared by the probe and encode paths so the two can never
-// disagree on the selected form.
-const Form* best_form(LineView line) noexcept {
-  const Form* best = nullptr;
-  std::uint32_t best_bits = kLineBits;
-  for (const Form& f : kForms) {
-    const std::uint32_t bits = BdiCodec::form_bits(f.pattern);
-    if (bits >= best_bits) continue;
-    if (BdiCodec::form_valid(line, f.base_bytes, f.delta_bytes)) {
-      best = &f;
-      best_bits = bits;
-    }
-  }
-  return best;
-}
-
-bool repeated_words(LineView line) noexcept {
-  const std::uint64_t w0 = load_le<std::uint64_t>(line, 0);
-  for (std::size_t i = 1; i < 8; ++i) {
-    if (load_le<std::uint64_t>(line, i * 8) != w0) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
 std::uint32_t BdiCodec::probe(LineView line, PatternStats* stats) const {
-  if (all_zero(line)) {
-    if (stats != nullptr) stats->add(kZeroBlock);
-    return form_bits(kZeroBlock);
-  }
-  if (repeated_words(line)) {
-    if (stats != nullptr) stats->add(kRepeatedWords);
-    return form_bits(kRepeatedWords);
-  }
-  const Form* best = best_form(line);
-  if (best == nullptr) {
-    if (stats != nullptr) stats->add(kUncompressed);
-    return kLineBits;
-  }
-  if (stats != nullptr) stats->add(best->pattern);
-  return form_bits(best->pattern);
+  return simd::bdi_probe_result(simd::kernels().bdi(line.data()), stats);
 }
 
 void BdiCodec::compress_into(LineView line, Compressed& out, PatternStats* stats) const {
   out.codec = CodecId::kBdi;
 
-  if (all_zero(line)) {
+  // Pattern selection runs on the active SIMD backend; every backend
+  // replicates the smallest-valid-form ranking of Table II exactly.
+  const auto pattern = static_cast<Pattern>(simd::kernels().bdi(line.data()));
+
+  if (pattern == kZeroBlock) {
     out.mode = EncodingMode::kZeroBlock;
     out.size_bits = form_bits(kZeroBlock);
     out.payload.clear();
@@ -148,7 +113,7 @@ void BdiCodec::compress_into(LineView line, Compressed& out, PatternStats* stats
   }
 
   // Repeated 64-bit words (pattern 2).
-  if (repeated_words(line)) {
+  if (pattern == kRepeatedWords) {
     BitWriter bw(std::move(out.payload));
     bw.put(kRepeatedWords, kPrefixBits);
     bw.put(load_le<std::uint64_t>(line, 0), 64);
@@ -160,8 +125,8 @@ void BdiCodec::compress_into(LineView line, Compressed& out, PatternStats* stats
     return;
   }
 
-  const Form* best = best_form(line);
-  if (best == nullptr) {
+  const Form* best = form_for_pattern(pattern);
+  if (best == nullptr) {  // kUncompressed: no form fits
     out.mode = EncodingMode::kRaw;
     out.size_bits = kLineBits;
     out.payload.assign(line.begin(), line.end());

@@ -5,6 +5,7 @@
 #include "compression/cpackz.h"
 #include "compression/fpc.h"
 #include "compression/null_codec.h"
+#include "compression/simd/dispatch.h"
 
 namespace mgcomp {
 
@@ -19,6 +20,40 @@ const Codec& CodecSet::get(CodecId id) const noexcept {
   const auto idx = static_cast<std::size_t>(id);
   MGCOMP_CHECK(idx < codecs_.size() && codecs_[idx] != nullptr);
   return *codecs_[idx];
+}
+
+void CodecSet::probe_all(LineView line,
+                         std::array<std::uint32_t, kNumCodecIds>& size_bits,
+                         const std::array<PatternStats*, kNumCodecIds>& stats) const {
+  constexpr auto idx = [](CodecId id) { return static_cast<std::size_t>(id); };
+  const simd::ProbeKernels& k = simd::kernels();
+  const std::uint8_t* bytes = line.data();
+
+  size_bits[idx(CodecId::kNone)] = kLineBits;
+
+  const simd::FpcWordMasks wm = k.fpc(bytes);
+  size_bits[idx(CodecId::kFpc)] =
+      simd::fpc_probe_result(wm, stats[idx(CodecId::kFpc)]);
+
+  if (wm.m[0] == 0xFFFFU) {
+    // All-zero line: BDI and C-Pack+Z results are fixed without running
+    // their kernels.
+    if (PatternStats* s = stats[idx(CodecId::kBdi)]; s != nullptr) {
+      s->add(BdiCodec::kZeroBlock);
+    }
+    size_bits[idx(CodecId::kBdi)] = BdiCodec::form_bits(BdiCodec::kZeroBlock);
+    if (PatternStats* s = stats[idx(CodecId::kCpackZ)]; s != nullptr) {
+      s->add(CpackZCodec::kZeroBlock);
+    }
+    size_bits[idx(CodecId::kCpackZ)] =
+        CpackZCodec::pattern_bits(CpackZCodec::kZeroBlock);
+    return;
+  }
+
+  size_bits[idx(CodecId::kBdi)] =
+      simd::bdi_probe_result(k.bdi(bytes), stats[idx(CodecId::kBdi)]);
+  size_bits[idx(CodecId::kCpackZ)] =
+      simd::cpack_probe_result(k.cpack(bytes), stats[idx(CodecId::kCpackZ)]);
 }
 
 std::vector<const Codec*> CodecSet::real_codecs() const {

@@ -21,6 +21,16 @@ class CodecSet {
   /// The three real compressors (FPC, BDI, C-Pack+Z), in CodecId order.
   [[nodiscard]] std::vector<const Codec*> real_codecs() const;
 
+  /// Fused probe: exact probe() results of all three real codecs from one
+  /// pass over the line on the active SIMD backend. size_bits and stats are
+  /// indexed by CodecId; the kNone slot is kLineBits and its stats pointer
+  /// is ignored. Bit-identical to calling each codec's probe() in turn, but
+  /// shares the line walk — in particular the all-zero special case (the
+  /// most common line in real workloads) is detected once and settles all
+  /// three codecs without further work.
+  void probe_all(LineView line, std::array<std::uint32_t, kNumCodecIds>& size_bits,
+                 const std::array<PatternStats*, kNumCodecIds>& stats = {}) const;
+
   /// All four candidates including "None" — the adaptive selector's
   /// candidate set.
   [[nodiscard]] std::vector<const Codec*> all_codecs() const;

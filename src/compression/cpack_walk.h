@@ -1,0 +1,124 @@
+// The C-Pack word walk shared by every consumer that must agree bit-for-bit
+// on the encoding: the codec's compress path, its size-only probe, and the
+// scalar SIMD-dispatch kernel. One code path decides patterns and
+// dictionary updates; the sink decides whether bits are materialized or
+// merely counted.
+//
+// Internal header — include from .cc files only.
+#pragma once
+
+#include "common/assert.h"
+#include "common/word_io.h"
+#include "compression/cpackz.h"
+
+namespace mgcomp::cpack_detail {
+
+inline constexpr std::size_t kWordsPerLine = kLineBytes / 4;  // 16
+
+// Canonical 2-bit top tags of the bit stream (sizes match Table II; the
+// exact bit patterns are an implementation choice since the stream is
+// self-describing end to end).
+enum Tag : std::uint64_t { kTagZero = 0, kTagNew = 1, kTagExt = 2 };
+enum SubTag : std::uint64_t { kSubFull = 0, kSubHalf = 1, kSubNarrow = 2, kSubThreeByte = 3 };
+
+// FIFO dictionary rebuilt per line; identical logic runs at both ends.
+class Dictionary {
+ public:
+  /// Returns index of first entry equal to `w` at full-word granularity,
+  /// or -1.
+  [[nodiscard]] int find_full(std::uint32_t w) const noexcept { return find(w, 0); }
+  /// High-24-bit match.
+  [[nodiscard]] int find_three_byte(std::uint32_t w) const noexcept { return find(w, 8); }
+  /// High-16-bit match.
+  [[nodiscard]] int find_half(std::uint32_t w) const noexcept { return find(w, 16); }
+
+  void insert(std::uint32_t w) noexcept {
+    if (size_ < CpackZCodec::kDictEntries) {
+      entries_[size_++] = w;
+    } else {
+      entries_[next_victim_] = w;  // FIFO replacement
+      next_victim_ = (next_victim_ + 1) % CpackZCodec::kDictEntries;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t at(std::size_t i) const noexcept {
+    MGCOMP_CHECK(i < size_);
+    return entries_[i];
+  }
+
+ private:
+  [[nodiscard]] int find(std::uint32_t w, unsigned low_bits_ignored) const noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if ((entries_[i] >> low_bits_ignored) == (w >> low_bits_ignored)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  std::uint32_t entries_[CpackZCodec::kDictEntries]{};
+  std::size_t size_{0};
+  std::size_t next_victim_{0};
+};
+
+/// Discards field values and accumulates only the stream length, making the
+/// probe path an exact bit-count mirror of the encode path.
+struct CountingSink {
+  std::uint32_t bits{0};
+  void put(std::uint64_t, unsigned nbits) noexcept { bits += nbits; }
+};
+
+/// The C-Pack word walk: one code path decides patterns and dictionary
+/// updates, the sink decides whether bits are materialized or counted.
+template <typename Sink>
+void encode_words(LineView line, PatternStats& local, Sink& sink) {
+  Dictionary dict;
+  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
+    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
+
+    // Cheapest-first candidate order: zero (2b) < full match (8b) <
+    // narrow byte (12b) < three-byte match (16b) < halfword match (24b)
+    // < literal insert (34b).
+    if (w == 0) {
+      sink.put(kTagZero, 2);
+      local.add(CpackZCodec::kZeroWord);
+      continue;
+    }
+    if (const int idx = dict.find_full(w); idx >= 0) {
+      sink.put(kTagExt, 2);
+      sink.put(kSubFull, 2);
+      sink.put(static_cast<std::uint64_t>(idx), 4);
+      local.add(CpackZCodec::kFullMatch);
+      continue;
+    }
+    if ((w & 0xFFFFFF00U) == 0) {
+      sink.put(kTagExt, 2);
+      sink.put(kSubNarrow, 2);
+      sink.put(w & 0xFFU, 8);
+      local.add(CpackZCodec::kNarrowByte);
+      continue;
+    }
+    if (const int idx = dict.find_three_byte(w); idx >= 0) {
+      sink.put(kTagExt, 2);
+      sink.put(kSubThreeByte, 2);
+      sink.put(static_cast<std::uint64_t>(idx), 4);
+      sink.put(w & 0xFFU, 8);
+      local.add(CpackZCodec::kThreeByteMatch);
+      continue;
+    }
+    if (const int idx = dict.find_half(w); idx >= 0) {
+      sink.put(kTagExt, 2);
+      sink.put(kSubHalf, 2);
+      sink.put(static_cast<std::uint64_t>(idx), 4);
+      sink.put(w & 0xFFFFU, 16);
+      local.add(CpackZCodec::kHalfwordMatch);
+      continue;
+    }
+    sink.put(kTagNew, 2);
+    sink.put(w, 32);
+    dict.insert(w);
+    local.add(CpackZCodec::kNewWord);
+  }
+}
+
+}  // namespace mgcomp::cpack_detail

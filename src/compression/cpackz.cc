@@ -5,68 +5,14 @@
 #include "common/assert.h"
 #include "common/bitstream.h"
 #include "common/word_io.h"
+#include "compression/cpack_walk.h"
+#include "compression/simd/dispatch.h"
 
 namespace mgcomp {
 namespace {
 
-constexpr std::size_t kWordsPerLine = kLineBytes / 4;  // 16
-
-// Canonical 2-bit top tags of the bit stream (sizes match Table II; the
-// exact bit patterns are an implementation choice since the stream is
-// self-describing end to end).
-enum Tag : std::uint64_t { kTagZero = 0, kTagNew = 1, kTagExt = 2 };
-enum SubTag : std::uint64_t { kSubFull = 0, kSubHalf = 1, kSubNarrow = 2, kSubThreeByte = 3 };
-
-// FIFO dictionary rebuilt per line; identical logic runs at both ends.
-class Dictionary {
- public:
-  /// Returns index of first entry equal to `w` at full-word granularity,
-  /// or -1.
-  [[nodiscard]] int find_full(std::uint32_t w) const noexcept { return find(w, 0); }
-  /// High-24-bit match.
-  [[nodiscard]] int find_three_byte(std::uint32_t w) const noexcept { return find(w, 8); }
-  /// High-16-bit match.
-  [[nodiscard]] int find_half(std::uint32_t w) const noexcept { return find(w, 16); }
-
-  void insert(std::uint32_t w) noexcept {
-    if (size_ < CpackZCodec::kDictEntries) {
-      entries_[size_++] = w;
-    } else {
-      entries_[next_victim_] = w;  // FIFO replacement
-      next_victim_ = (next_victim_ + 1) % CpackZCodec::kDictEntries;
-    }
-  }
-
-  [[nodiscard]] std::uint32_t at(std::size_t i) const noexcept {
-    MGCOMP_CHECK(i < size_);
-    return entries_[i];
-  }
-
- private:
-  [[nodiscard]] int find(std::uint32_t w, unsigned low_bits_ignored) const noexcept {
-    for (std::size_t i = 0; i < size_; ++i) {
-      if ((entries_[i] >> low_bits_ignored) == (w >> low_bits_ignored)) {
-        return static_cast<int>(i);
-      }
-    }
-    return -1;
-  }
-
-  std::uint32_t entries_[CpackZCodec::kDictEntries]{};
-  std::size_t size_{0};
-  std::size_t next_victim_{0};
-};
-
-bool all_zero(LineView line) noexcept {
-  return std::all_of(line.begin(), line.end(), [](std::uint8_t b) { return b == 0; });
-}
-
-/// Discards field values and accumulates only the stream length, making the
-/// probe path an exact bit-count mirror of the encode path.
-struct CountingSink {
-  std::uint32_t bits{0};
-  void put(std::uint64_t, unsigned nbits) noexcept { bits += nbits; }
-};
+using cpack_detail::Dictionary;
+using cpack_detail::kWordsPerLine;
 
 /// Forwards fields to a real BitWriter.
 struct WriterSink {
@@ -74,58 +20,8 @@ struct WriterSink {
   void put(std::uint64_t value, unsigned nbits) { bw->put(value, nbits); }
 };
 
-/// The C-Pack word walk, shared by probe() and compress_into(): one code
-/// path decides patterns and dictionary updates, the sink decides whether
-/// bits are materialized or merely counted.
-template <typename Sink>
-void encode_words(LineView line, PatternStats& local, Sink& sink) {
-  Dictionary dict;
-  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
-    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
-
-    // Cheapest-first candidate order: zero (2b) < full match (8b) <
-    // narrow byte (12b) < three-byte match (16b) < halfword match (24b)
-    // < literal insert (34b).
-    if (w == 0) {
-      sink.put(kTagZero, 2);
-      local.add(CpackZCodec::kZeroWord);
-      continue;
-    }
-    if (const int idx = dict.find_full(w); idx >= 0) {
-      sink.put(kTagExt, 2);
-      sink.put(kSubFull, 2);
-      sink.put(static_cast<std::uint64_t>(idx), 4);
-      local.add(CpackZCodec::kFullMatch);
-      continue;
-    }
-    if ((w & 0xFFFFFF00U) == 0) {
-      sink.put(kTagExt, 2);
-      sink.put(kSubNarrow, 2);
-      sink.put(w & 0xFFU, 8);
-      local.add(CpackZCodec::kNarrowByte);
-      continue;
-    }
-    if (const int idx = dict.find_three_byte(w); idx >= 0) {
-      sink.put(kTagExt, 2);
-      sink.put(kSubThreeByte, 2);
-      sink.put(static_cast<std::uint64_t>(idx), 4);
-      sink.put(w & 0xFFU, 8);
-      local.add(CpackZCodec::kThreeByteMatch);
-      continue;
-    }
-    if (const int idx = dict.find_half(w); idx >= 0) {
-      sink.put(kTagExt, 2);
-      sink.put(kSubHalf, 2);
-      sink.put(static_cast<std::uint64_t>(idx), 4);
-      sink.put(w & 0xFFFFU, 16);
-      local.add(CpackZCodec::kHalfwordMatch);
-      continue;
-    }
-    sink.put(kTagNew, 2);
-    sink.put(w, 32);
-    dict.insert(w);
-    local.add(CpackZCodec::kNewWord);
-  }
+bool all_zero(LineView line) noexcept {
+  return std::all_of(line.begin(), line.end(), [](std::uint8_t b) { return b == 0; });
 }
 
 }  // namespace
@@ -145,19 +41,7 @@ unsigned CpackZCodec::pattern_bits(Pattern p) noexcept {
 }
 
 std::uint32_t CpackZCodec::probe(LineView line, PatternStats* stats) const {
-  if (all_zero(line)) {
-    if (stats != nullptr) stats->add(kZeroBlock);
-    return pattern_bits(kZeroBlock);
-  }
-  PatternStats local;
-  CountingSink sink;
-  encode_words(line, local, sink);
-  if (sink.bits >= kLineBits) {
-    if (stats != nullptr) stats->add(kUncompressed);
-    return kLineBits;
-  }
-  if (stats != nullptr) *stats += local;
-  return sink.bits;
+  return simd::cpack_probe_result(simd::kernels().cpack(line.data()), stats);
 }
 
 void CpackZCodec::compress_into(LineView line, Compressed& out, PatternStats* stats) const {
@@ -174,7 +58,7 @@ void CpackZCodec::compress_into(LineView line, Compressed& out, PatternStats* st
   BitWriter bw(std::move(out.payload));
   PatternStats local;
   WriterSink sink{&bw};
-  encode_words(line, local, sink);
+  cpack_detail::encode_words(line, local, sink);
 
   if (bw.bit_count() >= kLineBits) {
     out.mode = EncodingMode::kRaw;
@@ -211,27 +95,27 @@ Line CpackZCodec::decompress(const Compressed& c) const {
     const std::uint64_t tag = br.get(2);
     std::uint32_t w = 0;
     switch (tag) {
-      case kTagZero:
+      case cpack_detail::kTagZero:
         break;
-      case kTagNew:
+      case cpack_detail::kTagNew:
         w = static_cast<std::uint32_t>(br.get(32));
         dict.insert(w);
         break;
-      case kTagExt: {
+      case cpack_detail::kTagExt: {
         const std::uint64_t sub = br.get(2);
         switch (sub) {
-          case kSubFull:
+          case cpack_detail::kSubFull:
             w = dict.at(br.get(4));
             break;
-          case kSubHalf: {
+          case cpack_detail::kSubHalf: {
             const std::uint32_t hi = dict.at(br.get(4)) & 0xFFFF0000U;
             w = hi | static_cast<std::uint32_t>(br.get(16));
             break;
           }
-          case kSubNarrow:
+          case cpack_detail::kSubNarrow:
             w = static_cast<std::uint32_t>(br.get(8));
             break;
-          case kSubThreeByte: {
+          case cpack_detail::kSubThreeByte: {
             const std::uint32_t hi = dict.at(br.get(4)) & 0xFFFFFF00U;
             w = hi | static_cast<std::uint32_t>(br.get(8));
             break;

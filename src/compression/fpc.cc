@@ -5,16 +5,12 @@
 #include "common/assert.h"
 #include "common/bitstream.h"
 #include "common/word_io.h"
+#include "compression/simd/dispatch.h"
 
 namespace mgcomp {
 namespace {
 
 constexpr std::size_t kWordsPerLine = kLineBytes / 4;  // 16
-constexpr unsigned kPrefixBits = 3;
-
-bool all_zero(LineView line) noexcept {
-  return std::all_of(line.begin(), line.end(), [](std::uint8_t b) { return b == 0; });
-}
 
 }  // namespace
 
@@ -47,35 +43,17 @@ FpcCodec::Pattern FpcCodec::classify_word(std::uint32_t w) noexcept {
 }
 
 std::uint32_t FpcCodec::probe(LineView line, PatternStats* stats) const {
-  if (all_zero(line)) {
-    if (stats != nullptr) stats->add(kZeroBlock);
-    return kPrefixBits;  // single 3-bit "zero block" code
-  }
-  std::uint32_t total_bits = 0;
-  std::array<Pattern, kWordsPerLine> patterns{};
-  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
-    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
-    patterns[i] = classify_word(w);
-    if (patterns[i] == kUncompressed) {
-      if (stats != nullptr) stats->add(kUncompressed);
-      return kLineBits;
-    }
-    total_bits += kPrefixBits + payload_bits(patterns[i]);
-  }
-  if (total_bits >= kLineBits) {
-    if (stats != nullptr) stats->add(kUncompressed);
-    return kLineBits;
-  }
-  if (stats != nullptr) {
-    for (const Pattern p : patterns) stats->add(p);
-  }
-  return total_bits;
+  return simd::fpc_probe_result(simd::kernels().fpc(line.data()), stats);
 }
 
 void FpcCodec::compress_into(LineView line, Compressed& out, PatternStats* stats) const {
   out.codec = CodecId::kFpc;
 
-  if (all_zero(line)) {
+  // Classification runs on the active SIMD backend; the shared driver
+  // resolves pattern priority exactly as classify_word() would.
+  const simd::FpcWordMasks wm = simd::kernels().fpc(line.data());
+
+  if (wm.m[0] == 0xFFFFU) {  // every word zero -> whole-line zero block
     out.mode = EncodingMode::kZeroBlock;
     out.size_bits = kPrefixBits;  // single 3-bit "zero block" code
     out.payload.clear();
@@ -83,22 +61,10 @@ void FpcCodec::compress_into(LineView line, Compressed& out, PatternStats* stats
     return;
   }
 
-  // First pass: classify every word; a single unmatched word forces the
-  // whole line to go raw (no literal-word escape exists in Table II).
-  std::array<Pattern, kWordsPerLine> patterns{};
-  std::uint32_t total_bits = 0;
-  bool compressible = true;
-  for (std::size_t i = 0; i < kWordsPerLine; ++i) {
-    const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
-    patterns[i] = classify_word(w);
-    if (patterns[i] == kUncompressed) {
-      compressible = false;
-      break;
-    }
-    total_bits += kPrefixBits + payload_bits(patterns[i]);
-  }
-
-  if (!compressible || total_bits >= kLineBits) {
+  // A single unmatched word forces the whole line to go raw (no
+  // literal-word escape exists in Table II).
+  const simd::FpcSelected sel = simd::fpc_select(wm);
+  if (sel.uncompressed != 0 || sel.total_bits >= kLineBits) {
     out.mode = EncodingMode::kRaw;
     out.size_bits = kLineBits;
     out.payload.assign(line.begin(), line.end());
@@ -106,11 +72,14 @@ void FpcCodec::compress_into(LineView line, Compressed& out, PatternStats* stats
     return;
   }
 
-  // Second pass: emit the bit stream into the recycled payload buffer.
+  std::array<std::uint8_t, kWordsPerLine> patterns{};
+  simd::fpc_word_patterns(sel, patterns);
+
+  // Emit the bit stream into the recycled payload buffer.
   BitWriter bw(std::move(out.payload));
   for (std::size_t i = 0; i < kWordsPerLine; ++i) {
     const std::uint32_t w = load_le<std::uint32_t>(line, i * 4);
-    const Pattern p = patterns[i];
+    const auto p = static_cast<Pattern>(patterns[i]);
     bw.put(static_cast<std::uint64_t>(p) - kZeroWord, kPrefixBits);  // 0..6
     switch (p) {
       case kZeroWord: break;
@@ -128,9 +97,9 @@ void FpcCodec::compress_into(LineView line, Compressed& out, PatternStats* stats
     if (stats != nullptr) stats->add(p);
   }
 
-  MGCOMP_CHECK(bw.bit_count() == total_bits);
+  MGCOMP_CHECK(bw.bit_count() == sel.total_bits);
   out.mode = EncodingMode::kStream;
-  out.size_bits = total_bits;
+  out.size_bits = sel.total_bits;
   out.payload = bw.take_bytes();
 }
 

@@ -51,6 +51,9 @@ class FpcCodec final : public Codec {
 
   /// Encoded payload bits (excluding the 3-bit prefix) for a word pattern.
   [[nodiscard]] static unsigned payload_bits(Pattern p) noexcept;
+
+  /// Per-word prefix width of the bit stream (3 bits select patterns 2..8).
+  static constexpr unsigned kPrefixBits = 3;
 };
 
 }  // namespace mgcomp

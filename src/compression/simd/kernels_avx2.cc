@@ -1,0 +1,269 @@
+// AVX2 kernels: 256-bit lanes cover a 64-byte line in two registers, so
+// FPC classifies all 16 words with one vector op per pattern class, BDI
+// checks a (k, d) form's delta-fits condition for every element at once,
+// and the C-Pack walk replaces the linear dictionary scan with a single
+// masked compare over all 16 entries.
+//
+// This TU is compiled with -mavx2 only when the compiler supports it
+// (MGCOMP_SIMD_AVX2 set by CMake); the dispatcher additionally gates on
+// runtime CPUID before selecting the table.
+#include "compression/simd/backends.h"
+
+#if defined(MGCOMP_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace mgcomp::simd {
+namespace {
+
+/// One bit per 32-bit lane across the two halves of a line.
+[[nodiscard]] inline unsigned mask32(__m256i lo, __m256i hi) noexcept {
+  const unsigned m0 =
+      static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(lo)));
+  const unsigned m1 =
+      static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(hi)));
+  return (m1 << 8) | m0;
+}
+
+/// True when every lane of a compare result (any lane width) is all-ones.
+[[nodiscard]] inline bool all_true(__m256i m) noexcept {
+  return _mm256_movemask_epi8(m) == -1;
+}
+
+FpcWordMasks fpc_avx2(const std::uint8_t* line) {
+  const __m256i w0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(line));
+  const __m256i w1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(line + 32));
+  const __m256i zero = _mm256_setzero_si256();
+
+  FpcWordMasks wm;
+  const auto put = [&wm](FpcCodec::Pattern p, unsigned mask) noexcept {
+    wm.m[p - FpcCodec::kZeroWord] = static_cast<std::uint16_t>(mask);
+  };
+
+  // Zero word: w == 0.
+  put(FpcCodec::kZeroWord, mask32(_mm256_cmpeq_epi32(w0, zero),
+                                  _mm256_cmpeq_epi32(w1, zero)));
+
+  // Sign-extended 4-bit: w + 8 fits in the low 4 bits (wrap-around covers
+  // the negative half).
+  const __m256i c8 = _mm256_set1_epi32(8);
+  const __m256i hi4 = _mm256_set1_epi32(~0xF);
+  const auto sign4 = [&](__m256i w) noexcept {
+    return _mm256_cmpeq_epi32(_mm256_and_si256(_mm256_add_epi32(w, c8), hi4), zero);
+  };
+  put(FpcCodec::kSignExt4, mask32(sign4(w0), sign4(w1)));
+
+  // Repeated bytes: w equals its low byte broadcast to all four positions.
+  const __m256i bidx = _mm256_setr_epi8(0, 0, 0, 0, 4, 4, 4, 4, 8, 8, 8, 8, 12, 12, 12, 12,
+                                        0, 0, 0, 0, 4, 4, 4, 4, 8, 8, 8, 8, 12, 12, 12, 12);
+  const auto rep = [&](__m256i w) noexcept {
+    return _mm256_cmpeq_epi32(w, _mm256_shuffle_epi8(w, bidx));
+  };
+  put(FpcCodec::kRepeatedBytes, mask32(rep(w0), rep(w1)));
+
+  // Sign-extended 8-bit / 16-bit: w + bias fits below the kept bits.
+  const __m256i c80 = _mm256_set1_epi32(0x80);
+  const __m256i hi8 = _mm256_set1_epi32(~0xFF);
+  const auto sign8 = [&](__m256i w) noexcept {
+    return _mm256_cmpeq_epi32(_mm256_and_si256(_mm256_add_epi32(w, c80), hi8), zero);
+  };
+  put(FpcCodec::kSignExt8, mask32(sign8(w0), sign8(w1)));
+
+  const __m256i c8000 = _mm256_set1_epi32(0x8000);
+  const __m256i hi16 = _mm256_set1_epi32(static_cast<int>(0xFFFF0000U));
+  const auto sign16 = [&](__m256i w) noexcept {
+    return _mm256_cmpeq_epi32(_mm256_and_si256(_mm256_add_epi32(w, c8000), hi16), zero);
+  };
+  put(FpcCodec::kSignExt16, mask32(sign16(w0), sign16(w1)));
+
+  // Halfword padded with zeros: low 16 bits clear.
+  const __m256i lo16 = _mm256_set1_epi32(0xFFFF);
+  const auto half = [&](__m256i w) noexcept {
+    return _mm256_cmpeq_epi32(_mm256_and_si256(w, lo16), zero);
+  };
+  put(FpcCodec::kHalfwordPadded, mask32(half(w0), half(w1)));
+
+  // Two sign-extended-8 halfwords: each 16-bit half + 0x80 fits in 8 bits;
+  // a word qualifies when both of its halves do.
+  const __m256i h80 = _mm256_set1_epi16(0x80);
+  const __m256i hFF00 = _mm256_set1_epi16(static_cast<short>(0xFF00));
+  const __m256i ones = _mm256_set1_epi32(-1);
+  const auto two = [&](__m256i w) noexcept {
+    const __m256i fits16 = _mm256_cmpeq_epi16(
+        _mm256_and_si256(_mm256_add_epi16(w, h80), hFF00), zero);
+    return _mm256_cmpeq_epi32(fits16, ones);
+  };
+  put(FpcCodec::kTwoHalfwordsSignExt8, mask32(two(w0), two(w1)));
+
+  return wm;
+}
+
+// BDI delta-fits check for k = 8: every 64-bit element must be within a
+// d-byte two's-complement delta of zero or of the first element.
+[[nodiscard]] bool form8_valid(__m256i a, __m256i b, std::uint64_t base,
+                               unsigned d) noexcept {
+  const std::uint64_t bias = 1ULL << (8 * d - 1);
+  const std::uint64_t keep = ~((1ULL << (8 * d)) - 1);
+  const __m256i vbias = _mm256_set1_epi64x(static_cast<long long>(bias));
+  const __m256i vkeep = _mm256_set1_epi64x(static_cast<long long>(keep));
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<long long>(base));
+  const __m256i zero = _mm256_setzero_si256();
+  const auto ok = [&](__m256i e) noexcept {
+    const __m256i z =
+        _mm256_cmpeq_epi64(_mm256_and_si256(_mm256_add_epi64(e, vbias), vkeep), zero);
+    const __m256i rel = _mm256_add_epi64(_mm256_sub_epi64(e, vbase), vbias);
+    const __m256i r = _mm256_cmpeq_epi64(_mm256_and_si256(rel, vkeep), zero);
+    return _mm256_or_si256(z, r);
+  };
+  return all_true(ok(a)) && all_true(ok(b));
+}
+
+// Same for k = 4 (32-bit elements).
+[[nodiscard]] bool form4_valid(__m256i a, __m256i b, std::uint32_t base,
+                               unsigned d) noexcept {
+  const std::uint32_t bias = 1U << (8 * d - 1);
+  const std::uint32_t keep = ~((1U << (8 * d)) - 1);
+  const __m256i vbias = _mm256_set1_epi32(static_cast<int>(bias));
+  const __m256i vkeep = _mm256_set1_epi32(static_cast<int>(keep));
+  const __m256i vbase = _mm256_set1_epi32(static_cast<int>(base));
+  const __m256i zero = _mm256_setzero_si256();
+  const auto ok = [&](__m256i e) noexcept {
+    const __m256i z =
+        _mm256_cmpeq_epi32(_mm256_and_si256(_mm256_add_epi32(e, vbias), vkeep), zero);
+    const __m256i rel = _mm256_add_epi32(_mm256_sub_epi32(e, vbase), vbias);
+    const __m256i r = _mm256_cmpeq_epi32(_mm256_and_si256(rel, vkeep), zero);
+    return _mm256_or_si256(z, r);
+  };
+  return all_true(ok(a)) && all_true(ok(b));
+}
+
+// Same for k = 2, d = 1 (16-bit elements).
+[[nodiscard]] bool form2_valid(__m256i a, __m256i b, std::uint16_t base) noexcept {
+  const __m256i vbias = _mm256_set1_epi16(0x80);
+  const __m256i vkeep = _mm256_set1_epi16(static_cast<short>(0xFF00));
+  const __m256i vbase = _mm256_set1_epi16(static_cast<short>(base));
+  const __m256i zero = _mm256_setzero_si256();
+  const auto ok = [&](__m256i e) noexcept {
+    const __m256i z =
+        _mm256_cmpeq_epi16(_mm256_and_si256(_mm256_add_epi16(e, vbias), vkeep), zero);
+    const __m256i rel = _mm256_add_epi16(_mm256_sub_epi16(e, vbase), vbias);
+    const __m256i r = _mm256_cmpeq_epi16(_mm256_and_si256(rel, vkeep), zero);
+    return _mm256_or_si256(z, r);
+  };
+  return all_true(ok(a)) && all_true(ok(b));
+}
+
+std::uint8_t bdi_avx2(const std::uint8_t* line) {
+  const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(line));
+  const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(line + 32));
+  const __m256i any = _mm256_or_si256(a, b);
+  if (_mm256_testz_si256(any, any) != 0) return BdiCodec::kZeroBlock;
+
+  std::uint64_t base8 = 0;
+  std::memcpy(&base8, line, 8);
+  const __m256i vq = _mm256_set1_epi64x(static_cast<long long>(base8));
+  if (all_true(_mm256_cmpeq_epi64(a, vq)) && all_true(_mm256_cmpeq_epi64(b, vq))) {
+    return BdiCodec::kRepeatedWords;
+  }
+
+  std::uint32_t base4 = 0;
+  std::memcpy(&base4, line, 4);
+  std::uint16_t base2 = 0;
+  std::memcpy(&base2, line, 2);
+
+  // Ascending encoded size; ties resolve to the lower pattern number
+  // (kBdiFormsBySize order).
+  if (form8_valid(a, b, base8, 1)) return BdiCodec::kBase8Delta1;
+  if (form4_valid(a, b, base4, 1)) return BdiCodec::kBase4Delta1;
+  if (form8_valid(a, b, base8, 2)) return BdiCodec::kBase8Delta2;
+  if (form4_valid(a, b, base4, 2)) return BdiCodec::kBase4Delta2;
+  if (form2_valid(a, b, base2)) return BdiCodec::kBase2Delta1;
+  if (form8_valid(a, b, base8, 4)) return BdiCodec::kBase8Delta4;
+  return BdiCodec::kUncompressed;
+}
+
+/// C-Pack dictionary with a vectorized membership test: all 16 entries are
+/// compared (masked to the match granularity) in two 256-bit ops. Inserts
+/// keep the scalar FIFO semantics; unpopulated slots are excluded by the
+/// size mask so their zero-initialized contents can never match.
+struct VecDict {
+  alignas(32) std::uint32_t entries[CpackZCodec::kDictEntries] = {};
+  unsigned size = 0;
+  unsigned victim = 0;
+
+  void insert(std::uint32_t w) noexcept {
+    if (size < CpackZCodec::kDictEntries) {
+      entries[size++] = w;
+    } else {
+      entries[victim] = w;
+      victim = (victim + 1) % CpackZCodec::kDictEntries;
+    }
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t w, std::uint32_t gran) const noexcept {
+    const __m256i vw = _mm256_set1_epi32(static_cast<int>(w & gran));
+    const __m256i vg = _mm256_set1_epi32(static_cast<int>(gran));
+    const __m256i e0 = _mm256_load_si256(reinterpret_cast<const __m256i*>(entries));
+    const __m256i e1 = _mm256_load_si256(reinterpret_cast<const __m256i*>(entries + 8));
+    unsigned m = mask32(_mm256_cmpeq_epi32(_mm256_and_si256(e0, vg), vw),
+                        _mm256_cmpeq_epi32(_mm256_and_si256(e1, vg), vw));
+    m &= size >= CpackZCodec::kDictEntries ? 0xFFFFU : ((1U << size) - 1);
+    return m != 0;
+  }
+};
+
+CpackKernelResult cpack_avx2(const std::uint8_t* line) {
+  CpackKernelResult r;
+  const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(line));
+  const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(line + 32));
+  const __m256i any = _mm256_or_si256(a, b);
+  if (_mm256_testz_si256(any, any) != 0) {
+    r.zero_block = true;
+    r.bits = CpackZCodec::pattern_bits(CpackZCodec::kZeroBlock);
+    return r;
+  }
+
+  VecDict dict;
+  const auto tally = [&r](CpackZCodec::Pattern p) noexcept {
+    r.bits += CpackZCodec::pattern_bits(p);
+    ++r.counts[p - CpackZCodec::kZeroWord];
+  };
+  for (std::size_t i = 0; i < kLineBytes / 4; ++i) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, line + i * 4, 4);
+    // Candidate order mirrors cpack_walk.h exactly.
+    if (w == 0) {
+      tally(CpackZCodec::kZeroWord);
+    } else if (dict.contains(w, 0xFFFFFFFFU)) {
+      tally(CpackZCodec::kFullMatch);
+    } else if ((w & 0xFFFFFF00U) == 0) {
+      tally(CpackZCodec::kNarrowByte);
+    } else if (dict.contains(w, 0xFFFFFF00U)) {
+      tally(CpackZCodec::kThreeByteMatch);
+    } else if (dict.contains(w, 0xFFFF0000U)) {
+      tally(CpackZCodec::kHalfwordMatch);
+    } else {
+      tally(CpackZCodec::kNewWord);
+      dict.insert(w);
+    }
+  }
+  return r;
+}
+
+constexpr ProbeKernels kAvx2Kernels{"avx2", &fpc_avx2, &bdi_avx2, &cpack_avx2};
+
+}  // namespace
+
+const ProbeKernels* avx2_kernels() noexcept { return &kAvx2Kernels; }
+
+}  // namespace mgcomp::simd
+
+#else  // !MGCOMP_SIMD_AVX2
+
+namespace mgcomp::simd {
+const ProbeKernels* avx2_kernels() noexcept { return nullptr; }
+}  // namespace mgcomp::simd
+
+#endif

@@ -1,0 +1,265 @@
+// SSE4.2 kernels: the 64-byte line spans four 128-bit registers. Same
+// algorithms as the AVX2 backend at half the vector width; serves CPUs
+// without AVX2 and doubles as a second independent implementation for the
+// bit-identity fuzzer.
+//
+// Compiled with -msse4.2 only when supported (MGCOMP_SIMD_SSE42 from
+// CMake); runtime CPUID gating happens in the dispatcher.
+#include "compression/simd/backends.h"
+
+#if defined(MGCOMP_SIMD_SSE42)
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+namespace mgcomp::simd {
+namespace {
+
+/// One bit per 32-bit lane across the four quarters of a line.
+[[nodiscard]] inline unsigned mask32(__m128i q0, __m128i q1, __m128i q2,
+                                     __m128i q3) noexcept {
+  const auto bits = [](__m128i m) noexcept {
+    return static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(m)));
+  };
+  return bits(q0) | (bits(q1) << 4) | (bits(q2) << 8) | (bits(q3) << 12);
+}
+
+/// True when every lane of a compare result (any lane width) is all-ones.
+[[nodiscard]] inline bool all_true(__m128i m) noexcept {
+  return _mm_movemask_epi8(m) == 0xFFFF;
+}
+
+struct LineRegs {
+  __m128i q[4];
+};
+
+[[nodiscard]] inline LineRegs load_line(const std::uint8_t* line) noexcept {
+  LineRegs r;
+  for (int i = 0; i < 4; ++i) {
+    r.q[i] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(line + i * 16));
+  }
+  return r;
+}
+
+FpcWordMasks fpc_sse42(const std::uint8_t* line) {
+  const LineRegs lr = load_line(line);
+  const __m128i zero = _mm_setzero_si128();
+
+  FpcWordMasks wm;
+  const auto put = [&wm, &lr](FpcCodec::Pattern p, auto match) noexcept {
+    wm.m[p - FpcCodec::kZeroWord] = static_cast<std::uint16_t>(
+        mask32(match(lr.q[0]), match(lr.q[1]), match(lr.q[2]), match(lr.q[3])));
+  };
+
+  put(FpcCodec::kZeroWord,
+      [&](__m128i w) noexcept { return _mm_cmpeq_epi32(w, zero); });
+
+  const __m128i c8 = _mm_set1_epi32(8);
+  const __m128i hi4 = _mm_set1_epi32(~0xF);
+  put(FpcCodec::kSignExt4, [&](__m128i w) noexcept {
+    return _mm_cmpeq_epi32(_mm_and_si128(_mm_add_epi32(w, c8), hi4), zero);
+  });
+
+  const __m128i bidx =
+      _mm_setr_epi8(0, 0, 0, 0, 4, 4, 4, 4, 8, 8, 8, 8, 12, 12, 12, 12);
+  put(FpcCodec::kRepeatedBytes, [&](__m128i w) noexcept {
+    return _mm_cmpeq_epi32(w, _mm_shuffle_epi8(w, bidx));
+  });
+
+  const __m128i c80 = _mm_set1_epi32(0x80);
+  const __m128i hi8 = _mm_set1_epi32(~0xFF);
+  put(FpcCodec::kSignExt8, [&](__m128i w) noexcept {
+    return _mm_cmpeq_epi32(_mm_and_si128(_mm_add_epi32(w, c80), hi8), zero);
+  });
+
+  const __m128i c8000 = _mm_set1_epi32(0x8000);
+  const __m128i hi16 = _mm_set1_epi32(static_cast<int>(0xFFFF0000U));
+  put(FpcCodec::kSignExt16, [&](__m128i w) noexcept {
+    return _mm_cmpeq_epi32(_mm_and_si128(_mm_add_epi32(w, c8000), hi16), zero);
+  });
+
+  const __m128i lo16 = _mm_set1_epi32(0xFFFF);
+  put(FpcCodec::kHalfwordPadded, [&](__m128i w) noexcept {
+    return _mm_cmpeq_epi32(_mm_and_si128(w, lo16), zero);
+  });
+
+  const __m128i h80 = _mm_set1_epi16(0x80);
+  const __m128i hFF00 = _mm_set1_epi16(static_cast<short>(0xFF00));
+  const __m128i ones = _mm_set1_epi32(-1);
+  put(FpcCodec::kTwoHalfwordsSignExt8, [&](__m128i w) noexcept {
+    const __m128i fits16 =
+        _mm_cmpeq_epi16(_mm_and_si128(_mm_add_epi16(w, h80), hFF00), zero);
+    return _mm_cmpeq_epi32(fits16, ones);
+  });
+
+  return wm;
+}
+
+// BDI delta-fits checks, one lane width per base size k.
+[[nodiscard]] bool form8_valid(const LineRegs& lr, std::uint64_t base,
+                               unsigned d) noexcept {
+  const std::uint64_t bias = 1ULL << (8 * d - 1);
+  const std::uint64_t keep = ~((1ULL << (8 * d)) - 1);
+  const __m128i vbias = _mm_set1_epi64x(static_cast<long long>(bias));
+  const __m128i vkeep = _mm_set1_epi64x(static_cast<long long>(keep));
+  const __m128i vbase = _mm_set1_epi64x(static_cast<long long>(base));
+  const __m128i zero = _mm_setzero_si128();
+  for (const __m128i e : lr.q) {
+    const __m128i z =
+        _mm_cmpeq_epi64(_mm_and_si128(_mm_add_epi64(e, vbias), vkeep), zero);
+    const __m128i rel = _mm_add_epi64(_mm_sub_epi64(e, vbase), vbias);
+    const __m128i r = _mm_cmpeq_epi64(_mm_and_si128(rel, vkeep), zero);
+    if (!all_true(_mm_or_si128(z, r))) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool form4_valid(const LineRegs& lr, std::uint32_t base,
+                               unsigned d) noexcept {
+  const std::uint32_t bias = 1U << (8 * d - 1);
+  const std::uint32_t keep = ~((1U << (8 * d)) - 1);
+  const __m128i vbias = _mm_set1_epi32(static_cast<int>(bias));
+  const __m128i vkeep = _mm_set1_epi32(static_cast<int>(keep));
+  const __m128i vbase = _mm_set1_epi32(static_cast<int>(base));
+  const __m128i zero = _mm_setzero_si128();
+  for (const __m128i e : lr.q) {
+    const __m128i z =
+        _mm_cmpeq_epi32(_mm_and_si128(_mm_add_epi32(e, vbias), vkeep), zero);
+    const __m128i rel = _mm_add_epi32(_mm_sub_epi32(e, vbase), vbias);
+    const __m128i r = _mm_cmpeq_epi32(_mm_and_si128(rel, vkeep), zero);
+    if (!all_true(_mm_or_si128(z, r))) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool form2_valid(const LineRegs& lr, std::uint16_t base) noexcept {
+  const __m128i vbias = _mm_set1_epi16(0x80);
+  const __m128i vkeep = _mm_set1_epi16(static_cast<short>(0xFF00));
+  const __m128i vbase = _mm_set1_epi16(static_cast<short>(base));
+  const __m128i zero = _mm_setzero_si128();
+  for (const __m128i e : lr.q) {
+    const __m128i z =
+        _mm_cmpeq_epi16(_mm_and_si128(_mm_add_epi16(e, vbias), vkeep), zero);
+    const __m128i rel = _mm_add_epi16(_mm_sub_epi16(e, vbase), vbias);
+    const __m128i r = _mm_cmpeq_epi16(_mm_and_si128(rel, vkeep), zero);
+    if (!all_true(_mm_or_si128(z, r))) return false;
+  }
+  return true;
+}
+
+std::uint8_t bdi_sse42(const std::uint8_t* line) {
+  const LineRegs lr = load_line(line);
+  const __m128i any = _mm_or_si128(_mm_or_si128(lr.q[0], lr.q[1]),
+                                   _mm_or_si128(lr.q[2], lr.q[3]));
+  if (_mm_testz_si128(any, any) != 0) return BdiCodec::kZeroBlock;
+
+  std::uint64_t base8 = 0;
+  std::memcpy(&base8, line, 8);
+  const __m128i vq = _mm_set1_epi64x(static_cast<long long>(base8));
+  bool repeated = true;
+  for (const __m128i e : lr.q) {
+    repeated = repeated && all_true(_mm_cmpeq_epi64(e, vq));
+  }
+  if (repeated) return BdiCodec::kRepeatedWords;
+
+  std::uint32_t base4 = 0;
+  std::memcpy(&base4, line, 4);
+  std::uint16_t base2 = 0;
+  std::memcpy(&base2, line, 2);
+
+  // Ascending encoded size; ties resolve to the lower pattern number
+  // (kBdiFormsBySize order).
+  if (form8_valid(lr, base8, 1)) return BdiCodec::kBase8Delta1;
+  if (form4_valid(lr, base4, 1)) return BdiCodec::kBase4Delta1;
+  if (form8_valid(lr, base8, 2)) return BdiCodec::kBase8Delta2;
+  if (form4_valid(lr, base4, 2)) return BdiCodec::kBase4Delta2;
+  if (form2_valid(lr, base2)) return BdiCodec::kBase2Delta1;
+  if (form8_valid(lr, base8, 4)) return BdiCodec::kBase8Delta4;
+  return BdiCodec::kUncompressed;
+}
+
+/// C-Pack dictionary with the membership scan vectorized over all 16
+/// entries (four 128-bit compares). FIFO semantics match the scalar walk;
+/// the size mask keeps zero-initialized free slots from matching.
+struct VecDict {
+  alignas(16) std::uint32_t entries[CpackZCodec::kDictEntries] = {};
+  unsigned size = 0;
+  unsigned victim = 0;
+
+  void insert(std::uint32_t w) noexcept {
+    if (size < CpackZCodec::kDictEntries) {
+      entries[size++] = w;
+    } else {
+      entries[victim] = w;
+      victim = (victim + 1) % CpackZCodec::kDictEntries;
+    }
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t w, std::uint32_t gran) const noexcept {
+    const __m128i vw = _mm_set1_epi32(static_cast<int>(w & gran));
+    const __m128i vg = _mm_set1_epi32(static_cast<int>(gran));
+    const auto eq = [&](unsigned i) noexcept {
+      const __m128i e =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(entries + i * 4));
+      return _mm_cmpeq_epi32(_mm_and_si128(e, vg), vw);
+    };
+    unsigned m = mask32(eq(0), eq(1), eq(2), eq(3));
+    m &= size >= CpackZCodec::kDictEntries ? 0xFFFFU : ((1U << size) - 1);
+    return m != 0;
+  }
+};
+
+CpackKernelResult cpack_sse42(const std::uint8_t* line) {
+  CpackKernelResult r;
+  const LineRegs lr = load_line(line);
+  const __m128i any = _mm_or_si128(_mm_or_si128(lr.q[0], lr.q[1]),
+                                   _mm_or_si128(lr.q[2], lr.q[3]));
+  if (_mm_testz_si128(any, any) != 0) {
+    r.zero_block = true;
+    r.bits = CpackZCodec::pattern_bits(CpackZCodec::kZeroBlock);
+    return r;
+  }
+
+  VecDict dict;
+  const auto tally = [&r](CpackZCodec::Pattern p) noexcept {
+    r.bits += CpackZCodec::pattern_bits(p);
+    ++r.counts[p - CpackZCodec::kZeroWord];
+  };
+  for (std::size_t i = 0; i < kLineBytes / 4; ++i) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, line + i * 4, 4);
+    // Candidate order mirrors cpack_walk.h exactly.
+    if (w == 0) {
+      tally(CpackZCodec::kZeroWord);
+    } else if (dict.contains(w, 0xFFFFFFFFU)) {
+      tally(CpackZCodec::kFullMatch);
+    } else if ((w & 0xFFFFFF00U) == 0) {
+      tally(CpackZCodec::kNarrowByte);
+    } else if (dict.contains(w, 0xFFFFFF00U)) {
+      tally(CpackZCodec::kThreeByteMatch);
+    } else if (dict.contains(w, 0xFFFF0000U)) {
+      tally(CpackZCodec::kHalfwordMatch);
+    } else {
+      tally(CpackZCodec::kNewWord);
+      dict.insert(w);
+    }
+  }
+  return r;
+}
+
+constexpr ProbeKernels kSse42Kernels{"sse42", &fpc_sse42, &bdi_sse42, &cpack_sse42};
+
+}  // namespace
+
+const ProbeKernels* sse42_kernels() noexcept { return &kSse42Kernels; }
+
+}  // namespace mgcomp::simd
+
+#else  // !MGCOMP_SIMD_SSE42
+
+namespace mgcomp::simd {
+const ProbeKernels* sse42_kernels() noexcept { return nullptr; }
+}  // namespace mgcomp::simd
+
+#endif

@@ -1,0 +1,87 @@
+// CRC-32 slicing-by-8 vs the bytewise reference: identical digests on
+// every length 0..256, on random buffers, and across every possible split
+// point of an incremental update. The link-layer CRC guards the fabric's
+// NACK/retransmission protocol, so the fast path must be bit-exact.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+
+namespace mgcomp {
+namespace {
+
+std::vector<std::uint8_t> random_buffer(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> buf(n);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+  return buf;
+}
+
+std::uint32_t bytewise_of(const std::uint8_t* data, std::size_t n) {
+  Crc32 c;
+  c.update_bytewise(data, n);
+  return c.value();
+}
+
+TEST(Crc32, CheckValue) {
+  // The standard CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32::of("123456789", 9), 0xCBF43926U);
+}
+
+TEST(Crc32, EmptyBuffer) {
+  EXPECT_EQ(Crc32{}.value(), 0x00000000U);
+  EXPECT_EQ(Crc32::of(nullptr, 0), Crc32{}.value());
+}
+
+TEST(Crc32, SlicedMatchesBytewiseOnAllLengths) {
+  // Every length 0..256 exercises all (full 8-byte blocks, tail length)
+  // combinations around the slicing boundary.
+  const std::vector<std::uint8_t> buf = random_buffer(256, 0x511CE);
+  for (std::size_t len = 0; len <= buf.size(); ++len) {
+    EXPECT_EQ(Crc32::of(buf.data(), len), bytewise_of(buf.data(), len))
+        << "length " << len;
+  }
+}
+
+TEST(Crc32, SlicedMatchesBytewiseOnRandomBuffers) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Rng rng(0xABCD + seed);
+    const std::vector<std::uint8_t> buf =
+        random_buffer(1 + rng.below(2048), 0xF00D + seed);
+    EXPECT_EQ(Crc32::of(buf.data(), buf.size()),
+              bytewise_of(buf.data(), buf.size()))
+        << "seed " << seed << " size " << buf.size();
+  }
+}
+
+TEST(Crc32, IncrementalUpdateSplitAtEveryOffset) {
+  // update() must be resumable at any byte boundary: feeding [0, split) then
+  // [split, n) equals one whole-buffer call, for every split. This covers
+  // the mixed case where a sliced prefix leaves the state mid-stream and
+  // the resumed call re-enters the sliced loop at a different alignment.
+  const std::vector<std::uint8_t> buf = random_buffer(96, 0x5EED);
+  const std::uint32_t whole = Crc32::of(buf.data(), buf.size());
+  for (std::size_t split = 0; split <= buf.size(); ++split) {
+    Crc32 c;
+    c.update(buf.data(), split);
+    c.update(buf.data() + split, buf.size() - split);
+    EXPECT_EQ(c.value(), whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, MixedSlicedAndBytewiseUpdatesCompose) {
+  const std::vector<std::uint8_t> buf = random_buffer(80, 0xCAFE);
+  const std::uint32_t whole = bytewise_of(buf.data(), buf.size());
+  for (std::size_t split = 0; split <= buf.size(); ++split) {
+    Crc32 c;
+    c.update(buf.data(), split);
+    c.update_bytewise(buf.data() + split, buf.size() - split);
+    EXPECT_EQ(c.value(), whole) << "split at " << split;
+  }
+}
+
+}  // namespace
+}  // namespace mgcomp

@@ -9,12 +9,18 @@
 // pattern — so a single displaced event, a 1-ulp energy drift, or one
 // mis-tallied Table VI pattern fails the suite. Any legitimate
 // behavior-changing commit must re-record these values and say so.
+// Additionally, every golden runs once per available SIMD backend
+// (scalar / SSE4.2 / AVX2 / NEON): backend selection must never change
+// simulation results, only throughput, so all backends must reproduce the
+// identical fingerprints.
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/fingerprint.h"
+#include "compression/simd/dispatch.h"
 #include "core/system.h"
 #include "workloads/all_workloads.h"
 
@@ -92,10 +98,25 @@ CaseSetup setup_for(const std::string& label) {
   return {make_no_compression_policy()};
 }
 
-class PerfIdentityTest : public testing::TestWithParam<Golden> {};
+/// One golden, replayed on one SIMD backend.
+struct BackendGolden {
+  simd::Backend backend;
+  Golden golden;
+};
+
+std::vector<BackendGolden> backend_goldens() {
+  std::vector<BackendGolden> cases;
+  for (const simd::Backend b : simd::available_backends()) {
+    for (const Golden& g : kGoldens) cases.push_back({b, g});
+  }
+  return cases;
+}
+
+class PerfIdentityTest : public testing::TestWithParam<BackendGolden> {};
 
 TEST_P(PerfIdentityTest, FingerprintMatchesPreRewriteImplementation) {
-  const Golden& g = GetParam();
+  const Golden& g = GetParam().golden;
+  ASSERT_TRUE(simd::set_backend(GetParam().backend));
   const CaseSetup c = setup_for(g.label);
   SystemConfig cfg;
   cfg.policy = c.factory;
@@ -103,8 +124,10 @@ TEST_P(PerfIdentityTest, FingerprintMatchesPreRewriteImplementation) {
   cfg.trace_samples = c.trace_samples;
   auto wl = make_workload(g.workload, kScale);
   const RunResult r = run_workload(std::move(cfg), *wl);
+  simd::set_backend(simd::best_backend());  // don't leak the override
   EXPECT_EQ(run_fingerprint(r), g.fingerprint)
-      << g.workload << " / " << g.label
+      << g.workload << " / " << g.label << " on backend "
+      << simd::backend_name(GetParam().backend)
       << ": results diverged from the pre-rewrite implementation";
   // The schedule itself must be non-trivial for the fingerprint to mean
   // anything.
@@ -112,8 +135,9 @@ TEST_P(PerfIdentityTest, FingerprintMatchesPreRewriteImplementation) {
   EXPECT_GT(r.exec_ticks, 0U);
 }
 
-std::string golden_name(const testing::TestParamInfo<Golden>& info) {
-  std::string name = std::string(info.param.workload) + "_" + info.param.label;
+std::string golden_name(const testing::TestParamInfo<BackendGolden>& info) {
+  std::string name = std::string(simd::backend_name(info.param.backend)) + "_" +
+                     info.param.golden.workload + "_" + info.param.golden.label;
   for (char& c : name) {
     if (c == '+' || c == '-') c = '_';
   }
@@ -121,7 +145,7 @@ std::string golden_name(const testing::TestParamInfo<Golden>& info) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloadsAllPolicies, PerfIdentityTest,
-                         testing::ValuesIn(kGoldens), golden_name);
+                         testing::ValuesIn(backend_goldens()), golden_name);
 
 }  // namespace
 }  // namespace mgcomp

@@ -1,0 +1,268 @@
+// Differential fuzzer for the SIMD dispatch layer (ISSUE 4).
+//
+// Every available backend must be bit-identical to the scalar reference on
+// every line: per-codec probe sizes, pattern tallies, full compress()
+// output, and the fused CodecSet::probe_all() must all agree. Line corpora
+// mix uniform random, structured generators aimed at each codec's edge
+// cases, hand-built adversarial lines, and genuine workload-derived data.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/word_io.h"
+#include "compression/codec_set.h"
+#include "compression/simd/dispatch.h"
+#include "core/workload.h"
+#include "workloads/all_workloads.h"
+
+namespace mgcomp {
+namespace {
+
+Line filled_line(std::uint8_t byte) {
+  Line l;
+  l.fill(byte);
+  return l;
+}
+
+void append_adversarial(std::vector<Line>& lines) {
+  lines.push_back(filled_line(0x00));  // zero block everywhere
+  lines.push_back(filled_line(0xFF));
+  lines.push_back(filled_line(0x7F));
+  lines.push_back(filled_line(0x80));
+  // Word-level pattern boundaries for FPC: exactly at/over each signed
+  // range, halfword-padded, two sign-extended halfwords.
+  const std::uint32_t edge_words[] = {
+      0x00000007U, 0x00000008U, 0xFFFFFFF8U, 0xFFFFFFF7U,  // sign4 edges
+      0x0000007FU, 0x00000080U, 0xFFFFFF80U, 0xFFFFFF7FU,  // sign8 edges
+      0x00007FFFU, 0x00008000U, 0xFFFF8000U, 0xFFFF7FFFU,  // sign16 edges
+      0x12340000U, 0x00004321U,                             // halfword padded / not
+      0x007F007FU, 0xFF80FF80U, 0x0080007FU,                // two-halfword edges
+      0x11111111U, 0xABABABABU,                             // repeated bytes
+  };
+  for (const std::uint32_t w : edge_words) {
+    Line l{};
+    for (std::size_t i = 0; i < 16; ++i) store_le<std::uint32_t>(l, i * 4, w);
+    lines.push_back(l);
+    Line mixed{};  // same word in half the slots only
+    for (std::size_t i = 0; i < 16; i += 2) store_le<std::uint32_t>(mixed, i * 4, w);
+    lines.push_back(mixed);
+  }
+  // BDI form boundaries: deltas exactly at +/- limits of each (k, d),
+  // against both the explicit first-element base and the zero base.
+  Line b8d1{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    store_le<std::uint64_t>(b8d1, i * 8, 0x1122334455667788ULL + (i % 2 == 0 ? 127 : -128));
+  }
+  lines.push_back(b8d1);
+  Line b4d2{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    store_le<std::uint32_t>(b4d2, i * 4,
+                            0x40000000U + (i % 3 == 0 ? 0x7FFFU : static_cast<std::uint32_t>(-0x8000)));
+  }
+  lines.push_back(b4d2);
+  Line zero_or_base{};  // dual-base: elements near 0 and near a far base
+  for (std::size_t i = 0; i < 16; ++i) {
+    store_le<std::uint32_t>(zero_or_base, i * 4, i % 2 == 0 ? 0x77777700U + static_cast<std::uint32_t>(i) : static_cast<std::uint32_t>(i));
+  }
+  lines.push_back(zero_or_base);
+  // C-Pack dictionary pressure: 16 distinct literals (dictionary exactly
+  // full), then lines re-matching at each granularity; also a word whose
+  // high 16 bits are zero (must NOT half-match a vacant zeroed dict slot).
+  Line dict_full{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    store_le<std::uint32_t>(dict_full, i * 4, 0xA0B0C000U + (static_cast<std::uint32_t>(i) << 8) + 0x11U);
+  }
+  lines.push_back(dict_full);
+  Line half_match_trap{};
+  store_le<std::uint32_t>(half_match_trap, 0, 0xDEADBEEFU);
+  store_le<std::uint32_t>(half_match_trap, 4, 0x0000BEEFU);  // high half zero
+  store_le<std::uint32_t>(half_match_trap, 8, 0xDEAD0001U);  // half match vs entry 0
+  store_le<std::uint32_t>(half_match_trap, 12, 0xDEADBE02U);  // three-byte match
+  lines.push_back(half_match_trap);
+  // High-entropy line that defeats every codec (raw path).
+  Line hostile{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    store_le<std::uint32_t>(hostile, i * 4, 0x9E3779B9U * static_cast<std::uint32_t>(i + 1));
+  }
+  lines.push_back(hostile);
+}
+
+void append_random_and_structured(std::vector<Line>& lines, int count) {
+  Rng rng(0x51D);
+  for (int i = 0; i < count; ++i) {
+    Line l{};
+    switch (rng.below(6)) {
+      case 0:  // uniform random
+        for (auto& b : l) b = static_cast<std::uint8_t>(rng.next());
+        break;
+      case 1:  // sparse small words
+        for (std::size_t w = 0; w < 16; ++w) {
+          if (rng.chance(0.4)) {
+            store_le<std::uint32_t>(l, w * 4, static_cast<std::uint32_t>(rng.below(500)));
+          }
+        }
+        break;
+      case 2: {  // low dynamic range around a random base
+        const auto base = static_cast<std::uint32_t>(rng.next());
+        for (std::size_t w = 0; w < 16; ++w) {
+          store_le<std::uint32_t>(l, w * 4, base + static_cast<std::uint32_t>(rng.below(64)));
+        }
+        break;
+      }
+      case 3:  // dictionary-friendly: few distinct full words
+        for (std::size_t w = 0; w < 16; ++w) {
+          store_le<std::uint32_t>(l, w * 4,
+                                  0xDEAD0000U + static_cast<std::uint32_t>(rng.below(3)));
+        }
+        break;
+      case 4:  // repeated 64-bit word, sometimes perturbed
+        for (std::size_t w = 0; w < 8; ++w) {
+          store_le<std::uint64_t>(l, w * 8, 0x0123456789ABCDEFULL);
+        }
+        if (rng.chance(0.5)) l[rng.below(kLineBytes)] ^= 1;
+        break;
+      default:  // halfword-structured
+        for (std::size_t w = 0; w < 16; ++w) {
+          store_le<std::uint32_t>(l, w * 4,
+                                  static_cast<std::uint32_t>(rng.below(1 << 16)) << 16);
+        }
+        break;
+    }
+    lines.push_back(l);
+  }
+}
+
+void append_workload_derived(std::vector<Line>& lines) {
+  for (const auto abbrev : workload_abbrevs()) {
+    auto wl = make_workload(abbrev, 0.05);
+    ASSERT_NE(wl, nullptr);
+    GlobalMemory mem;
+    wl->setup(mem);
+    (void)wl->generate_kernel(0, mem);
+    for (std::size_t i = 0; i < 128; ++i) {
+      lines.push_back(mem.read_line(static_cast<Addr>(i) * kLineBytes));
+    }
+  }
+}
+
+/// Scalar-reference probe results of one line under one codec.
+struct Reference {
+  std::uint32_t bits{0};
+  PatternStats stats;
+};
+
+class SimdBackendTest : public testing::Test {
+ protected:
+  void TearDown() override { simd::set_backend(simd::best_backend()); }
+};
+
+TEST_F(SimdBackendTest, BackendNamesRoundTrip) {
+  for (std::size_t i = 0; i < simd::kNumBackends; ++i) {
+    const auto b = static_cast<simd::Backend>(i);
+    const auto parsed = simd::parse_backend(simd::backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(simd::parse_backend("bogus").has_value());
+  EXPECT_FALSE(simd::parse_backend("").has_value());
+  EXPECT_FALSE(simd::set_backend("bogus"));
+}
+
+TEST_F(SimdBackendTest, ScalarIsAlwaysAvailable) {
+  EXPECT_TRUE(simd::backend_available(simd::Backend::kScalar));
+  const auto all = simd::available_backends();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front(), simd::Backend::kScalar);
+  EXPECT_TRUE(simd::backend_available(simd::best_backend()));
+}
+
+TEST_F(SimdBackendTest, SetBackendSwitchesAndRejectsUnavailable) {
+  for (const simd::Backend b : simd::available_backends()) {
+    EXPECT_TRUE(simd::set_backend(b));
+    EXPECT_EQ(simd::active_backend(), b);
+  }
+  for (std::size_t i = 0; i < simd::kNumBackends; ++i) {
+    const auto b = static_cast<simd::Backend>(i);
+    if (simd::backend_available(b)) continue;
+    const simd::Backend before = simd::active_backend();
+    EXPECT_FALSE(simd::set_backend(b));
+    EXPECT_EQ(simd::active_backend(), before);  // unchanged on failure
+  }
+}
+
+TEST_F(SimdBackendTest, AllBackendsBitIdenticalToScalarOnFuzzCorpus) {
+  std::vector<Line> lines;
+  append_adversarial(lines);
+  append_random_and_structured(lines, 2000);
+  append_workload_derived(lines);
+
+  CodecSet set;
+  const std::vector<const Codec*> codecs = set.real_codecs();
+
+  // Pass 1: record the scalar reference (which itself must equal the full
+  // compress() — the probe/compress contract).
+  ASSERT_TRUE(simd::set_backend(simd::Backend::kScalar));
+  std::vector<std::array<Reference, kNumCodecIds>> refs(lines.size());
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    for (const Codec* c : codecs) {
+      const auto idx = static_cast<std::size_t>(c->id());
+      Reference& r = refs[li][idx];
+      r.bits = c->probe(lines[li], &r.stats);
+      PatternStats compress_stats;
+      const Compressed full = c->compress(lines[li], &compress_stats);
+      ASSERT_EQ(r.bits, full.size_bits)
+          << c->name() << " scalar probe diverged from compress, line " << li;
+      ASSERT_EQ(r.stats, compress_stats) << c->name() << " line " << li;
+    }
+  }
+
+  // Pass 2: every backend (scalar included, exercising probe_all) must
+  // reproduce the reference exactly.
+  for (const simd::Backend backend : simd::available_backends()) {
+    ASSERT_TRUE(simd::set_backend(backend));
+    const std::string label = std::string(simd::backend_name(backend));
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      // Per-codec probe, stats, and full compress.
+      for (const Codec* c : codecs) {
+        const auto idx = static_cast<std::size_t>(c->id());
+        const Reference& r = refs[li][idx];
+        PatternStats stats;
+        ASSERT_EQ(c->probe(lines[li], &stats), r.bits)
+            << label << " " << c->name() << " probe size, line " << li;
+        ASSERT_EQ(stats, r.stats)
+            << label << " " << c->name() << " pattern tallies, line " << li;
+        PatternStats compress_stats;
+        const Compressed full = c->compress(lines[li], &compress_stats);
+        ASSERT_EQ(full.size_bits, r.bits)
+            << label << " " << c->name() << " compress size, line " << li;
+        ASSERT_EQ(compress_stats, r.stats)
+            << label << " " << c->name() << " compress tallies, line " << li;
+        ASSERT_EQ(c->decompress(full), lines[li])
+            << label << " " << c->name() << " round trip, line " << li;
+      }
+      // Fused probe_all against the per-codec references.
+      std::array<std::uint32_t, kNumCodecIds> fused_bits{};
+      std::array<PatternStats, kNumCodecIds> fused_stats;
+      std::array<PatternStats*, kNumCodecIds> sinks{};
+      for (std::size_t i = 1; i < kNumCodecIds; ++i) sinks[i] = &fused_stats[i];
+      set.probe_all(lines[li], fused_bits, sinks);
+      ASSERT_EQ(fused_bits[0], kLineBits) << label << " line " << li;
+      for (const Codec* c : codecs) {
+        const auto idx = static_cast<std::size_t>(c->id());
+        ASSERT_EQ(fused_bits[idx], refs[li][idx].bits)
+            << label << " probe_all size for " << c->name() << ", line " << li;
+        ASSERT_EQ(fused_stats[idx], refs[li][idx].stats)
+            << label << " probe_all tallies for " << c->name() << ", line " << li;
+      }
+      // Stats-less probe_all must agree with the stats-collecting one.
+      std::array<std::uint32_t, kNumCodecIds> plain_bits{};
+      set.probe_all(lines[li], plain_bits);
+      ASSERT_EQ(plain_bits, fused_bits) << label << " line " << li;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgcomp

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Schema check for BENCH_PERF.json written by `bench_perf`.
+"""Schema and regression check for BENCH_PERF.json written by `bench_perf`.
 
 Validates the mgcomp-bench-perf-v1 schema (docs/architecture.md,
 "Performance"): header fields, one result row per workload x policy with
@@ -7,9 +7,18 @@ positive wall time and event counts, derived rates consistent with the
 raw numbers, and aggregate totals that match the sum of the rows. Exits
 non-zero on the first violation so CI fails loudly.
 
-Usage: check_perf.py BENCH_PERF.json
+With --baseline, additionally compares the run's total and adaptive
+events_per_sec against an older BENCH_PERF.json and fails when either
+regressed by more than --tolerance (a fraction: 0.5 = new must reach at
+least half the baseline rate). CI compares against the committed
+baseline, which was recorded on different hardware, so its tolerance is
+deliberately loose — the check is a guard against catastrophic
+regressions (an accidentally quadratic hot path), not a benchmark.
+
+Usage: check_perf.py BENCH_PERF.json [--baseline OLD.json] [--tolerance 0.5]
 """
 
+import argparse
 import json
 import sys
 
@@ -37,15 +46,57 @@ def check_rate(label: str, rate: float, count: int, wall_ms: float) -> None:
         fail(f"{label}: rate {rate} inconsistent with {count} / {wall_ms} ms")
 
 
-def main() -> None:
-    if len(sys.argv) != 2:
-        fail("usage: check_perf.py BENCH_PERF.json")
-
+def load_doc(path: str) -> dict:
     try:
-        with open(sys.argv[1], encoding="utf-8") as f:
-            doc = json.load(f)
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {sys.argv[1]}: {e}")
+        fail(f"cannot parse {path}: {e}")
+    raise AssertionError("unreachable")
+
+
+def aggregate_rate(doc: dict, name: str, path: str) -> float:
+    agg = doc.get(name)
+    if not isinstance(agg, dict) or \
+            not isinstance(agg.get("events_per_sec"), (int, float)):
+        fail(f"{path}: missing {name}.events_per_sec")
+    return float(agg["events_per_sec"])
+
+
+def compare_to_baseline(doc: dict, baseline_path: str, tolerance: float) -> None:
+    base = load_doc(baseline_path)
+    if base.get("schema") != doc.get("schema"):
+        fail(f"baseline schema {base.get('schema')!r} != {doc.get('schema')!r}")
+    if base.get("scale") != doc.get("scale"):
+        print(f"check_perf: WARNING: baseline scale {base.get('scale')!r} != "
+              f"{doc.get('scale')!r}; rates are not directly comparable",
+              file=sys.stderr)
+    for name in ("total", "adaptive"):
+        old = aggregate_rate(base, name, baseline_path)
+        new = aggregate_rate(doc, name, "current run")
+        floor = old * (1.0 - tolerance)
+        ratio = new / old if old > 0 else float("inf")
+        line = (f"{name}.events_per_sec: baseline {old:.0f}, "
+                f"current {new:.0f} ({ratio:.2f}x), floor {floor:.0f}")
+        if new < floor:
+            fail(f"regression: {line}")
+        print(f"check_perf: OK: {line}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Validate BENCH_PERF.json; optionally compare to a baseline.")
+    parser.add_argument("json", help="BENCH_PERF.json to validate")
+    parser.add_argument("--baseline", metavar="OLD.json",
+                        help="older BENCH_PERF.json to compare rates against")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional events_per_sec regression "
+                             "vs the baseline (default 0.15)")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        fail(f"tolerance {args.tolerance} outside [0, 1)")
+
+    doc = load_doc(args.json)
 
     if doc.get("schema") != "mgcomp-bench-perf-v1":
         fail(f"unexpected schema {doc.get('schema')!r}")
@@ -116,6 +167,9 @@ def main() -> None:
 
     print(f"check_perf: OK: {len(results)} cases over {len(workloads)} workloads x "
           f"{len(policies)} policies, {sum_events} events in {sum_ms:.1f} ms")
+
+    if args.baseline:
+        compare_to_baseline(doc, args.baseline, args.tolerance)
 
 
 if __name__ == "__main__":
