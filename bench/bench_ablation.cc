@@ -316,6 +316,7 @@ void ber_sweep(double scale) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mgcomp::bench::reject_unknown_flags(argc, argv);
   const double scale = mgcomp::bench::parse_scale(argc, argv, 0.5);
   std::printf("Ablation studies (scale %.2f)\n\n", scale);
   lambda_sweep(scale);

@@ -211,6 +211,12 @@ int main(int argc, char** argv) {
               std::string(mgcomp::simd::backend_name(mgcomp::simd::active_backend())).c_str());
   register_all();
   benchmark::Initialize(&argc, argv);
+  // Initialize() consumed every --benchmark_* flag; anything left over is
+  // a typo and must fail the invocation, not silently run all benchmarks.
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+    return 2;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -16,6 +16,24 @@
 
 namespace mgcomp::bench {
 
+/// The harness binaries take positional arguments only, so any `--flag` is
+/// a typo'd option. Call first thing in main: prints the offending flag
+/// and exits nonzero instead of silently running the default experiment —
+/// a CI step invoking `bench_x --scale 0.1` must fail, not pass vacuously.
+/// `max_positional` additionally bounds the positional count (-1 = any).
+inline void reject_unknown_flags(int argc, char** argv, int max_positional = -1) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-' && argv[i][1] == '-' && argv[i][2] != '\0') {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (max_positional >= 0 && argc - 1 > max_positional) {
+    std::fprintf(stderr, "too many arguments (expected at most %d)\n", max_positional);
+    std::exit(2);
+  }
+}
+
 inline double parse_scale(int argc, char** argv, double fallback = 1.0) {
   if (argc > 1) {
     const double s = std::atof(argv[1]);

@@ -53,6 +53,7 @@ void print_series(const char* bench, const std::vector<mgcomp::TraceSample>& tra
 }  // namespace
 
 int main(int argc, char** argv) {
+  mgcomp::bench::reject_unknown_flags(argc, argv);
   using namespace mgcomp;
   const double scale = bench::parse_scale(argc, argv);
   constexpr std::size_t kSamples = 2000;

@@ -133,6 +133,7 @@ std::string to_json(const std::vector<Measurement>& ms, double scale, int repeat
 }  // namespace
 
 int main(int argc, char** argv) {
+  mgcomp::bench::reject_unknown_flags(argc, argv);
   const double scale = bench::parse_scale(argc, argv, 0.5);
   const std::string out_path = argc > 2 ? argv[2] : "BENCH_PERF.json";
   const int repeats = argc > 3 ? std::max(1, std::atoi(argv[3])) : 3;

@@ -10,6 +10,7 @@
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
+  mgcomp::bench::reject_unknown_flags(argc, argv);
   using namespace mgcomp;
   const double scale = bench::parse_scale(argc, argv);
 

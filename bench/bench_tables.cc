@@ -3,6 +3,7 @@
 // These come from the library's capability/cost model rather than from
 // simulation, so this binary runs instantly.
 #include <cstdio>
+#include <cstdlib>
 
 #include "compression/codec_set.h"
 #include "compression/cost_model.h"
@@ -20,8 +21,14 @@ const char* support_str(mgcomp::Support s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgcomp;
+  // Output comes from the static capability/cost model; there are no
+  // options, and a typo'd flag must fail rather than silently print.
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+    return 2;
+  }
   CodecSet set;
 
   std::printf("Table I: Supported data patterns by compression algorithm\n");

@@ -1,0 +1,63 @@
+// Example: ring all-reduce on an 8-GPU system, raw vs. adaptive link
+// compression.
+//
+// Unlike training_allreduce (which emulates the all-reduce inside a
+// workload's memory traffic), this drives the real collective layer: a
+// chunked ring all-reduce whose every hop is a cache-line RDMA pull
+// through the compression/CRC/fault path. The low-range integer fill
+// stands in for narrow-range gradients, where BDI-style codecs shine —
+// watch the wire bits and fabric busy cycles drop under the adaptive
+// policy while the result stays bit-identical.
+#include <cstdio>
+
+#include "collective/collective.h"
+#include "core/system.h"
+
+int main(int argc, char** argv) {
+  using namespace mgcomp;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  CollectiveConfig ccfg;
+  ccfg.kind = CollectiveKind::kAllReduce;
+  ccfg.lines_per_rank = static_cast<std::size_t>(1024 * (scale > 0 ? scale : 1.0));
+  if (ccfg.lines_per_rank < 64) ccfg.lines_per_rank = 64;
+  ccfg.fill = CollectiveFill::kLowRange;
+
+  auto run_with = [&](PolicyFactory policy) {
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    cfg.policy = std::move(policy);
+    MultiGpuSystem sys(std::move(cfg));
+    return run_collective(sys, ccfg);
+  };
+
+  std::printf("ring all-reduce: 8 ranks, %zu KB per rank, low-range u32 sum\n\n",
+              ccfg.lines_per_rank * kLineBytes / 1024);
+
+  const CollectiveOutcome raw = run_with(make_no_compression_policy());
+  const CollectiveOutcome ad = run_with(make_adaptive_policy(AdaptiveParams{.lambda = 6.0}));
+
+  MGCOMP_CHECK_MSG(raw.verified && ad.verified, "collective verification failed");
+  MGCOMP_CHECK_MSG(raw.data_digest == ad.data_digest,
+                   "compression must not change the reduced data");
+
+  std::printf("%-24s %16s %16s\n", "", "no compression", "adaptive l=6");
+  std::printf("%-24s %16llu %16llu\n", "duration (cycles)",
+              static_cast<unsigned long long>(raw.run.collective.duration),
+              static_cast<unsigned long long>(ad.run.collective.duration));
+  std::printf("%-24s %16llu %16llu\n", "fabric busy (cycles)",
+              static_cast<unsigned long long>(raw.run.bus.busy_cycles),
+              static_cast<unsigned long long>(ad.run.bus.busy_cycles));
+  std::printf("%-24s %16llu %16llu\n", "payload wire bits",
+              static_cast<unsigned long long>(raw.run.bus.inter_gpu_payload_wire_bits),
+              static_cast<unsigned long long>(ad.run.bus.inter_gpu_payload_wire_bits));
+  std::printf("%-24s %16.3f %16.3f\n", "alg bandwidth (B/cyc)",
+              raw.run.collective.alg_bytes_per_cycle(),
+              ad.run.collective.alg_bytes_per_cycle());
+  std::printf("%-24s %16.3f %16.3f\n", "bus bandwidth (B/cyc)",
+              raw.run.collective.bus_bytes_per_cycle(),
+              ad.run.collective.bus_bytes_per_cycle());
+  std::printf("\nresult digest %016llx on both runs — compression changed the wire, not "
+              "the math.\n", static_cast<unsigned long long>(raw.data_digest));
+  return 0;
+}

@@ -18,12 +18,21 @@
 //     --trace-out <file.json>                 (write Chrome trace-event JSON; open in Perfetto)
 //     --trace-limit <events>                  (trace ring capacity, default 262144)
 //     --simd      scalar|sse42|avx2|neon      (pin codec kernel backend; default best)
+//
+//   Collective mode (replaces the workload with one ring collective):
+//     --collective allreduce|allgather|reducescatter|broadcast
+//     --coll-kb    <KB per rank>              (default 64)
+//     --coll-fill  zero|lowrange|ramp|random  (default lowrange)
+//     --coll-op    sum|max                    (default sum)
+//     --coll-window <in-flight lines per hop> (default 16)
+//     --coll-root  <rank>                     (broadcast source, default 0)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "analysis/report.h"
+#include "collective/collective.h"
 #include "compression/simd/dispatch.h"
 #include "core/system.h"
 #include "workloads/all_workloads.h"
@@ -50,6 +59,12 @@ struct Options {
   std::string trace_out;   ///< Chrome trace-event JSON path (Perfetto)
   std::size_t trace_limit{262144};  ///< event-ring capacity for --trace-out
   std::string simd;        ///< pinned SIMD backend ("" = best available)
+  std::string collective;  ///< collective mode: op name ("" = workload mode)
+  std::uint32_t coll_kb{64};       ///< collective buffer KB per rank
+  std::string coll_fill{"lowrange"};
+  std::string coll_op{"sum"};
+  std::uint32_t coll_window{16};
+  std::uint32_t coll_root{0};
 };
 
 bool parse(int argc, char** argv, Options& o) {
@@ -121,6 +136,32 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (v == nullptr) return false;
       o.simd = v;
+    } else if (arg == "--collective") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.collective = v;
+    } else if (arg == "--coll-kb") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.coll_kb = static_cast<std::uint32_t>(std::atoi(v));
+      if (o.coll_kb == 0) return false;
+    } else if (arg == "--coll-fill") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.coll_fill = v;
+    } else if (arg == "--coll-op") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.coll_op = v;
+    } else if (arg == "--coll-window") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.coll_window = static_cast<std::uint32_t>(std::atoi(v));
+      if (o.coll_window == 0) return false;
+    } else if (arg == "--coll-root") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.coll_root = static_cast<std::uint32_t>(std::atoi(v));
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -140,7 +181,10 @@ void usage() {
       "                [--ber RATE] [--drop RATE]\n"
       "                [--characterize] [--json] [--dump-trace out.csv]\n"
       "                [--trace-out out.json] [--trace-limit EVENTS]\n"
-      "                [--simd scalar|sse42|avx2|neon]");
+      "                [--simd scalar|sse42|avx2|neon]\n"
+      "                [--collective allreduce|allgather|reducescatter|broadcast]\n"
+      "                [--coll-kb KB] [--coll-fill zero|lowrange|ramp|random]\n"
+      "                [--coll-op sum|max] [--coll-window LINES] [--coll-root RANK]");
 }
 
 }  // namespace
@@ -182,6 +226,101 @@ int main(int argc, char** argv) {
   } else {
     usage();
     return 2;
+  }
+
+  if (!o.collective.empty()) {
+    CollectiveConfig ccfg;
+    if (!parse_collective_kind(o.collective, &ccfg.kind)) {
+      std::fprintf(stderr, "unknown collective: %s\n", o.collective.c_str());
+      return 2;
+    }
+    if (!parse_collective_fill(o.coll_fill, &ccfg.fill)) {
+      std::fprintf(stderr, "unknown collective fill: %s\n", o.coll_fill.c_str());
+      return 2;
+    }
+    if (o.coll_op == "sum") {
+      ccfg.op = ReduceOp::kSum;
+    } else if (o.coll_op == "max") {
+      ccfg.op = ReduceOp::kMax;
+    } else {
+      std::fprintf(stderr, "unknown reduce op: %s\n", o.coll_op.c_str());
+      return 2;
+    }
+    ccfg.lines_per_rank = static_cast<std::size_t>(o.coll_kb) * 1024 / kLineBytes;
+    ccfg.window = o.coll_window;
+    ccfg.root = o.coll_root;
+
+    MultiGpuSystem sys(std::move(cfg));
+    const CollectiveOutcome out = run_collective(sys, ccfg);
+    const RunResult& r = out.run;
+    const CollectiveStats& st = r.collective;
+    if (!out.verified) {
+      std::fprintf(stderr, "collective verification FAILED\n");
+      return 1;
+    }
+    char digest[20];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(out.data_digest));
+    char fp[20];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(collective_fingerprint(out)));
+    if (o.json) {
+      JsonObject j;
+      j.field("collective", st.op)
+          .field("policy", o.policy)
+          .field("ranks", static_cast<std::uint64_t>(st.ranks))
+          .field("bytes_per_rank", st.bytes_per_rank)
+          .field("verified", static_cast<std::uint64_t>(out.verified ? 1 : 0))
+          .field("data_digest", std::string(digest))
+          .field("fingerprint", std::string(fp))
+          .field("steps", st.steps)
+          .field("line_transfers", st.line_transfers)
+          .field("reduced_lines", st.reduced_lines)
+          .field("payload_bytes", st.payload_bytes)
+          .field("duration_cycles", static_cast<std::uint64_t>(st.duration))
+          .field("bus_factor", st.bus_factor)
+          .field("alg_bytes_per_cycle", st.alg_bytes_per_cycle())
+          .field("bus_bytes_per_cycle", st.bus_bytes_per_cycle())
+          .field("bus_busy_cycles", static_cast<std::uint64_t>(r.bus.busy_cycles))
+          .field("inter_gpu_traffic_bytes", r.inter_gpu_traffic_bytes())
+          .field("payload_raw_bits", r.bus.inter_gpu_payload_raw_bits)
+          .field("payload_wire_bits", r.bus.inter_gpu_payload_wire_bits)
+          .field("fabric_energy_pj", r.fabric_energy_pj)
+          .field("crc_failures", r.link.crc_failures)
+          .field("retransmissions", r.link.retransmissions())
+          .field("hard_failures", r.link.hard_failures);
+      std::printf("%s\n", j.to_string().c_str());
+    } else {
+      std::printf("%s, %u ranks, %llu KB/rank, policy %s, fill %s: verified\n",
+                  st.op.c_str(), st.ranks,
+                  static_cast<unsigned long long>(st.bytes_per_rank / 1024),
+                  o.policy.c_str(), o.coll_fill.c_str());
+      std::printf("  duration              %12llu cycles\n",
+                  static_cast<unsigned long long>(st.duration));
+      std::printf("  steps / line reads    %12llu / %llu (%llu reduced)\n",
+                  static_cast<unsigned long long>(st.steps),
+                  static_cast<unsigned long long>(st.line_transfers),
+                  static_cast<unsigned long long>(st.reduced_lines));
+      std::printf("  alg / bus bandwidth   %12.3f / %.3f B/cycle (factor %.3f)\n",
+                  st.alg_bytes_per_cycle(), st.bus_bytes_per_cycle(), st.bus_factor);
+      std::printf("  bus busy              %12llu cycles\n",
+                  static_cast<unsigned long long>(r.bus.busy_cycles));
+      std::printf("  payload raw -> wire   %12llu -> %llu bits (%.2fx)\n",
+                  static_cast<unsigned long long>(r.bus.inter_gpu_payload_raw_bits),
+                  static_cast<unsigned long long>(r.bus.inter_gpu_payload_wire_bits),
+                  r.bus.inter_gpu_payload_wire_bits > 0
+                      ? static_cast<double>(r.bus.inter_gpu_payload_raw_bits) /
+                            static_cast<double>(r.bus.inter_gpu_payload_wire_bits)
+                      : 1.0);
+      if (r.link.crc_failures + r.link.retransmissions() > 0) {
+        std::printf("  crc fail / retrans    %12llu / %llu (hard failures %llu)\n",
+                    static_cast<unsigned long long>(r.link.crc_failures),
+                    static_cast<unsigned long long>(r.link.retransmissions()),
+                    static_cast<unsigned long long>(r.link.hard_failures));
+      }
+      std::printf("  digest %s  fingerprint %s\n", digest, fp);
+    }
+    return 0;
   }
 
   auto wl = make_workload(o.workload, o.scale);

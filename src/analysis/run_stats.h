@@ -18,6 +18,33 @@
 
 namespace mgcomp {
 
+/// Counters of one collective operation (all zero unless the run was
+/// produced by run_collective, src/collective/).
+struct CollectiveStats {
+  std::string op;                   ///< "allreduce"|"allgather"|"reducescatter"|"broadcast"
+  std::uint32_t ranks{0};
+  std::uint32_t chunks{0};
+  std::uint64_t steps{0};           ///< ring hops completed across all chunks/phases
+  std::uint64_t line_transfers{0};  ///< remote line reads the schedule issued
+  std::uint64_t reduced_lines{0};   ///< line combines that applied the reduce op
+  std::uint64_t bytes_per_rank{0};  ///< logical buffer size per rank
+  std::uint64_t payload_bytes{0};   ///< raw payload bytes moved (line_transfers x 64)
+  Tick duration{0};                 ///< first hop issue to last line completion
+  /// NCCL-convention bus factor: 2(n-1)/n for all-reduce, (n-1)/n for
+  /// all-gather / reduce-scatter, 1 for broadcast.
+  double bus_factor{0.0};
+
+  /// Algorithm bandwidth: logical buffer bytes per fabric cycle.
+  [[nodiscard]] double alg_bytes_per_cycle() const noexcept {
+    if (duration == 0) return 0.0;
+    return static_cast<double>(bytes_per_rank) / static_cast<double>(duration);
+  }
+  /// Bus bandwidth: algorithm bandwidth scaled to per-link wire pressure.
+  [[nodiscard]] double bus_bytes_per_cycle() const noexcept {
+    return alg_bytes_per_cycle() * bus_factor;
+  }
+};
+
 struct RunResult {
   std::string workload;
   std::string policy;
@@ -85,6 +112,9 @@ struct RunResult {
   std::vector<LinkError> link_errors;
   /// Faults the injector actually applied on the fabric.
   FaultStats faults;
+
+  /// Collective counters (populated only by run_collective).
+  CollectiveStats collective;
 
   /// Fabric wire traffic between GPUs, in bytes (Fig. 5/6 metric).
   [[nodiscard]] std::uint64_t inter_gpu_traffic_bytes() const noexcept {

@@ -1,0 +1,397 @@
+#include "collective/collective.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "analysis/fingerprint.h"
+#include "collective/rank_space.h"
+#include "common/assert.h"
+#include "common/word_io.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr std::size_t kWordsPerLine = kLineBytes / sizeof(std::uint32_t);
+
+/// splitmix64 finalizer — the kRandom fill and nothing else.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Initial value of u32 element `elem` of rank `rank`'s buffer.
+std::uint32_t fill_value(CollectiveFill fill, std::uint64_t seed, std::uint32_t rank,
+                         std::uint64_t elem) noexcept {
+  switch (fill) {
+    case CollectiveFill::kZero:
+      return 0;
+    case CollectiveFill::kLowRange:
+      // Small values with small deltas: the BDI/FPC sweet spot, standing in
+      // for the narrow-range gradients of a training step.
+      return 0x1000 + static_cast<std::uint32_t>((elem * 7 + rank * 13) & 0x3F);
+    case CollectiveFill::kRamp:
+      return rank * 0x01000000u + static_cast<std::uint32_t>(elem);
+    case CollectiveFill::kRandom:
+      return static_cast<std::uint32_t>(
+          mix64(seed ^ (static_cast<std::uint64_t>(rank) << 40) ^ elem));
+  }
+  return 0;
+}
+
+std::uint32_t combine(ReduceOp op, std::uint32_t a, std::uint32_t b) noexcept {
+  return op == ReduceOp::kSum ? a + b : std::max(a, b);
+}
+
+/// One hop of a chunk's ring schedule: rank `dst` pulls the chunk's lines
+/// from rank `src`, reducing into or overwriting its local copy.
+struct Hop {
+  std::uint32_t src;
+  std::uint32_t dst;
+  bool reduce;
+};
+
+/// The n-1 hops that walk a chunk around the ring starting at rank `start`.
+std::vector<Hop> ring_chain(std::uint32_t ranks, std::uint32_t start, bool reduce) {
+  std::vector<Hop> hops;
+  hops.reserve(ranks - 1);
+  for (std::uint32_t s = 0; s + 1 < ranks; ++s) {
+    hops.push_back(Hop{(start + s) % ranks, (start + s + 1) % ranks, reduce});
+  }
+  return hops;
+}
+
+/// Shared run-wide bookkeeping for all chunk chains.
+struct RunState {
+  MultiGpuSystem* sys;
+  RankSpace* space;
+  CollectiveConfig cfg;
+  CollectiveStats* stats;
+  Tick last_done{0};
+};
+
+/// Executes one chunk's hop list sequentially; hops stream their lines
+/// through a bounded pull window. Chunks are independent, so while chunk c
+/// is on hop s, chunk c+1 is already running hop s elsewhere on the ring —
+/// that pipelining is what makes the ring schedule bandwidth-optimal.
+class ChunkTask {
+ public:
+  ChunkTask(RunState& rs, std::vector<Hop> hops, std::size_t first_line, std::size_t num_lines)
+      : rs_(&rs), hops_(std::move(hops)), first_line_(first_line), num_lines_(num_lines) {}
+
+  void start() {
+    if (num_lines_ == 0 || hops_.empty()) return;  // empty tail chunk
+    begin_hop();
+  }
+
+ private:
+  void begin_hop() {
+    next_line_ = 0;
+    completed_ = 0;
+    inflight_ = 0;
+    ++rs_->stats->steps;
+    pump();
+  }
+
+  /// Keeps up to cfg.window line pulls of the current hop in flight.
+  void pump() {
+    const Hop& hop = hops_[hop_idx_];
+    while (inflight_ < rs_->cfg.window && next_line_ < num_lines_) {
+      const std::size_t line = first_line_ + next_line_;
+      ++next_line_;
+      ++inflight_;
+      ++rs_->stats->line_transfers;
+      const Addr src_addr = rs_->space->line_addr(hop.src, line);
+      const Addr dst_addr = rs_->space->line_addr(hop.dst, line);
+      rs_->sys->gpu(hop.dst).rdma().remote_read(
+          src_addr, [this, src_addr, dst_addr] { on_line(src_addr, dst_addr); });
+    }
+  }
+
+  /// A pulled line landed at the destination: apply it to the local copy
+  /// (functionally) and book the local-DRAM write (timing).
+  void on_line(Addr src_addr, Addr dst_addr) {
+    const Hop& hop = hops_[hop_idx_];
+    GlobalMemory& mem = rs_->sys->memory();
+    const Line src = mem.read_line(src_addr);
+    if (hop.reduce) {
+      Line dst = mem.read_line(dst_addr);
+      for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+        const std::size_t off = w * sizeof(std::uint32_t);
+        store_le<std::uint32_t>(dst, off,
+                                combine(rs_->cfg.op, load_le<std::uint32_t>(dst, off),
+                                        load_le<std::uint32_t>(src, off)));
+      }
+      mem.write_line(dst_addr, dst);
+      ++rs_->stats->reduced_lines;
+    } else {
+      mem.write_line(dst_addr, src);
+    }
+    rs_->sys->gpu(hop.dst).owner_access(dst_addr, /*is_write=*/true);
+    rs_->last_done = std::max(rs_->last_done, rs_->sys->engine().now());
+
+    --inflight_;
+    ++completed_;
+    if (completed_ == num_lines_) {
+      if (++hop_idx_ < hops_.size()) begin_hop();
+      return;
+    }
+    pump();
+  }
+
+  RunState* rs_;
+  std::vector<Hop> hops_;
+  std::size_t first_line_;
+  std::size_t num_lines_;
+  std::size_t hop_idx_{0};
+  std::size_t next_line_{0};
+  std::size_t completed_{0};
+  std::uint32_t inflight_{0};
+};
+
+/// Fills the input buffers. Which ranks hold defined input depends on the
+/// collective: all-reduce and reduce-scatter start with every rank's full
+/// buffer populated; all-gather gives each rank only its own chunk;
+/// broadcast populates the root alone.
+void fill_inputs(MultiGpuSystem& sys, RankSpace& space, const CollectiveConfig& cfg,
+                 std::size_t chunk_lines) {
+  const std::uint32_t n = space.ranks();
+  for (std::uint32_t r = 0; r < n; ++r) {
+    std::size_t lo = 0;
+    std::size_t hi = space.lines_per_rank();
+    if (cfg.kind == CollectiveKind::kAllGather) {
+      lo = std::min<std::size_t>(static_cast<std::size_t>(r) * chunk_lines, hi);
+      hi = std::min(lo + chunk_lines, hi);
+    } else if (cfg.kind == CollectiveKind::kBroadcast && r != cfg.root) {
+      continue;
+    }
+    for (std::size_t l = lo; l < hi; ++l) {
+      Line line;
+      for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+        store_le<std::uint32_t>(line, w * sizeof(std::uint32_t),
+                                fill_value(cfg.fill, cfg.seed, r, l * kWordsPerLine + w));
+      }
+      sys.memory().write_line(space.line_addr(r, l), line);
+    }
+  }
+}
+
+/// Host-side reference for the u32 element `elem` of chunk `c` after the
+/// collective completes (identical at every rank that defines it).
+std::uint32_t expected_value(const CollectiveConfig& cfg, std::uint32_t ranks, std::uint32_t c,
+                             std::uint64_t elem) noexcept {
+  switch (cfg.kind) {
+    case CollectiveKind::kAllGather:
+      return fill_value(cfg.fill, cfg.seed, c, elem);
+    case CollectiveKind::kBroadcast:
+      return fill_value(cfg.fill, cfg.seed, cfg.root, elem);
+    case CollectiveKind::kAllReduce:
+    case CollectiveKind::kReduceScatter: {
+      std::uint32_t v = fill_value(cfg.fill, cfg.seed, 0, elem);
+      for (std::uint32_t r = 1; r < ranks; ++r) {
+        v = combine(cfg.op, v, fill_value(cfg.fill, cfg.seed, r, elem));
+      }
+      return v;
+    }
+  }
+  return 0;
+}
+
+/// Compares every defined output region against the reference and folds
+/// the defined words into the data digest. Reduce-scatter defines only
+/// chunk r at rank r; the other collectives define every rank's full
+/// buffer.
+bool verify_outputs(MultiGpuSystem& sys, RankSpace& space, const CollectiveConfig& cfg,
+                    std::size_t chunk_lines, FingerprintHasher& digest) {
+  const std::uint32_t n = space.ranks();
+  bool ok = true;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    std::size_t lo = 0;
+    std::size_t hi = space.lines_per_rank();
+    if (cfg.kind == CollectiveKind::kReduceScatter) {
+      lo = std::min<std::size_t>(static_cast<std::size_t>(r) * chunk_lines, hi);
+      hi = std::min(lo + chunk_lines, hi);
+    }
+    for (std::size_t l = lo; l < hi; ++l) {
+      const Line line = sys.memory().read_line(space.line_addr(r, l));
+      const auto chunk = static_cast<std::uint32_t>(l / chunk_lines);
+      for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+        const std::uint32_t got = load_le<std::uint32_t>(line, w * sizeof(std::uint32_t));
+        digest.add_u64(got);
+        ok = ok && got == expected_value(cfg, n, chunk, l * kWordsPerLine + w);
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+double collective_bus_factor(CollectiveKind kind, std::uint32_t ranks) noexcept {
+  const double n = ranks;
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return 2.0 * (n - 1.0) / n;
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter:
+      return (n - 1.0) / n;
+    case CollectiveKind::kBroadcast:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+std::string_view to_string(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return "allreduce";
+    case CollectiveKind::kAllGather:
+      return "allgather";
+    case CollectiveKind::kReduceScatter:
+      return "reducescatter";
+    case CollectiveKind::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+std::string_view to_string(CollectiveFill fill) noexcept {
+  switch (fill) {
+    case CollectiveFill::kZero:
+      return "zero";
+    case CollectiveFill::kLowRange:
+      return "lowrange";
+    case CollectiveFill::kRamp:
+      return "ramp";
+    case CollectiveFill::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::string_view to_string(ReduceOp op) noexcept {
+  return op == ReduceOp::kSum ? "sum" : "max";
+}
+
+bool parse_collective_kind(std::string_view s, CollectiveKind* out) noexcept {
+  for (const CollectiveKind k : {CollectiveKind::kAllReduce, CollectiveKind::kAllGather,
+                                 CollectiveKind::kReduceScatter, CollectiveKind::kBroadcast}) {
+    if (s == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_collective_fill(std::string_view s, CollectiveFill* out) noexcept {
+  for (const CollectiveFill f : {CollectiveFill::kZero, CollectiveFill::kLowRange,
+                                 CollectiveFill::kRamp, CollectiveFill::kRandom}) {
+    if (s == to_string(f)) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cfg) {
+  const std::uint32_t n = sys.config().num_gpus;
+  MGCOMP_CHECK(cfg.lines_per_rank > 0);
+  MGCOMP_CHECK(cfg.window > 0);
+  MGCOMP_CHECK_MSG(cfg.kind != CollectiveKind::kBroadcast || cfg.root < n,
+                   "broadcast root out of range");
+
+  RankSpace space(sys.memory(), sys.address_map(), cfg.lines_per_rank,
+                  "coll:" + std::string(to_string(cfg.kind)));
+  const std::size_t chunk_lines = (cfg.lines_per_rank + n - 1) / n;
+  fill_inputs(sys, space, cfg, chunk_lines);
+
+  CollectiveStats st;
+  st.op = std::string(to_string(cfg.kind));
+  st.ranks = n;
+  st.chunks = n;
+  st.bytes_per_rank = cfg.lines_per_rank * kLineBytes;
+  st.bus_factor = collective_bus_factor(cfg.kind, n);
+
+  RunState rs{&sys, &space, cfg, &st, sys.engine().now()};
+  const Tick start = sys.engine().now();
+
+  // One task per (chunk, phase chain). Owned here; callbacks borrow raw
+  // pointers that stay valid until engine().run() returns.
+  std::vector<std::unique_ptr<ChunkTask>> tasks;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    const std::size_t first = std::min<std::size_t>(static_cast<std::size_t>(c) * chunk_lines,
+                                                    cfg.lines_per_rank);
+    const std::size_t count = std::min(chunk_lines, cfg.lines_per_rank - first);
+    switch (cfg.kind) {
+      case CollectiveKind::kReduceScatter:
+        // Start at (c+1)%n so the chain's final destination is rank c.
+        tasks.push_back(std::make_unique<ChunkTask>(
+            rs, ring_chain(n, (c + 1) % n, /*reduce=*/true), first, count));
+        break;
+      case CollectiveKind::kAllGather:
+        tasks.push_back(
+            std::make_unique<ChunkTask>(rs, ring_chain(n, c, /*reduce=*/false), first, count));
+        break;
+      case CollectiveKind::kAllReduce: {
+        // Reduce-scatter phase then all-gather phase, spliced into one hop
+        // list per chunk: the gather chain starts at rank c, exactly where
+        // the reduce chain deposited chunk c's full reduction.
+        std::vector<Hop> hops = ring_chain(n, (c + 1) % n, /*reduce=*/true);
+        const std::vector<Hop> gather = ring_chain(n, c, /*reduce=*/false);
+        hops.insert(hops.end(), gather.begin(), gather.end());
+        tasks.push_back(std::make_unique<ChunkTask>(rs, std::move(hops), first, count));
+        break;
+      }
+      case CollectiveKind::kBroadcast:
+        tasks.push_back(std::make_unique<ChunkTask>(
+            rs, ring_chain(n, cfg.root, /*reduce=*/false), first, count));
+        break;
+    }
+  }
+  for (auto& t : tasks) t->start();
+  sys.engine().run();
+
+  st.duration = rs.last_done > start ? rs.last_done - start : 0;
+  st.payload_bytes = st.line_transfers * kLineBytes;
+
+  CollectiveOutcome out;
+  FingerprintHasher digest;
+  out.verified = verify_outputs(sys, space, cfg, chunk_lines, digest);
+  out.data_digest = digest.value();
+  out.run = sys.collect_result("coll:" + std::string(to_string(cfg.kind)));
+  out.run.collective = std::move(st);
+  return out;
+}
+
+std::uint64_t collective_fingerprint(const CollectiveOutcome& o) {
+  FingerprintHasher f;
+  f.add_u64(o.data_digest);
+  f.add_byte(o.verified ? 1 : 0);
+  const CollectiveStats& st = o.run.collective;
+  f.add_str(st.op);
+  f.add_u64(st.ranks);
+  f.add_u64(st.chunks);
+  f.add_u64(st.steps);
+  f.add_u64(st.line_transfers);
+  f.add_u64(st.reduced_lines);
+  f.add_u64(st.bytes_per_rank);
+  f.add_u64(st.payload_bytes);
+  f.add_u64(st.duration);
+  f.add_double(st.bus_factor);
+  f.add_str(o.run.policy);
+  f.add_u64(o.run.exec_ticks);
+  f.add_u64(o.run.bus.inter_gpu_messages);
+  f.add_u64(o.run.bus.inter_gpu_wire_bytes);
+  f.add_u64(o.run.bus.inter_gpu_payload_raw_bits);
+  f.add_u64(o.run.bus.inter_gpu_payload_wire_bits);
+  f.add_u64(o.run.bus.busy_cycles);
+  f.add_u64(o.run.link.crc_failures);
+  f.add_u64(o.run.link.hard_failures);
+  return f.value();
+}
+
+}  // namespace mgcomp

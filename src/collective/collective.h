@@ -1,0 +1,86 @@
+// Collective communication on the simulated fabric.
+//
+// Four chunked ring collectives — all-reduce (reduce-scatter + all-gather
+// phases), all-gather, reduce-scatter, and broadcast — built entirely out
+// of the cache-line RDMA path every other workload uses. Each rank is one
+// GPU; each rank's buffer lives in its own DRAM (RankSpace); every hop of
+// every chunk's ring schedule is a batch of RdmaEngine::remote_read line
+// pulls, so collective traffic flows through the per-link compression
+// policy, CRC/retransmission protocol, and fault injector unchanged.
+//
+// Transfers are pull-based on purpose: a Data-Ready response carries the
+// owner's *current* functional line, so the payloads crossing the wire
+// during a reduce chain are the real partial sums — exactly the data the
+// adaptive policy must size up. Reductions use wrapping u32 sum / u32 max,
+// which are associative and commutative, so results are bit-exact no
+// matter how chunks interleave.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "analysis/run_stats.h"
+#include "core/system.h"
+
+namespace mgcomp {
+
+enum class CollectiveKind : std::uint8_t { kAllReduce, kAllGather, kReduceScatter, kBroadcast };
+inline constexpr std::size_t kNumCollectiveKinds = 4;
+
+enum class ReduceOp : std::uint8_t { kSum, kMax };
+
+/// Initial buffer contents, chosen to span the compressibility range:
+/// kZero (degenerate), kLowRange (small deltas, BDI/FPC-friendly — the
+/// default benchmark pattern), kRamp (structured words), kRandom
+/// (incompressible).
+enum class CollectiveFill : std::uint8_t { kZero, kLowRange, kRamp, kRandom };
+
+struct CollectiveConfig {
+  CollectiveKind kind{CollectiveKind::kAllReduce};
+  /// Buffer length per rank, in 64-byte lines (u32 elements = 16x this).
+  std::size_t lines_per_rank{256};
+  ReduceOp op{ReduceOp::kSum};
+  CollectiveFill fill{CollectiveFill::kLowRange};
+  /// Source rank for broadcast; ignored by the other collectives.
+  std::uint32_t root{0};
+  /// Max in-flight line reads per chunk hop (the receiver's pull window).
+  std::uint32_t window{16};
+  /// Seeds the kRandom fill (and salts the others' element values).
+  std::uint64_t seed{0x6d67636f6d70ULL};
+};
+
+struct CollectiveOutcome {
+  RunResult run;
+  /// True when every defined output region matched the host-side reference.
+  bool verified{false};
+  /// FNV-1a over the defined output words — the cross-backend identity
+  /// anchor (compression on/off, scalar/SIMD must all agree).
+  std::uint64_t data_digest{0};
+};
+
+/// Runs one collective on `sys` (which must be freshly constructed: the
+/// collective owns the event timeline from tick 0). Fills the rank
+/// buffers, executes the ring schedule to completion, verifies the result
+/// against a single-node reference, and returns measurements with
+/// RunResult::collective populated.
+CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cfg);
+
+/// NCCL-convention bus-bandwidth factor: multiplying algorithm bandwidth
+/// by this yields per-link wire pressure comparable across collectives.
+[[nodiscard]] double collective_bus_factor(CollectiveKind kind, std::uint32_t ranks) noexcept;
+
+[[nodiscard]] std::string_view to_string(CollectiveKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(CollectiveFill fill) noexcept;
+[[nodiscard]] std::string_view to_string(ReduceOp op) noexcept;
+
+/// Parses "allreduce" / "allgather" / "reducescatter" / "broadcast".
+[[nodiscard]] bool parse_collective_kind(std::string_view s, CollectiveKind* out) noexcept;
+/// Parses "zero" / "lowrange" / "ramp" / "random".
+[[nodiscard]] bool parse_collective_fill(std::string_view s, CollectiveFill* out) noexcept;
+
+/// Digest of a collective run: data digest + verification + the collective
+/// counters + the timing-relevant RunResult core. Separate from
+/// run_fingerprint so the 42 recorded workload goldens stay valid.
+[[nodiscard]] std::uint64_t collective_fingerprint(const CollectiveOutcome& o);
+
+}  // namespace mgcomp

@@ -1,0 +1,66 @@
+// Rank-local buffer placement over the page-interleaved address space.
+//
+// Collectives need "rank r's buffer" to physically live in rank r's DRAM,
+// but GlobalMemory::alloc hands out a flat space whose 4 KB pages stripe
+// over all memory controllers (page p -> GPU (p mod C) / channels_per_gpu).
+// RankSpace allocates one contiguous striped span large enough that every
+// rank owns the required number of pages inside it, then exposes a dense
+// line index per rank that walks only that rank's pages. Every address it
+// returns therefore satisfies AddressMap::owner(addr) == rank, which is
+// what lets a ring neighbor pull it with RdmaEngine::remote_read.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "memory/address_map.h"
+#include "memory/global_memory.h"
+
+namespace mgcomp {
+
+inline constexpr std::size_t kLinesPerPage = kPageBytes / kLineBytes;
+
+class RankSpace {
+ public:
+  /// Allocates enough address space that each of the map's GPUs owns at
+  /// least `lines_per_rank` lines of it.
+  RankSpace(GlobalMemory& mem, const AddressMap& map, std::size_t lines_per_rank,
+            std::string label = "collective")
+      : lines_per_rank_(lines_per_rank) {
+    MGCOMP_CHECK(lines_per_rank > 0);
+    const std::size_t pages_per_rank = (lines_per_rank + kLinesPerPage - 1) / kLinesPerPage;
+    const std::uint32_t cpg = map.channels_per_gpu();
+    // Any window of total_channels() consecutive pages contains exactly
+    // channels_per_gpu pages per GPU, so this many rounds covers everyone
+    // regardless of where the allocation lands in the stripe pattern.
+    const std::size_t rounds = (pages_per_rank + cpg - 1) / cpg;
+    const std::size_t total_pages = rounds * map.total_channels();
+    const Addr base = mem.alloc(total_pages * kPageBytes, std::move(label));
+    pages_.resize(map.num_gpus());
+    for (std::size_t p = 0; p < total_pages; ++p) {
+      const Addr a = base + static_cast<Addr>(p) * kPageBytes;
+      pages_[map.owner(a).value].push_back(a);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t ranks() const noexcept {
+    return static_cast<std::uint32_t>(pages_.size());
+  }
+  [[nodiscard]] std::size_t lines_per_rank() const noexcept { return lines_per_rank_; }
+
+  /// Address of logical line `line` of rank `rank`'s buffer. Owned by GPU
+  /// `rank` by construction.
+  [[nodiscard]] Addr line_addr(std::uint32_t rank, std::size_t line) const {
+    MGCOMP_DCHECK(rank < pages_.size() && line < lines_per_rank_);
+    return pages_[rank][line / kLinesPerPage] +
+           static_cast<Addr>(line % kLinesPerPage) * kLineBytes;
+  }
+
+ private:
+  std::size_t lines_per_rank_;
+  std::vector<std::vector<Addr>> pages_;  ///< per rank, owned page base addresses
+};
+
+}  // namespace mgcomp

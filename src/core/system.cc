@@ -7,7 +7,8 @@
 namespace mgcomp {
 
 MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config)) {
-  MGCOMP_CHECK(config_.num_gpus >= 2);
+  MGCOMP_CHECK_MSG(config_.num_gpus >= kMinGpus && config_.num_gpus <= kMaxGpus,
+                   "SystemConfig::num_gpus must be in [2, 16]");
 
   engine_ = std::make_unique<Engine>();
   mem_ = std::make_unique<GlobalMemory>();
@@ -163,9 +164,12 @@ RunResult MultiGpuSystem::run(Workload& workload) {
   }
 
   MGCOMP_CHECK_MSG(workload.verify(*mem_), "workload functional verification failed");
+  return collect_result(workload.abbrev());
+}
 
+RunResult MultiGpuSystem::collect_result(std::string_view name) {
   RunResult r;
-  r.workload = std::string(workload.abbrev());
+  r.workload = std::string(name);
   r.exec_ticks = engine_->now();
   r.events_executed = engine_->events_executed();
   r.bus = bus_->stats();

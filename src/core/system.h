@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/run_stats.h"
@@ -31,9 +32,21 @@ class MultiGpuSystem {
   /// the workload's functional verification fails.
   RunResult run(Workload& workload);
 
+  /// Assembles a RunResult from the system's current counters. run() calls
+  /// this after the last kernel; external drivers that schedule their own
+  /// traffic (the collective layer) call it after engine().run() drains.
+  [[nodiscard]] RunResult collect_result(std::string_view name);
+
   /// Access to the functional memory (examples use this to inspect
   /// results after a run).
   [[nodiscard]] GlobalMemory& memory() noexcept { return *mem_; }
+
+  // The building blocks external traffic drivers (src/collective/) need:
+  // the event timeline, the page-ownership map, and each GPU's RDMA engine
+  // and local memory hierarchy.
+  [[nodiscard]] Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const AddressMap& address_map() const noexcept { return *map_; }
+  [[nodiscard]] Gpu& gpu(std::uint32_t g) { return *gpus_.at(g); }
 
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::uint32_t total_cus() const noexcept {

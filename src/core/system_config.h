@@ -19,7 +19,15 @@ namespace mgcomp {
 /// is this repo's what-if extension).
 enum class FabricKind : std::uint8_t { kBus, kSwitch };
 
+/// Supported system sizes. The lower bound keeps the fabric non-trivial
+/// (ring schedules need a peer); the upper bound is how far the Table VII
+/// machine model has been validated — page interleaving, ring collectives
+/// and the energy tiers all stay meaningful up to 16 GPUs.
+inline constexpr std::uint32_t kMinGpus = 2;
+inline constexpr std::uint32_t kMaxGpus = 16;
+
 struct SystemConfig {
+  /// Number of GPUs on the fabric, in [kMinGpus, kMaxGpus].
   std::uint32_t num_gpus{4};
   GpuParams gpu{};
   FabricKind fabric{FabricKind::kBus};

@@ -1,0 +1,337 @@
+// Collective layer: correctness against the single-node reference,
+// bit-identity across compression policies and fault injection,
+// determinism, golden fingerprints per SIMD backend, and the RankSpace
+// placement contract.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "collective/collective.h"
+#include "collective/rank_space.h"
+#include "compression/simd/dispatch.h"
+#include "core/system.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr std::uint32_t kRankCounts[] = {2, 3, 4, 8};
+constexpr CollectiveKind kKinds[] = {CollectiveKind::kAllReduce, CollectiveKind::kAllGather,
+                                     CollectiveKind::kReduceScatter,
+                                     CollectiveKind::kBroadcast};
+
+SystemConfig config_for(std::uint32_t ranks, PolicyFactory policy, double ber = 0.0) {
+  SystemConfig cfg;
+  cfg.num_gpus = ranks;
+  cfg.policy = std::move(policy);
+  cfg.fault.bit_error_rate = ber;
+  return cfg;
+}
+
+CollectiveOutcome run_case(std::uint32_t ranks, const CollectiveConfig& ccfg,
+                           PolicyFactory policy, double ber = 0.0) {
+  MultiGpuSystem sys(config_for(ranks, std::move(policy), ber));
+  return run_collective(sys, ccfg);
+}
+
+// ---------------------------------------------------------------------------
+// Correctness: every op x rank count x fill reproduces the host reference.
+
+TEST(CollectiveCorrectness, AllOpsAllRankCountsMatchReference) {
+  for (const std::uint32_t ranks : kRankCounts) {
+    for (const CollectiveKind kind : kKinds) {
+      for (const CollectiveFill fill :
+           {CollectiveFill::kZero, CollectiveFill::kLowRange, CollectiveFill::kRandom}) {
+        CollectiveConfig ccfg;
+        ccfg.kind = kind;
+        ccfg.fill = fill;
+        ccfg.lines_per_rank = 96;
+        const CollectiveOutcome out =
+            run_case(ranks, ccfg, make_adaptive_policy(AdaptiveParams{}));
+        EXPECT_TRUE(out.verified) << to_string(kind) << " ranks=" << ranks << " fill="
+                                  << to_string(fill);
+      }
+    }
+  }
+}
+
+TEST(CollectiveCorrectness, MaxReduction) {
+  for (const std::uint32_t ranks : {2u, 5u}) {
+    CollectiveConfig ccfg;
+    ccfg.op = ReduceOp::kMax;
+    ccfg.fill = CollectiveFill::kRandom;
+    ccfg.lines_per_rank = 64;
+    const CollectiveOutcome out = run_case(ranks, ccfg, make_no_compression_policy());
+    EXPECT_TRUE(out.verified) << "ranks=" << ranks;
+  }
+}
+
+TEST(CollectiveCorrectness, BroadcastFromEveryRoot) {
+  for (std::uint32_t root = 0; root < 4; ++root) {
+    CollectiveConfig ccfg;
+    ccfg.kind = CollectiveKind::kBroadcast;
+    ccfg.root = root;
+    ccfg.fill = CollectiveFill::kRamp;
+    ccfg.lines_per_rank = 48;
+    const CollectiveOutcome out = run_case(4, ccfg, make_adaptive_policy(AdaptiveParams{}));
+    EXPECT_TRUE(out.verified) << "root=" << root;
+  }
+}
+
+// Ragged tail (lines not divisible by ranks) and empty chunks (fewer lines
+// than ranks) must still complete and verify.
+TEST(CollectiveCorrectness, RaggedAndEmptyChunks) {
+  for (const std::size_t lines : {1u, 3u, 7u, 100u}) {
+    for (const CollectiveKind kind : kKinds) {
+      CollectiveConfig ccfg;
+      ccfg.kind = kind;
+      ccfg.lines_per_rank = lines;
+      const CollectiveOutcome out = run_case(8, ccfg, make_no_compression_policy());
+      EXPECT_TRUE(out.verified) << to_string(kind) << " lines=" << lines;
+    }
+  }
+}
+
+TEST(CollectiveCorrectness, TinyWindowStillCompletes) {
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 64;
+  ccfg.window = 1;
+  const CollectiveOutcome out = run_case(4, ccfg, make_adaptive_policy(AdaptiveParams{}));
+  EXPECT_TRUE(out.verified);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: the wire representation must never change the math.
+
+TEST(CollectiveIdentity, CompressionOnVsOffBitIdentical) {
+  for (const std::uint32_t ranks : kRankCounts) {
+    for (const CollectiveKind kind : kKinds) {
+      CollectiveConfig ccfg;
+      ccfg.kind = kind;
+      ccfg.lines_per_rank = 80;
+      const CollectiveOutcome raw = run_case(ranks, ccfg, make_no_compression_policy());
+      const CollectiveOutcome bdi =
+          run_case(ranks, ccfg, make_static_policy(CodecId::kBdi));
+      const CollectiveOutcome ad =
+          run_case(ranks, ccfg, make_adaptive_policy(AdaptiveParams{}));
+      ASSERT_TRUE(raw.verified && bdi.verified && ad.verified)
+          << to_string(kind) << " ranks=" << ranks;
+      EXPECT_EQ(raw.data_digest, bdi.data_digest) << to_string(kind) << " ranks=" << ranks;
+      EXPECT_EQ(raw.data_digest, ad.data_digest) << to_string(kind) << " ranks=" << ranks;
+    }
+  }
+}
+
+TEST(CollectiveIdentity, FaultInjectionPreservesResult) {
+  for (const std::uint32_t ranks : kRankCounts) {
+    CollectiveConfig ccfg;
+    ccfg.lines_per_rank = 256;
+    const CollectiveOutcome clean =
+        run_case(ranks, ccfg, make_adaptive_policy(AdaptiveParams{}));
+    const CollectiveOutcome faulty =
+        run_case(ranks, ccfg, make_adaptive_policy(AdaptiveParams{}), /*ber=*/1e-6);
+    ASSERT_TRUE(clean.verified) << "ranks=" << ranks;
+    EXPECT_TRUE(faulty.verified) << "ranks=" << ranks;
+    EXPECT_EQ(clean.data_digest, faulty.data_digest) << "ranks=" << ranks;
+  }
+}
+
+TEST(CollectiveIdentity, DeterministicAcrossRuns) {
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 128;
+  const CollectiveOutcome a = run_case(4, ccfg, make_adaptive_policy(AdaptiveParams{}));
+  const CollectiveOutcome b = run_case(4, ccfg, make_adaptive_policy(AdaptiveParams{}));
+  EXPECT_EQ(collective_fingerprint(a), collective_fingerprint(b));
+  EXPECT_EQ(a.run.exec_ticks, b.run.exec_ticks);
+  EXPECT_EQ(a.run.bus.busy_cycles, b.run.bus.busy_cycles);
+}
+
+// ---------------------------------------------------------------------------
+// The effect the layer exists to measure: compression frees fabric cycles
+// on compressible traffic and costs (almost) nothing on incompressible.
+
+TEST(CollectiveEffect, AdaptiveBeatsRawOnCompressibleAllReduce) {
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 256;
+  ccfg.fill = CollectiveFill::kLowRange;
+  const CollectiveOutcome raw = run_case(4, ccfg, make_no_compression_policy());
+  const CollectiveOutcome ad = run_case(4, ccfg, make_adaptive_policy(AdaptiveParams{}));
+  ASSERT_TRUE(raw.verified && ad.verified);
+  EXPECT_LT(ad.run.bus.busy_cycles, raw.run.bus.busy_cycles);
+  EXPECT_LT(ad.run.collective.duration, raw.run.collective.duration);
+  EXPECT_LT(ad.run.bus.inter_gpu_payload_wire_bits,
+            raw.run.bus.inter_gpu_payload_wire_bits);
+  EXPECT_GT(ad.run.collective.alg_bytes_per_cycle(),
+            raw.run.collective.alg_bytes_per_cycle());
+}
+
+TEST(CollectiveEffect, AdaptiveFallsBackOnRandomData) {
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 256;
+  ccfg.fill = CollectiveFill::kRandom;
+  const CollectiveOutcome raw = run_case(4, ccfg, make_no_compression_policy());
+  const CollectiveOutcome ad = run_case(4, ccfg, make_adaptive_policy(AdaptiveParams{}));
+  ASSERT_TRUE(raw.verified && ad.verified);
+  // Incompressible payloads go out raw (plus negligible probe overhead).
+  EXPECT_LE(ad.run.bus.inter_gpu_payload_wire_bits,
+            raw.run.bus.inter_gpu_payload_wire_bits * 105 / 100);
+}
+
+// ---------------------------------------------------------------------------
+// Counters.
+
+TEST(CollectiveStatsTest, RingScheduleShape) {
+  for (const std::uint32_t ranks : kRankCounts) {
+    CollectiveConfig ccfg;
+    ccfg.lines_per_rank = 64;  // divisible by every tested rank count
+    const CollectiveOutcome out = run_case(ranks, ccfg, make_no_compression_policy());
+    const CollectiveStats& st = out.run.collective;
+    ASSERT_TRUE(out.verified);
+    EXPECT_EQ(st.ranks, ranks);
+    EXPECT_EQ(st.op, "allreduce");
+    // All-reduce: 2(n-1) hops per chunk, n chunks; every line of every hop
+    // crosses the wire once; the reduce phase is half the hops.
+    EXPECT_EQ(st.steps, static_cast<std::uint64_t>(ranks) * 2 * (ranks - 1));
+    EXPECT_EQ(st.line_transfers, 2ull * (ranks - 1) * ccfg.lines_per_rank);
+    EXPECT_EQ(st.reduced_lines, st.line_transfers / 2);
+    EXPECT_EQ(st.payload_bytes, st.line_transfers * kLineBytes);
+    EXPECT_EQ(st.bytes_per_rank, ccfg.lines_per_rank * kLineBytes);
+    EXPECT_GT(st.duration, 0u);
+    EXPECT_DOUBLE_EQ(st.bus_factor, 2.0 * (ranks - 1.0) / ranks);
+    EXPECT_GT(st.alg_bytes_per_cycle(), 0.0);
+  }
+}
+
+TEST(CollectiveStatsTest, BusFactors) {
+  EXPECT_DOUBLE_EQ(collective_bus_factor(CollectiveKind::kAllReduce, 4), 1.5);
+  EXPECT_DOUBLE_EQ(collective_bus_factor(CollectiveKind::kAllGather, 4), 0.75);
+  EXPECT_DOUBLE_EQ(collective_bus_factor(CollectiveKind::kReduceScatter, 4), 0.75);
+  EXPECT_DOUBLE_EQ(collective_bus_factor(CollectiveKind::kBroadcast, 4), 1.0);
+}
+
+TEST(CollectiveStatsTest, ParseRoundTrips) {
+  for (const CollectiveKind k : kKinds) {
+    CollectiveKind parsed{};
+    EXPECT_TRUE(parse_collective_kind(to_string(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  CollectiveKind k{};
+  EXPECT_FALSE(parse_collective_kind("alltoall", &k));
+  for (const CollectiveFill f : {CollectiveFill::kZero, CollectiveFill::kLowRange,
+                                 CollectiveFill::kRamp, CollectiveFill::kRandom}) {
+    CollectiveFill parsed{};
+    EXPECT_TRUE(parse_collective_fill(to_string(f), &parsed));
+    EXPECT_EQ(parsed, f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RankSpace: the placement contract the pull-based schedule relies on.
+
+TEST(RankSpaceTest, EveryLineOwnedByItsRank) {
+  for (const std::uint32_t ranks : kRankCounts) {
+    GlobalMemory mem;
+    const AddressMap map(ranks, 8);
+    const RankSpace space(mem, map, 100);
+    ASSERT_EQ(space.ranks(), ranks);
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      for (std::size_t l = 0; l < space.lines_per_rank(); ++l) {
+        const Addr a = space.line_addr(r, l);
+        ASSERT_EQ(map.owner(a).value, r) << "rank " << r << " line " << l;
+        ASSERT_EQ(a, line_base(a));
+      }
+    }
+  }
+}
+
+TEST(RankSpaceTest, LinesAreDistinct) {
+  GlobalMemory mem;
+  const AddressMap map(4, 8);
+  const RankSpace space(mem, map, 200);
+  std::vector<Addr> addrs;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::size_t l = 0; l < 200; ++l) addrs.push_back(space.line_addr(r, l));
+  }
+  std::sort(addrs.begin(), addrs.end());
+  EXPECT_EQ(std::adjacent_find(addrs.begin(), addrs.end()), addrs.end());
+}
+
+// ---------------------------------------------------------------------------
+// Configurable system size: the full [2,16] range builds and runs; out-of-
+// range configs are rejected at construction.
+
+TEST(SystemSizeTest, SixteenGpuCollective) {
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 32;  // 16 ranks -> 2-line chunks
+  const CollectiveOutcome out = run_case(16, ccfg, make_adaptive_policy(AdaptiveParams{}));
+  EXPECT_TRUE(out.verified);
+  EXPECT_EQ(out.run.collective.ranks, 16u);
+}
+
+TEST(SystemSizeDeathTest, RejectsOutOfRangeGpuCount) {
+  EXPECT_DEATH(
+      {
+        SystemConfig one;
+        one.num_gpus = 1;
+        MultiGpuSystem sys(std::move(one));
+      },
+      "num_gpus");
+  EXPECT_DEATH(
+      {
+        SystemConfig many;
+        many.num_gpus = 17;
+        MultiGpuSystem sys(std::move(many));
+      },
+      "num_gpus");
+}
+
+// ---------------------------------------------------------------------------
+// Golden fingerprints, replayed on every available SIMD backend. Collective
+// results are part of the bit-identity contract: backend selection (and
+// nothing else) may change only simulator throughput. Any legitimate
+// behavior-changing commit must re-record these values and say so.
+
+struct CollectiveGolden {
+  CollectiveKind kind;
+  std::uint32_t ranks;
+  std::uint64_t fingerprint;
+};
+
+constexpr CollectiveGolden kCollectiveGoldens[] = {
+    {CollectiveKind::kAllReduce, 2, 0xef5e9f3afdf402e2ULL},
+    {CollectiveKind::kAllReduce, 4, 0xd19dc508c17efd3dULL},
+    {CollectiveKind::kAllReduce, 8, 0xbd52a051f0ec82d4ULL},
+    {CollectiveKind::kAllGather, 4, 0x82cbf9e832324d70ULL},
+    {CollectiveKind::kReduceScatter, 4, 0x53a27b59ee7cdd30ULL},
+    {CollectiveKind::kBroadcast, 4, 0x7d4c690c2cf9a3d0ULL},
+};
+
+class CollectiveGoldenTest : public ::testing::TestWithParam<simd::Backend> {};
+
+TEST_P(CollectiveGoldenTest, FingerprintsPinned) {
+  const simd::Backend prev = simd::active_backend();
+  ASSERT_TRUE(simd::set_backend(simd::backend_name(GetParam())));
+  for (const CollectiveGolden& g : kCollectiveGoldens) {
+    CollectiveConfig ccfg;
+    ccfg.kind = g.kind;
+    ccfg.lines_per_rank = 100;  // ragged for 3 and 8 ranks
+    const CollectiveOutcome out =
+        run_case(g.ranks, ccfg, make_adaptive_policy(AdaptiveParams{}));
+    ASSERT_TRUE(out.verified);
+    EXPECT_EQ(collective_fingerprint(out), g.fingerprint)
+        << to_string(g.kind) << " ranks=" << g.ranks << " backend="
+        << simd::backend_name(GetParam()) << " actual=0x" << std::hex
+        << collective_fingerprint(out);
+  }
+  simd::set_backend(simd::backend_name(prev));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, CollectiveGoldenTest,
+                         ::testing::ValuesIn(simd::available_backends()),
+                         [](const ::testing::TestParamInfo<simd::Backend>& info) {
+                           return std::string(simd::backend_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace mgcomp

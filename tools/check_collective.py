@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Schema and property check for BENCH_COLLECTIVE.json from `bench_collective`.
+
+Validates the mgcomp-bench-collective-v1 schema: header fields, one row
+per collective x policy x fill x rank-count with verified results, sane
+bandwidth numbers, and the correct NCCL-style bus factor per collective.
+Beyond shape, it asserts the physics the benchmark exists to show:
+
+  * every row is verified (the collective produced the reference result);
+  * for each (collective, fill, ranks), the data digest is identical
+    across policies — link compression must never change the math;
+  * on the compressible (lowrange) fill, the adaptive policy spends
+    strictly fewer fabric busy cycles than raw on the all-reduce rows
+    (the paper's headline effect, transplanted to collectives);
+  * on the incompressible (random) fill, adaptive's wire bits stay within
+    a few percent of raw (the fallback works).
+
+Usage: check_collective.py BENCH_COLLECTIVE.json
+"""
+
+import json
+import sys
+
+EXPECTED_COLLECTIVES = {"allreduce", "allgather", "reducescatter", "broadcast"}
+EXPECTED_POLICIES = {"raw", "BDI", "adaptive"}
+RESULT_FIELDS = {
+    "collective": str,
+    "policy": str,
+    "fill": str,
+    "ranks": int,
+    "bytes_per_rank": int,
+    "verified": bool,
+    "duration_cycles": int,
+    "busy_cycles": int,
+    "alg_bytes_per_cycle": float,
+    "bus_bytes_per_cycle": float,
+    "payload_raw_bits": int,
+    "payload_wire_bits": int,
+    "data_digest": str,
+    "fingerprint": str,
+}
+
+
+def fail(msg: str) -> None:
+    print(f"check_collective: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def bus_factor(collective: str, ranks: int) -> float:
+    if collective == "allreduce":
+        return 2.0 * (ranks - 1) / ranks
+    if collective in ("allgather", "reducescatter"):
+        return (ranks - 1) / ranks
+    return 1.0  # broadcast
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_collective.py BENCH_COLLECTIVE.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if doc.get("schema") != "mgcomp-bench-collective-v1":
+        fail(f"unexpected schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("scale"), (int, float)) or doc["scale"] <= 0:
+        fail(f"bad scale {doc.get('scale')!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail("missing or empty results array")
+
+    seen = {}
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            fail(f"result {i}: not an object")
+        for field, kind in RESULT_FIELDS.items():
+            v = row.get(field)
+            ok = isinstance(v, (int, float)) if kind is float else isinstance(v, kind)
+            # bool is an int subclass; keep int fields strictly integral.
+            if kind is int and isinstance(v, bool):
+                ok = False
+            if not ok:
+                fail(f"result {i}: bad {field} {v!r}")
+        if row["collective"] not in EXPECTED_COLLECTIVES:
+            fail(f"result {i}: unknown collective {row['collective']!r}")
+        if row["policy"] not in EXPECTED_POLICIES:
+            fail(f"result {i}: unknown policy {row['policy']!r}")
+        if not row["verified"]:
+            fail(f"result {i}: unverified collective result")
+        if row["duration_cycles"] <= 0 or row["busy_cycles"] <= 0:
+            fail(f"result {i}: non-positive cycle counts")
+        if row["payload_wire_bits"] > row["payload_raw_bits"]:
+            fail(f"result {i}: wire bits exceed raw bits")
+        if row["alg_bytes_per_cycle"] <= 0:
+            fail(f"result {i}: non-positive algorithm bandwidth")
+        want = bus_factor(row["collective"], row["ranks"]) * row["alg_bytes_per_cycle"]
+        if abs(row["bus_bytes_per_cycle"] - want) > max(1e-3, want * 1e-2):
+            fail(f"result {i}: bus bandwidth {row['bus_bytes_per_cycle']} "
+                 f"inconsistent with factor x algBW = {want:.4f}")
+        key = (row["collective"], row["policy"], row["fill"], row["ranks"])
+        if key in seen:
+            fail(f"result {i}: duplicate case {key}")
+        seen[key] = row
+
+    # Compression must never change the reduced data.
+    for (coll, _, fill, ranks), row in seen.items():
+        raw = seen.get((coll, "raw", fill, ranks))
+        if raw and row["data_digest"] != raw["data_digest"]:
+            fail(f"{coll}/{fill}/{ranks}: digest {row['policy']}="
+                 f"{row['data_digest']} != raw={raw['data_digest']}")
+
+    # The headline effect: adaptive compression cuts all-reduce fabric
+    # cycles on compressible data.
+    checked = 0
+    for ranks in sorted({k[3] for k in seen}):
+        raw = seen.get(("allreduce", "raw", "lowrange", ranks))
+        ad = seen.get(("allreduce", "adaptive", "lowrange", ranks))
+        if not raw or not ad:
+            continue
+        checked += 1
+        if ad["busy_cycles"] >= raw["busy_cycles"]:
+            fail(f"allreduce/{ranks} ranks: adaptive busy_cycles "
+                 f"{ad['busy_cycles']} not below raw {raw['busy_cycles']}")
+        print(f"check_collective: OK: allreduce {ranks} ranks: adaptive "
+              f"{ad['busy_cycles']} < raw {raw['busy_cycles']} busy cycles "
+              f"({ad['busy_cycles'] / raw['busy_cycles']:.2f}x)")
+    if checked == 0:
+        fail("no (raw, adaptive) lowrange all-reduce pair to compare")
+
+    # Incompressible fallback: adaptive within 5% of raw wire bits.
+    for (coll, _, fill, ranks), row in seen.items():
+        if fill != "random" or row["policy"] != "adaptive":
+            continue
+        raw = seen.get((coll, "raw", fill, ranks))
+        if raw and row["payload_wire_bits"] > raw["payload_wire_bits"] * 1.05:
+            fail(f"{coll}/random/{ranks}: adaptive wire bits "
+                 f"{row['payload_wire_bits']} exceed raw x1.05")
+
+    print(f"check_collective: OK: {len(results)} rows, all verified, digests "
+          f"policy-invariant")
+
+
+if __name__ == "__main__":
+    main()

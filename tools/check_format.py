@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Mechanical formatting checks for environments without clang-format.
+
+CI's format job runs the real `clang-format --dry-run -Werror` against the
+committed .clang-format. This script enforces the subset of that style that
+needs no toolchain: the 96-column limit, no hard tabs, no trailing
+whitespace, and a final newline, over every C/C++ source under the listed
+roots. It exists so local builders (and the tier-1 test path) can catch the
+common violations without the clang tooling installed.
+
+Usage: check_format.py [root ...]     (defaults: src tests bench examples)
+"""
+
+import os
+import sys
+
+COLUMN_LIMIT = 96
+EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+DEFAULT_ROOTS = ("src", "tests", "bench", "examples")
+
+
+def check_file(path: str) -> list[str]:
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = f.read()
+    except (OSError, UnicodeDecodeError) as e:
+        return [f"{path}: unreadable: {e}"]
+    if data and not data.endswith("\n"):
+        problems.append(f"{path}: missing final newline")
+    for lineno, line in enumerate(data.splitlines(), start=1):
+        if "\t" in line:
+            problems.append(f"{path}:{lineno}: hard tab")
+        if line != line.rstrip():
+            problems.append(f"{path}:{lineno}: trailing whitespace")
+        if len(line) > COLUMN_LIMIT:
+            problems.append(f"{path}:{lineno}: line is {len(line)} columns "
+                            f"(limit {COLUMN_LIMIT})")
+    return problems
+
+
+def main() -> None:
+    roots = sys.argv[1:] or [r for r in DEFAULT_ROOTS if os.path.isdir(r)]
+    files = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, _, names in os.walk(root):
+            files.extend(os.path.join(dirpath, n) for n in sorted(names)
+                         if n.endswith(EXTENSIONS))
+    if not files:
+        print("check_format: FAIL: no source files found", file=sys.stderr)
+        sys.exit(1)
+
+    problems = []
+    for path in sorted(files):
+        problems.extend(check_file(path))
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"check_format: FAIL: {len(problems)} problem(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_format: OK: {len(files)} files clean")
+
+
+if __name__ == "__main__":
+    main()
