@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
 
   std::printf("\nHeadline check (paper: lambda=6 cuts traffic ~62%% and improves average\n"
               "performance ~33%%, best case 53%%):\n");
-  std::printf("  traffic reduction @ l=6 : %.1f%%\n", 100.0 * (1.0 - bench::geomean(traffic[1])));
+  std::printf("  traffic reduction @ l=6 : %.1f%%\n",
+              100.0 * (1.0 - bench::geomean(traffic[1])));
   std::printf("  time reduction    @ l=6 : %.1f%%\n", 100.0 * (1.0 - bench::geomean(time[1])));
   double best = 1.0;
   for (const double v : time[1]) best = std::min(best, v);

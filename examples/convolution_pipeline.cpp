@@ -15,7 +15,8 @@
 int main(int argc, char** argv) {
   using namespace mgcomp;
   const double arg_scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  const auto dim = static_cast<std::uint32_t>(512 * (arg_scale > 0 ? arg_scale : 1.0)) / 16 * 16;
+  const auto dim =
+      static_cast<std::uint32_t>(512 * (arg_scale > 0 ? arg_scale : 1.0)) / 16 * 16;
 
   std::printf("Simple Convolution pipeline: %ux%u HDR image, 3x3 filter, 4 GPUs\n\n", dim,
               dim);

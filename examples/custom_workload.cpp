@@ -32,8 +32,9 @@ class JacobiWorkload final : public Workload {
     Rng rng(0x1ac0b1);
     for (std::uint32_t i = 0; i < n_; ++i) {
       // A narrow hot spot in a cold field; diffusion must flatten it.
-      const std::int32_t v =
-          (i > n_ / 2 - 3 && i < n_ / 2 + 3) ? 1 << 20 : static_cast<std::int32_t>(rng.below(16));
+      const std::int32_t v = (i > n_ / 2 - 3 && i < n_ / 2 + 3)
+                                 ? 1 << 20
+                                 : static_cast<std::int32_t>(rng.below(16));
       mem.store<std::int32_t>(a_ + static_cast<Addr>(i) * 4, v);
     }
   }
@@ -60,7 +61,8 @@ class JacobiWorkload final : public Workload {
       }
       // Functional sweep + output lines.
       for (std::uint32_t i = base; i < std::min(base + kPointsPerWg, n_); ++i) {
-        const auto left = i == 0 ? 0 : mem.load<std::int32_t>(src + static_cast<Addr>(i - 1) * 4);
+        const auto left =
+            i == 0 ? 0 : mem.load<std::int32_t>(src + static_cast<Addr>(i - 1) * 4);
         const auto mid = mem.load<std::int32_t>(src + static_cast<Addr>(i) * 4);
         const auto right =
             i + 1 == n_ ? 0 : mem.load<std::int32_t>(src + static_cast<Addr>(i + 1) * 4);
@@ -78,7 +80,8 @@ class JacobiWorkload final : public Workload {
     const Addr final_buf = (sweeps_ % 2 == 0) ? a_ : b_;
     std::int64_t peak = 0;
     for (std::uint32_t i = 0; i < n_; ++i) {
-      peak = std::max<std::int64_t>(peak, mem.load<std::int32_t>(final_buf + static_cast<Addr>(i) * 4));
+      peak = std::max<std::int64_t>(
+          peak, mem.load<std::int32_t>(final_buf + static_cast<Addr>(i) * 4));
     }
     return peak > 0 && peak < (1 << 20);  // flattened but not vanished
   }

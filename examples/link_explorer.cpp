@@ -34,7 +34,8 @@ std::vector<Sample> make_gallery() {
   gallery.push_back({"all zeros", zero_line()});
 
   Line repeated{};
-  for (std::size_t w = 0; w < 8; ++w) store_le<std::uint64_t>(repeated, w * 8, 0x1111222233334444ULL);
+  for (std::size_t w = 0; w < 8; ++w)
+    store_le<std::uint64_t>(repeated, w * 8, 0x1111222233334444ULL);
   gallery.push_back({"repeated 64-bit word", repeated});
 
   Line narrow{};
@@ -61,7 +62,8 @@ std::vector<Sample> make_gallery() {
 
   Line text{};
   const char* words = "the quick brown fox jumps over the lazy dog abcdefghijklmno";
-  for (std::size_t i = 0; i < kLineBytes; ++i) text[i] = static_cast<std::uint8_t>(words[i % 60]);
+  for (std::size_t i = 0; i < kLineBytes; ++i)
+    text[i] = static_cast<std::uint8_t>(words[i % 60]);
   gallery.push_back({"ASCII text", text});
 
   Line mixed{};

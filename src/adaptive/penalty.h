@@ -18,7 +18,8 @@ class PenaltyFunction {
 
   /// Penalty of sending a line encoded to `size_bits` with codec `id`.
   /// Sending raw (id == kNone) costs exactly 512: no codec latency.
-  [[nodiscard]] constexpr double operator()(std::uint32_t size_bits, CodecId id) const noexcept {
+  [[nodiscard]] constexpr double operator()(std::uint32_t size_bits,
+                                            CodecId id) const noexcept {
     const CodecCost c = codec_cost(id);
     return static_cast<double>(size_bits) +
            lambda_ * static_cast<double>(c.compress_cycles + c.decompress_cycles);

@@ -41,7 +41,8 @@ class BitplaneCodec final : public Codec {
   [[nodiscard]] CodecId id() const noexcept override { return inner_->id(); }
   [[nodiscard]] std::string_view name() const noexcept override { return "BPC+inner"; }
 
-  [[nodiscard]] std::uint32_t probe(LineView line, PatternStats* stats = nullptr) const override {
+  [[nodiscard]] std::uint32_t probe(LineView line,
+                                    PatternStats* stats = nullptr) const override {
     const Line t = bitplane_transform(line);
     return inner_->probe(t, stats);
   }

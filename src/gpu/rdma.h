@@ -61,8 +61,9 @@ class RdmaEngine {
     // clamps to the cap, and with cap == 0 the "timeout" fires in the same
     // tick as the send — an infinite retransmit storm that never lets the
     // response arrive. Reject the configuration instead of livelocking.
-    MGCOMP_CHECK_MSG(!link_faults || retry.timeout == 0 || retry.timeout_cap >= retry.timeout,
-                     "RetryParams::timeout_cap must be >= timeout when retransmission is armed");
+    MGCOMP_CHECK_MSG(
+        !link_faults || retry.timeout == 0 || retry.timeout_cap >= retry.timeout,
+        "RetryParams::timeout_cap must be >= timeout when retransmission is armed");
     self_ep_ = self_ep;
     gpu_endpoint_ = std::move(gpu_endpoint);
     owner_access_ = std::move(owner_access);

@@ -90,7 +90,8 @@ KernelTrace FirWorkload::generate_kernel(std::size_t k, GlobalMemory& mem) {
 std::int64_t FirWorkload::expected_output(const GlobalMemory& mem, std::uint32_t i) const {
   std::int64_t acc = 0;
   for (std::uint32_t t = 0; t < p_.num_taps; ++t) {
-    acc += static_cast<std::int64_t>(mem.load<std::int32_t>(coeffs_ + static_cast<Addr>(t) * 4)) *
+    const auto coeff = mem.load<std::int32_t>(coeffs_ + static_cast<Addr>(t) * 4);
+    acc += static_cast<std::int64_t>(coeff) *
            mem.load<std::int32_t>(input_ + static_cast<Addr>(i + t) * 4);
   }
   return acc >> 8;

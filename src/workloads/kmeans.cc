@@ -71,8 +71,9 @@ std::uint32_t KMeansWorkload::nearest_centroid(
   for (std::uint32_t c = 0; c < p_.k; ++c) {
     double dist = 0.0;
     for (std::uint32_t f = 0; f < p_.d; ++f) {
-      const double diff = static_cast<double>(features[f]) -
-                          static_cast<double>(centroids[static_cast<std::size_t>(c) * p_.d + f]);
+      const std::size_t idx = static_cast<std::size_t>(c) * p_.d + f;
+      const double diff =
+          static_cast<double>(features[f]) - static_cast<double>(centroids[idx]);
       dist += diff * diff;
     }
     if (dist < best_dist) {

@@ -105,7 +105,8 @@ TEST_P(AllCodecsTest, SizeNeverExceedsRaw) {
   Rng rng(0xcafe + static_cast<std::uint64_t>(GetParam()));
   for (int i = 0; i < 300; ++i) {
     Line l;
-    for (auto& b : l) b = static_cast<std::uint8_t>(rng.next() & (rng.chance(0.5) ? 0xFF : 0x03));
+    for (auto& b : l)
+      b = static_cast<std::uint8_t>(rng.next() & (rng.chance(0.5) ? 0xFF : 0x03));
     const Compressed c = codec().compress(l);
     EXPECT_LE(c.size_bits, kLineBits);
   }
@@ -397,7 +398,8 @@ TEST(CpackZ, DictionaryOverflowFifo) {
   CpackZCodec cp;
   Line l{};
   for (std::size_t i = 0; i < 16; ++i) {
-    store_le<std::uint32_t>(l, i * 4, 0x10000000u * (static_cast<std::uint32_t>(i) + 1) + 0x123456u);
+    store_le<std::uint32_t>(l, i * 4,
+                            0x10000000u * (static_cast<std::uint32_t>(i) + 1) + 0x123456u);
   }
   const Compressed c = cp.compress(l);
   EXPECT_EQ(cp.decompress(c), l);

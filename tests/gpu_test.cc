@@ -284,7 +284,8 @@ TEST(CpuHost, ParamWriteReachesOwnerAndAcks) {
   std::vector<EndpointId> eps;
   for (Gpu* g : {&gpu0, &gpu1}) {
     RdmaEngine& rdma = g->rdma();
-    eps.push_back(bus.add_endpoint("G", true, [&rdma](Message&& m) { rdma.deliver(std::move(m)); }));
+    eps.push_back(
+        bus.add_endpoint("G", true, [&rdma](Message&& m) { rdma.deliver(std::move(m)); }));
   }
   auto lookup = [&](GpuId id) { return eps.at(id.value); };
   gpu0.configure(eps[0], lookup, make_no_compression_policy()(codecs));

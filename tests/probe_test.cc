@@ -67,7 +67,8 @@ std::vector<Line> adversarial_lines() {
   Line narrow_neg{};
   for (std::size_t w = 0; w < 16; ++w) {
     store_le<std::uint32_t>(narrow, w * 4, static_cast<std::uint32_t>(w));
-    store_le<std::uint32_t>(narrow_neg, w * 4, static_cast<std::uint32_t>(-3 - static_cast<int>(w)));
+    store_le<std::uint32_t>(narrow_neg, w * 4,
+                            static_cast<std::uint32_t>(-3 - static_cast<int>(w)));
   }
   lines.push_back(narrow);
   lines.push_back(narrow_neg);

@@ -163,8 +163,10 @@ TEST(Fig6Shape, AdaptiveLambda6BeatsOrMatchesEveryStaticOnTime) {
 }
 
 TEST(Fig6Shape, LambdaZeroMinimizesTrafficButNotTime) {
-  const Normalized l0 = run_normalized("BS", make_adaptive_policy(AdaptiveParams{.lambda = 0.0}));
-  const Normalized l6 = run_normalized("BS", make_adaptive_policy(AdaptiveParams{.lambda = 6.0}));
+  const Normalized l0 =
+      run_normalized("BS", make_adaptive_policy(AdaptiveParams{.lambda = 0.0}));
+  const Normalized l6 =
+      run_normalized("BS", make_adaptive_policy(AdaptiveParams{.lambda = 6.0}));
   EXPECT_LE(l0.traffic, l6.traffic + 0.01);  // traffic optimal (or tied)
   EXPECT_GT(l0.time, l6.time);               // but slower
 }

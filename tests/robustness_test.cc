@@ -91,7 +91,8 @@ TEST(Robustness, ValueBitflipDecodesWithoutCrashing) {
     Line bdi_line{};
     const std::uint32_t base = 1u << 20;
     for (std::size_t w = 0; w < 16; ++w) {
-      store_le<std::uint32_t>(bdi_line, w * 4, base + static_cast<std::uint32_t>(rng.below(90)));
+      store_le<std::uint32_t>(bdi_line, w * 4,
+                              base + static_cast<std::uint32_t>(rng.below(90)));
     }
     Compressed b = set.get(CodecId::kBdi).compress(bdi_line);
     ASSERT_EQ(b.mode, EncodingMode::kStream);

@@ -58,13 +58,14 @@ void append_adversarial(std::vector<Line>& lines) {
   lines.push_back(b8d1);
   Line b4d2{};
   for (std::size_t i = 0; i < 16; ++i) {
-    store_le<std::uint32_t>(b4d2, i * 4,
-                            0x40000000U + (i % 3 == 0 ? 0x7FFFU : static_cast<std::uint32_t>(-0x8000)));
+    const std::uint32_t delta = i % 3 == 0 ? 0x7FFFU : static_cast<std::uint32_t>(-0x8000);
+    store_le<std::uint32_t>(b4d2, i * 4, 0x40000000U + delta);
   }
   lines.push_back(b4d2);
   Line zero_or_base{};  // dual-base: elements near 0 and near a far base
   for (std::size_t i = 0; i < 16; ++i) {
-    store_le<std::uint32_t>(zero_or_base, i * 4, i % 2 == 0 ? 0x77777700U + static_cast<std::uint32_t>(i) : static_cast<std::uint32_t>(i));
+    const std::uint32_t w = static_cast<std::uint32_t>(i);
+    store_le<std::uint32_t>(zero_or_base, i * 4, i % 2 == 0 ? 0x77777700U + w : w);
   }
   lines.push_back(zero_or_base);
   // C-Pack dictionary pressure: 16 distinct literals (dictionary exactly
@@ -72,7 +73,8 @@ void append_adversarial(std::vector<Line>& lines) {
   // high 16 bits are zero (must NOT half-match a vacant zeroed dict slot).
   Line dict_full{};
   for (std::size_t i = 0; i < 16; ++i) {
-    store_le<std::uint32_t>(dict_full, i * 4, 0xA0B0C000U + (static_cast<std::uint32_t>(i) << 8) + 0x11U);
+    store_le<std::uint32_t>(dict_full, i * 4,
+                            0xA0B0C000U + (static_cast<std::uint32_t>(i) << 8) + 0x11U);
   }
   lines.push_back(dict_full);
   Line half_match_trap{};
