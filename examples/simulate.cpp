@@ -14,6 +14,10 @@
 //     --tier      chip|die|package|node       (default die)
 //     --ber       <bit error rate>            (default 0; enables reliability layer)
 //     --drop      <message drop rate>         (default 0)
+//     --fabric    bus|switch                  (default bus)
+//     --fault-episodes SPEC                   (fail-stop schedule, e.g.
+//                                              "down:0-1@5000+20000;gpufail:2@80000";
+//                                              see parse_fault_episodes)
 //     --characterize                          (adds Table V-style columns)
 //     --trace-out <file.json>                 (write Chrome trace-event JSON; open in Perfetto)
 //     --trace-limit <events>                  (trace ring capacity, default 262144)
@@ -26,6 +30,7 @@
 //     --coll-op    sum|max                    (default sum)
 //     --coll-window <in-flight lines per hop> (default 16)
 //     --coll-root  <rank>                     (broadcast source, default 0)
+//     --allow-shrink                          (complete on survivors after a GPU fail-stop)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -53,6 +58,9 @@ struct Options {
   std::string tier{"die"};
   double ber{0.0};   ///< link bit-error rate (reliability extension)
   double drop{0.0};  ///< link message-drop rate
+  std::string fabric{"bus"};
+  std::string fault_episodes;  ///< fail-stop episode spec ("" = none)
+  bool allow_shrink{false};    ///< collective: shrink past dead ranks
   bool characterize{false};
   bool json{false};
   std::string dump_trace;  ///< CSV path for Fig.1-style per-transfer series
@@ -115,6 +123,16 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (v == nullptr) return false;
       o.drop = std::atof(v);
+    } else if (arg == "--fabric") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.fabric = v;
+    } else if (arg == "--fault-episodes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.fault_episodes = v;
+    } else if (arg == "--allow-shrink") {
+      o.allow_shrink = true;
     } else if (arg == "--characterize") {
       o.characterize = true;
     } else if (arg == "--json") {
@@ -178,13 +196,16 @@ void usage() {
       "[--policy none|fpc|bdi|cpack|adaptive]\n"
       "                [--lambda F] [--scale F] [--gpus N] [--bus B/cyc]\n"
       "                [--samples N] [--running N] [--tier chip|die|package|node]\n"
-      "                [--ber RATE] [--drop RATE]\n"
+      "                [--ber RATE] [--drop RATE] [--fabric bus|switch]\n"
+      "                [--fault-episodes SPEC] [--allow-shrink]\n"
       "                [--characterize] [--json] [--dump-trace out.csv]\n"
       "                [--trace-out out.json] [--trace-limit EVENTS]\n"
       "                [--simd scalar|sse42|avx2|neon]\n"
       "                [--collective allreduce|allgather|reducescatter|broadcast]\n"
       "                [--coll-kb KB] [--coll-fill zero|lowrange|ramp|random]\n"
-      "                [--coll-op sum|max] [--coll-window LINES] [--coll-root RANK]");
+      "                [--coll-op sum|max] [--coll-window LINES] [--coll-root RANK]\n"
+      "  SPEC is ';'-separated clauses: down:A-B@START+DUR | flap:A-B@START+DURxCOUNT/PERIOD\n"
+      "  | gpufail:G@START (ticks; A,B,G are GPU indices)");
 }
 
 }  // namespace
@@ -206,6 +227,19 @@ int main(int argc, char** argv) {
   cfg.characterize = o.characterize;
   cfg.fault.bit_error_rate = o.ber;
   cfg.fault.drop_rate = o.drop;
+  if (o.fabric == "switch") {
+    cfg.fabric = FabricKind::kSwitch;
+  } else if (o.fabric != "bus") {
+    std::fprintf(stderr, "unknown fabric: %s\n", o.fabric.c_str());
+    return 2;
+  }
+  if (!o.fault_episodes.empty()) {
+    std::string err;
+    if (!parse_fault_episodes(o.fault_episodes, &cfg.episodes, &err)) {
+      std::fprintf(stderr, "bad --fault-episodes: %s\n", err.c_str());
+      return 2;
+    }
+  }
   if (!o.dump_trace.empty()) cfg.trace_samples = 5000;
   if (!o.trace_out.empty()) cfg.trace_events = o.trace_limit;
   cfg.energy_tier = o.tier == "chip"      ? FabricTier::kOnChip
@@ -249,14 +283,20 @@ int main(int argc, char** argv) {
     ccfg.lines_per_rank = static_cast<std::size_t>(o.coll_kb) * 1024 / kLineBytes;
     ccfg.window = o.coll_window;
     ccfg.root = o.coll_root;
+    ccfg.allow_shrink = o.allow_shrink;
 
     MultiGpuSystem sys(std::move(cfg));
     const CollectiveOutcome out = run_collective(sys, ccfg);
     const RunResult& r = out.run;
     const CollectiveStats& st = r.collective;
-    if (!out.verified) {
+    if (out.status != CollectiveStatus::kFailed && !out.verified) {
       std::fprintf(stderr, "collective verification FAILED\n");
       return 1;
+    }
+    std::string survivors;
+    for (const std::uint32_t s : out.surviving_ranks) {
+      if (!survivors.empty()) survivors += ",";
+      survivors += std::to_string(s);
     }
     char digest[20];
     std::snprintf(digest, sizeof(digest), "%016llx",
@@ -288,13 +328,42 @@ int main(int argc, char** argv) {
           .field("fabric_energy_pj", r.fabric_energy_pj)
           .field("crc_failures", r.link.crc_failures)
           .field("retransmissions", r.link.retransmissions())
-          .field("hard_failures", r.link.hard_failures);
+          .field("hard_failures", r.link.hard_failures)
+          .field("link_errors_dropped", r.link_errors_dropped)
+          .field("status", std::string(to_string(out.status)))
+          .field("error_kind", std::string(to_string(out.error.kind)))
+          .field("attempts", static_cast<std::uint64_t>(out.attempts))
+          .field("partial", static_cast<std::uint64_t>(out.partial ? 1 : 0))
+          .field("surviving_ranks", survivors)
+          .field("health_transitions", r.health.transitions())
+          .field("health_link_down", r.health.link_down)
+          .field("health_link_recovered", r.health.link_recovered)
+          .field("health_gpu_down", r.health.gpu_down)
+          .field("health_probes_sent", r.health.probes_sent);
       std::printf("%s\n", j.to_string().c_str());
     } else {
-      std::printf("%s, %u ranks, %llu KB/rank, policy %s, fill %s: verified\n",
+      std::printf("%s, %u ranks, %llu KB/rank, policy %s, fill %s: %s\n",
                   st.op.c_str(), st.ranks,
                   static_cast<unsigned long long>(st.bytes_per_rank / 1024),
-                  o.policy.c_str(), o.coll_fill.c_str());
+                  o.policy.c_str(), o.coll_fill.c_str(),
+                  std::string(to_string(out.status)).c_str());
+      if (out.status != CollectiveStatus::kCompleted) {
+        std::printf("  recovery              attempts %u, error %s "
+                    "(rank %u <- peer %u, step %llu, tick %llu)%s\n",
+                    out.attempts, std::string(to_string(out.error.kind)).c_str(),
+                    out.error.rank, out.error.peer,
+                    static_cast<unsigned long long>(out.error.step),
+                    static_cast<unsigned long long>(out.error.tick),
+                    out.partial ? ", partial result" : "");
+        std::printf("  survivors             %s\n", survivors.c_str());
+        std::printf("  health                %llu transitions (link down %llu, recovered "
+                    "%llu, gpu down %llu), %llu probes\n",
+                    static_cast<unsigned long long>(r.health.transitions()),
+                    static_cast<unsigned long long>(r.health.link_down),
+                    static_cast<unsigned long long>(r.health.link_recovered),
+                    static_cast<unsigned long long>(r.health.gpu_down),
+                    static_cast<unsigned long long>(r.health.probes_sent));
+      }
       std::printf("  duration              %12llu cycles\n",
                   static_cast<unsigned long long>(st.duration));
       std::printf("  steps / line reads    %12llu / %llu (%llu reduced)\n",
@@ -320,7 +389,7 @@ int main(int argc, char** argv) {
       }
       std::printf("  digest %s  fingerprint %s\n", digest, fp);
     }
-    return 0;
+    return out.status == CollectiveStatus::kFailed ? 1 : 0;
   }
 
   auto wl = make_workload(o.workload, o.scale);
@@ -379,6 +448,12 @@ int main(int argc, char** argv) {
         .field("retransmissions", r.link.retransmissions())
         .field("duplicates_suppressed", r.link.duplicates_suppressed)
         .field("hard_failures", r.link.hard_failures)
+        .field("link_errors_dropped", r.link_errors_dropped)
+        .field("health_transitions", r.health.transitions())
+        .field("health_link_down", r.health.link_down)
+        .field("health_link_recovered", r.health.link_recovered)
+        .field("health_gpu_down", r.health.gpu_down)
+        .field("health_probes_sent", r.health.probes_sent)
         .field("degrade_events", r.policy_stats.degrade_events)
         .field("goodput_fraction", r.goodput_fraction())
         .field("raw_throughput_bytes_per_cycle", r.raw_throughput_bytes_per_cycle())
@@ -494,6 +569,19 @@ int main(int argc, char** argv) {
       std::printf("  LINK ERROR: gpu%u %s addr=0x%llx after %u retries\n", e.gpu.value,
                   std::string(msg_type_name(e.op)).c_str(),
                   static_cast<unsigned long long>(e.addr), e.retries);
+    }
+    if (r.link_errors_dropped > 0) {
+      std::printf("  (+%llu link errors dropped beyond the record cap)\n",
+                  static_cast<unsigned long long>(r.link_errors_dropped));
+    }
+    if (r.health.transitions() > 0) {
+      std::printf("  health transitions    %llu (link down %llu, recovered %llu, "
+                  "gpu down %llu), %llu probes\n",
+                  static_cast<unsigned long long>(r.health.transitions()),
+                  static_cast<unsigned long long>(r.health.link_down),
+                  static_cast<unsigned long long>(r.health.link_recovered),
+                  static_cast<unsigned long long>(r.health.gpu_down),
+                  static_cast<unsigned long long>(r.health.probes_sent));
     }
   }
 

@@ -1,0 +1,61 @@
+// Structured failure taxonomy for collectives under fail-stop faults.
+//
+// A collective attempt that hits a fault domain does not limp along with
+// stale data: the ring aborts with a CollectiveError naming what broke and
+// where, and the recovery loop in run_collective decides what to do next
+// (retry after a flap heals, shrink the ring past a dead rank, or give up).
+// The final CollectiveStatus classifies the whole run for harnesses like
+// bench_chaos: kCompleted (first attempt, full ring), kDegraded (recovered
+// via retry and/or a shrunk ring — result verified but the road was bumpy),
+// or kFailed (no verified result; `error` says why).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace mgcomp {
+
+enum class CollectiveStatus : std::uint8_t { kCompleted, kDegraded, kFailed };
+
+[[nodiscard]] constexpr std::string_view to_string(CollectiveStatus s) noexcept {
+  switch (s) {
+    case CollectiveStatus::kCompleted: return "completed";
+    case CollectiveStatus::kDegraded: return "degraded";
+    case CollectiveStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+enum class CollectiveErrorKind : std::uint8_t {
+  kNone,              ///< no error (status kCompleted)
+  kPeerDown,          ///< a ring peer's GPU was declared DOWN
+  kPullFailed,        ///< a remote read exhausted its retry budget
+  kShrinkRejected,    ///< shrink needed but not allowed, or survivors < kMinGpus
+  kRetriesExhausted,  ///< attempts ran out without a clean pass
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CollectiveErrorKind k) noexcept {
+  switch (k) {
+    case CollectiveErrorKind::kNone: return "none";
+    case CollectiveErrorKind::kPeerDown: return "peer_down";
+    case CollectiveErrorKind::kPullFailed: return "pull_failed";
+    case CollectiveErrorKind::kShrinkRejected: return "shrink_rejected";
+    case CollectiveErrorKind::kRetriesExhausted: return "retries_exhausted";
+  }
+  return "?";
+}
+
+/// First fault that aborted a collective attempt. `rank` is the rank whose
+/// pull failed, `peer` the rank it was pulling from, `step` the ring hop
+/// index at the time, and `tick` the abort time.
+struct CollectiveError {
+  CollectiveErrorKind kind{CollectiveErrorKind::kNone};
+  std::uint32_t rank{0};
+  std::uint32_t peer{0};
+  std::uint64_t step{0};
+  Tick tick{0};
+};
+
+}  // namespace mgcomp

@@ -118,12 +118,20 @@ class Collector {
   [[nodiscard]] const LinkStats& link() const noexcept { return link_; }
 
   /// Records a hard failure (bounded: the first kMaxLinkErrors are kept,
-  /// the counter in link() always reflects the true total).
+  /// the counter in link() always reflects the true total). Overflow is not
+  /// silent: link_errors_dropped() says how many details were discarded.
   void record_link_error(const LinkError& e) {
-    if (link_errors_.size() < kMaxLinkErrors) link_errors_.push_back(e);
+    if (link_errors_.size() < kMaxLinkErrors) {
+      link_errors_.push_back(e);
+    } else {
+      ++link_errors_dropped_;
+    }
   }
   [[nodiscard]] const std::vector<LinkError>& link_errors() const noexcept {
     return link_errors_;
+  }
+  [[nodiscard]] std::uint64_t link_errors_dropped() const noexcept {
+    return link_errors_dropped_;
   }
 
   static constexpr std::size_t kMaxLinkErrors = 64;
@@ -152,6 +160,7 @@ class Collector {
   std::vector<TraceSample> trace_;
   LinkStats link_;
   std::vector<LinkError> link_errors_;
+  std::uint64_t link_errors_dropped_{0};
   LatencyHistogram read_latency_;
   LatencyHistogram write_latency_;
 };

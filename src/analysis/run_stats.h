@@ -13,6 +13,7 @@
 #include "compression/cost_model.h"
 #include "fabric/bus.h"
 #include "fault/fault_injector.h"
+#include "fault/health.h"
 #include "memory/cache.h"
 #include "obs/latency_histogram.h"
 
@@ -110,8 +111,14 @@ struct RunResult {
   /// Requests that exhausted their retry budget (bounded sample; the full
   /// count is link.hard_failures).
   std::vector<LinkError> link_errors;
+  /// LinkError details discarded past the Collector's kMaxLinkErrors cap
+  /// (the sample above is truncated, never silently).
+  std::uint64_t link_errors_dropped{0};
   /// Faults the injector actually applied on the fabric.
   FaultStats faults;
+  /// Health-monitor transition counters (zero unless fail-stop episodes
+  /// were configured).
+  HealthStats health;
 
   /// Collective counters (populated only by run_collective).
   CollectiveStats collective;

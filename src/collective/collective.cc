@@ -53,23 +53,33 @@ struct Hop {
   bool reduce;
 };
 
-/// The n-1 hops that walk a chunk around the ring starting at rank `start`.
-std::vector<Hop> ring_chain(std::uint32_t ranks, std::uint32_t start, bool reduce) {
+/// The m-1 hops that walk a chunk around the ring of `members` (rank ids,
+/// ascending) starting at member slot `start`.
+std::vector<Hop> ring_chain(const std::vector<std::uint32_t>& members, std::uint32_t start,
+                            bool reduce) {
+  const auto m = static_cast<std::uint32_t>(members.size());
   std::vector<Hop> hops;
-  hops.reserve(ranks - 1);
-  for (std::uint32_t s = 0; s + 1 < ranks; ++s) {
-    hops.push_back(Hop{(start + s) % ranks, (start + s + 1) % ranks, reduce});
+  hops.reserve(m - 1);
+  for (std::uint32_t s = 0; s + 1 < m; ++s) {
+    hops.push_back(Hop{members[(start + s) % m], members[(start + s + 1) % m], reduce});
   }
   return hops;
 }
 
-/// Shared run-wide bookkeeping for all chunk chains.
+/// Shared bookkeeping for all chunk chains of one attempt.
 struct RunState {
   MultiGpuSystem* sys;
   RankSpace* space;
   CollectiveConfig cfg;
   CollectiveStats* stats;
   Tick last_done{0};
+  /// Null unless the system runs with fault episodes; with it null every
+  /// branch below is dead and the schedule matches the pre-fail-stop one.
+  HealthMonitor* health{nullptr};
+  /// First fault aborts the whole attempt: no chunk issues further pulls,
+  /// in-flight ones drain ignored, and run_collective decides what's next.
+  bool aborted{false};
+  CollectiveError error{};
 };
 
 /// Executes one chunk's hop list sequentially; hops stream their lines
@@ -97,7 +107,16 @@ class ChunkTask {
 
   /// Keeps up to cfg.window line pulls of the current hop in flight.
   void pump() {
+    if (rs_->aborted) return;  // attempt is doomed; stop issuing work
     const Hop& hop = hops_[hop_idx_];
+    // Fail fast instead of pulling from (or into) a rank whose GPU the
+    // health monitor has declared DOWN — those pulls could only time out.
+    if (rs_->health != nullptr &&
+        (rs_->health->endpoint_down(rs_->sys->gpu_endpoint(hop.src)) ||
+         rs_->health->endpoint_down(rs_->sys->gpu_endpoint(hop.dst)))) {
+      abort_attempt(CollectiveErrorKind::kPeerDown, hop);
+      return;
+    }
     while (inflight_ < rs_->cfg.window && next_line_ < num_lines_) {
       const std::size_t line = first_line_ + next_line_;
       ++next_line_;
@@ -106,14 +125,30 @@ class ChunkTask {
       const Addr src_addr = rs_->space->line_addr(hop.src, line);
       const Addr dst_addr = rs_->space->line_addr(hop.dst, line);
       rs_->sys->gpu(hop.dst).rdma().remote_read(
-          src_addr, [this, src_addr, dst_addr] { on_line(src_addr, dst_addr); });
+          src_addr, [this, src_addr, dst_addr](bool ok) { on_line(ok, src_addr, dst_addr); });
     }
+  }
+
+  /// Records the attempt's first fault; later faults keep the original.
+  void abort_attempt(CollectiveErrorKind kind, const Hop& hop) {
+    if (rs_->aborted) return;
+    rs_->aborted = true;
+    rs_->error = CollectiveError{kind, hop.dst, hop.src, hop_idx_, rs_->sys->engine().now()};
   }
 
   /// A pulled line landed at the destination: apply it to the local copy
   /// (functionally) and book the local-DRAM write (timing).
-  void on_line(Addr src_addr, Addr dst_addr) {
+  void on_line(bool ok, Addr src_addr, Addr dst_addr) {
     const Hop& hop = hops_[hop_idx_];
+    if (rs_->aborted) {
+      --inflight_;  // draining a doomed attempt; result discarded
+      return;
+    }
+    if (!ok) {
+      --inflight_;  // the pull exhausted its retry budget: data is stale
+      abort_attempt(CollectiveErrorKind::kPullFailed, hop);
+      return;
+    }
     GlobalMemory& mem = rs_->sys->memory();
     const Line src = mem.read_line(src_addr);
     if (hop.reduce) {
@@ -151,18 +186,21 @@ class ChunkTask {
   std::uint32_t inflight_{0};
 };
 
-/// Fills the input buffers. Which ranks hold defined input depends on the
-/// collective: all-reduce and reduce-scatter start with every rank's full
-/// buffer populated; all-gather gives each rank only its own chunk;
-/// broadcast populates the root alone.
+/// Fills the input buffers of the participating `members` (slot c <-> rank
+/// members[c]). Which slots hold defined input depends on the collective:
+/// all-reduce and reduce-scatter start with every member's full buffer
+/// populated; all-gather gives each member only its slot's chunk; broadcast
+/// populates the root alone. Re-running this before a retry restores the
+/// exact reference inputs, so a clean retry's digest is bit-exact.
 void fill_inputs(MultiGpuSystem& sys, RankSpace& space, const CollectiveConfig& cfg,
-                 std::size_t chunk_lines) {
-  const std::uint32_t n = space.ranks();
-  for (std::uint32_t r = 0; r < n; ++r) {
+                 const std::vector<std::uint32_t>& members, std::size_t chunk_lines) {
+  const auto m = static_cast<std::uint32_t>(members.size());
+  for (std::uint32_t c = 0; c < m; ++c) {
+    const std::uint32_t r = members[c];
     std::size_t lo = 0;
     std::size_t hi = space.lines_per_rank();
     if (cfg.kind == CollectiveKind::kAllGather) {
-      lo = std::min<std::size_t>(static_cast<std::size_t>(r) * chunk_lines, hi);
+      lo = std::min<std::size_t>(static_cast<std::size_t>(c) * chunk_lines, hi);
       hi = std::min(lo + chunk_lines, hi);
     } else if (cfg.kind == CollectiveKind::kBroadcast && r != cfg.root) {
       continue;
@@ -178,20 +216,22 @@ void fill_inputs(MultiGpuSystem& sys, RankSpace& space, const CollectiveConfig& 
   }
 }
 
-/// Host-side reference for the u32 element `elem` of chunk `c` after the
-/// collective completes (identical at every rank that defines it).
-std::uint32_t expected_value(const CollectiveConfig& cfg, std::uint32_t ranks, std::uint32_t c,
+/// Host-side reference for the u32 element `elem` of chunk slot `c` after
+/// the collective completes over `members` (identical at every member that
+/// defines it).
+std::uint32_t expected_value(const CollectiveConfig& cfg,
+                             const std::vector<std::uint32_t>& members, std::uint32_t c,
                              std::uint64_t elem) noexcept {
   switch (cfg.kind) {
     case CollectiveKind::kAllGather:
-      return fill_value(cfg.fill, cfg.seed, c, elem);
+      return fill_value(cfg.fill, cfg.seed, members[c], elem);
     case CollectiveKind::kBroadcast:
       return fill_value(cfg.fill, cfg.seed, cfg.root, elem);
     case CollectiveKind::kAllReduce:
     case CollectiveKind::kReduceScatter: {
-      std::uint32_t v = fill_value(cfg.fill, cfg.seed, 0, elem);
-      for (std::uint32_t r = 1; r < ranks; ++r) {
-        v = combine(cfg.op, v, fill_value(cfg.fill, cfg.seed, r, elem));
+      std::uint32_t v = fill_value(cfg.fill, cfg.seed, members[0], elem);
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        v = combine(cfg.op, v, fill_value(cfg.fill, cfg.seed, members[i], elem));
       }
       return v;
     }
@@ -201,17 +241,19 @@ std::uint32_t expected_value(const CollectiveConfig& cfg, std::uint32_t ranks, s
 
 /// Compares every defined output region against the reference and folds
 /// the defined words into the data digest. Reduce-scatter defines only
-/// chunk r at rank r; the other collectives define every rank's full
-/// buffer.
+/// chunk slot c at member c; the other collectives define every member's
+/// full buffer. Non-members (fail-stopped ranks) hold no defined output.
 bool verify_outputs(MultiGpuSystem& sys, RankSpace& space, const CollectiveConfig& cfg,
-                    std::size_t chunk_lines, FingerprintHasher& digest) {
-  const std::uint32_t n = space.ranks();
+                    const std::vector<std::uint32_t>& members, std::size_t chunk_lines,
+                    FingerprintHasher& digest) {
+  const auto m = static_cast<std::uint32_t>(members.size());
   bool ok = true;
-  for (std::uint32_t r = 0; r < n; ++r) {
+  for (std::uint32_t c = 0; c < m; ++c) {
+    const std::uint32_t r = members[c];
     std::size_t lo = 0;
     std::size_t hi = space.lines_per_rank();
     if (cfg.kind == CollectiveKind::kReduceScatter) {
-      lo = std::min<std::size_t>(static_cast<std::size_t>(r) * chunk_lines, hi);
+      lo = std::min<std::size_t>(static_cast<std::size_t>(c) * chunk_lines, hi);
       hi = std::min(lo + chunk_lines, hi);
     }
     for (std::size_t l = lo; l < hi; ++l) {
@@ -220,11 +262,24 @@ bool verify_outputs(MultiGpuSystem& sys, RankSpace& space, const CollectiveConfi
       for (std::size_t w = 0; w < kWordsPerLine; ++w) {
         const std::uint32_t got = load_le<std::uint32_t>(line, w * sizeof(std::uint32_t));
         digest.add_u64(got);
-        ok = ok && got == expected_value(cfg, n, chunk, l * kWordsPerLine + w);
+        ok = ok && got == expected_value(cfg, members, chunk, l * kWordsPerLine + w);
       }
     }
   }
   return ok;
+}
+
+/// Members (ascending rank ids) whose GPUs the health monitor still
+/// believes alive.
+std::vector<std::uint32_t> alive_members(const MultiGpuSystem& sys,
+                                         const std::vector<std::uint32_t>& members) {
+  const HealthMonitor* health = sys.health();
+  std::vector<std::uint32_t> alive;
+  alive.reserve(members.size());
+  for (const std::uint32_t r : members) {
+    if (!health->endpoint_down(sys.gpu_endpoint(r))) alive.push_back(r);
+  }
+  return alive;
 }
 
 }  // namespace
@@ -301,13 +356,12 @@ CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cf
   const std::uint32_t n = sys.config().num_gpus;
   MGCOMP_CHECK(cfg.lines_per_rank > 0);
   MGCOMP_CHECK(cfg.window > 0);
+  MGCOMP_CHECK_MSG(cfg.max_attempts > 0, "CollectiveConfig::max_attempts must be > 0");
   MGCOMP_CHECK_MSG(cfg.kind != CollectiveKind::kBroadcast || cfg.root < n,
                    "broadcast root out of range");
 
   RankSpace space(sys.memory(), sys.address_map(), cfg.lines_per_rank,
                   "coll:" + std::string(to_string(cfg.kind)));
-  const std::size_t chunk_lines = (cfg.lines_per_rank + n - 1) / n;
-  fill_inputs(sys, space, cfg, chunk_lines);
 
   CollectiveStats st;
   st.op = std::string(to_string(cfg.kind));
@@ -316,52 +370,121 @@ CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cf
   st.bytes_per_rank = cfg.lines_per_rank * kLineBytes;
   st.bus_factor = collective_bus_factor(cfg.kind, n);
 
-  RunState rs{&sys, &space, cfg, &st, sys.engine().now()};
-  const Tick start = sys.engine().now();
-
-  // One task per (chunk, phase chain). Owned here; callbacks borrow raw
-  // pointers that stay valid until engine().run() returns.
-  std::vector<std::unique_ptr<ChunkTask>> tasks;
-  for (std::uint32_t c = 0; c < n; ++c) {
-    const std::size_t first = std::min<std::size_t>(static_cast<std::size_t>(c) * chunk_lines,
-                                                    cfg.lines_per_rank);
-    const std::size_t count = std::min(chunk_lines, cfg.lines_per_rank - first);
-    switch (cfg.kind) {
-      case CollectiveKind::kReduceScatter:
-        // Start at (c+1)%n so the chain's final destination is rank c.
-        tasks.push_back(std::make_unique<ChunkTask>(
-            rs, ring_chain(n, (c + 1) % n, /*reduce=*/true), first, count));
-        break;
-      case CollectiveKind::kAllGather:
-        tasks.push_back(
-            std::make_unique<ChunkTask>(rs, ring_chain(n, c, /*reduce=*/false), first, count));
-        break;
-      case CollectiveKind::kAllReduce: {
-        // Reduce-scatter phase then all-gather phase, spliced into one hop
-        // list per chunk: the gather chain starts at rank c, exactly where
-        // the reduce chain deposited chunk c's full reduction.
-        std::vector<Hop> hops = ring_chain(n, (c + 1) % n, /*reduce=*/true);
-        const std::vector<Hop> gather = ring_chain(n, c, /*reduce=*/false);
-        hops.insert(hops.end(), gather.begin(), gather.end());
-        tasks.push_back(std::make_unique<ChunkTask>(rs, std::move(hops), first, count));
-        break;
-      }
-      case CollectiveKind::kBroadcast:
-        tasks.push_back(std::make_unique<ChunkTask>(
-            rs, ring_chain(n, cfg.root, /*reduce=*/false), first, count));
-        break;
-    }
-  }
-  for (auto& t : tasks) t->start();
-  sys.engine().run();
-
-  st.duration = rs.last_done > start ? rs.last_done - start : 0;
-  st.payload_bytes = st.line_transfers * kLineBytes;
+  std::vector<std::uint32_t> members(n);
+  for (std::uint32_t r = 0; r < n; ++r) members[r] = r;
 
   CollectiveOutcome out;
-  FingerprintHasher digest;
-  out.verified = verify_outputs(sys, space, cfg, chunk_lines, digest);
-  out.data_digest = digest.value();
+  const Tick start = sys.engine().now();
+  std::size_t chunk_lines = 0;
+  Tick last_done = start;
+  bool shrunk = false;
+  bool success = false;
+
+  // Attempt loop. Each iteration either succeeds, retries the same ring
+  // (bounded by max_attempts), shrinks the ring (members strictly
+  // decreases, bounded below by kMinGpus), or gives up — so it terminates.
+  while (true) {
+    ++out.attempts;
+    const auto m = static_cast<std::uint32_t>(members.size());
+    chunk_lines = (cfg.lines_per_rank + m - 1) / m;
+    fill_inputs(sys, space, cfg, members, chunk_lines);
+
+    RunState rs{&sys, &space, cfg, &st, sys.engine().now(), sys.health()};
+
+    // Broadcast's chain starts at the root's member slot (== cfg.root on a
+    // full ring; recomputed after a shrink).
+    std::uint32_t root_slot = 0;
+    if (cfg.kind == CollectiveKind::kBroadcast) {
+      const auto it = std::find(members.begin(), members.end(), cfg.root);
+      MGCOMP_CHECK(it != members.end());  // root death fails before retry
+      root_slot = static_cast<std::uint32_t>(it - members.begin());
+    }
+
+    // One task per (chunk, phase chain). Owned here; callbacks borrow raw
+    // pointers that stay valid until engine().run() returns.
+    std::vector<std::unique_ptr<ChunkTask>> tasks;
+    for (std::uint32_t c = 0; c < m; ++c) {
+      const std::size_t first = std::min<std::size_t>(
+          static_cast<std::size_t>(c) * chunk_lines, cfg.lines_per_rank);
+      const std::size_t count = std::min(chunk_lines, cfg.lines_per_rank - first);
+      switch (cfg.kind) {
+        case CollectiveKind::kReduceScatter:
+          // Start at slot c+1 so the chain's final destination is slot c.
+          tasks.push_back(std::make_unique<ChunkTask>(
+              rs, ring_chain(members, (c + 1) % m, /*reduce=*/true), first, count));
+          break;
+        case CollectiveKind::kAllGather:
+          tasks.push_back(std::make_unique<ChunkTask>(
+              rs, ring_chain(members, c, /*reduce=*/false), first, count));
+          break;
+        case CollectiveKind::kAllReduce: {
+          // Reduce-scatter phase then all-gather phase, spliced into one hop
+          // list per chunk: the gather chain starts at slot c, exactly where
+          // the reduce chain deposited chunk c's full reduction.
+          std::vector<Hop> hops = ring_chain(members, (c + 1) % m, /*reduce=*/true);
+          const std::vector<Hop> gather = ring_chain(members, c, /*reduce=*/false);
+          hops.insert(hops.end(), gather.begin(), gather.end());
+          tasks.push_back(std::make_unique<ChunkTask>(rs, std::move(hops), first, count));
+          break;
+        }
+        case CollectiveKind::kBroadcast:
+          tasks.push_back(std::make_unique<ChunkTask>(
+              rs, ring_chain(members, root_slot, /*reduce=*/false), first, count));
+          break;
+      }
+    }
+    for (auto& t : tasks) t->start();
+    sys.engine().run();
+    last_done = rs.last_done;
+
+    if (!rs.aborted) {
+      success = true;
+      break;
+    }
+    out.error = rs.error;
+
+    // The drain above ran every queued event — flap-end episodes, probe
+    // chains, heartbeat misses — so believed health is now current.
+    const std::vector<std::uint32_t> alive = alive_members(sys, members);
+    if (alive.size() < members.size()) {
+      // A GPU fail-stopped; a full-ring retry can never complete.
+      if (cfg.kind == CollectiveKind::kBroadcast &&
+          std::find(alive.begin(), alive.end(), cfg.root) == alive.end()) {
+        break;  // the only defined input died with its GPU
+      }
+      if (!cfg.allow_shrink) break;  // keep the abort error as the verdict
+      if (alive.size() < kMinGpus) {
+        out.error.kind = CollectiveErrorKind::kShrinkRejected;
+        break;
+      }
+      members = alive;
+      shrunk = true;
+      continue;
+    }
+    // Links only (flap or down window): time already advanced past the
+    // episode; if the link RECOVERED, a full-ring retry from refilled
+    // inputs reproduces the reference digest bit-exactly.
+    if (out.attempts >= cfg.max_attempts) {
+      out.error.kind = CollectiveErrorKind::kRetriesExhausted;
+      break;
+    }
+  }
+
+  st.duration = last_done > start ? last_done - start : 0;
+  st.payload_bytes = st.line_transfers * kLineBytes;
+  st.chunks = static_cast<std::uint32_t>(members.size());
+
+  out.surviving_ranks = std::move(members);
+  if (success) {
+    FingerprintHasher digest;
+    out.verified = verify_outputs(sys, space, cfg, out.surviving_ranks, chunk_lines, digest);
+    out.data_digest = digest.value();
+    out.partial = shrunk;
+    out.status = (shrunk || out.attempts > 1) ? CollectiveStatus::kDegraded
+                                              : CollectiveStatus::kCompleted;
+  } else {
+    out.status = CollectiveStatus::kFailed;
+  }
   out.run = sys.collect_result("coll:" + std::string(to_string(cfg.kind)));
   out.run.collective = std::move(st);
   return out;

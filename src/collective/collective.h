@@ -14,11 +14,22 @@
 // adaptive policy must size up. Reductions use wrapping u32 sum / u32 max,
 // which are associative and commutative, so results are bit-exact no
 // matter how chunks interleave.
+//
+// Fail-stop recovery: when the system runs with fault episodes, an attempt
+// whose pull hard-fails or whose peer is believed DOWN aborts with a
+// structured CollectiveError instead of limping along with stale data.
+// run_collective then retries — after a flap heals, the full ring repeats
+// from refilled inputs and produces the bit-exact reference digest — or,
+// when a GPU is fail-stopped and the caller opted in via `allow_shrink`,
+// completes a shrunk ring over the survivors with the result flagged
+// partial. Every outcome is classified completed/degraded/failed.
 #pragma once
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
+#include "analysis/collective_error.h"
 #include "analysis/run_stats.h"
 #include "core/system.h"
 
@@ -47,6 +58,12 @@ struct CollectiveConfig {
   std::uint32_t window{16};
   /// Seeds the kRandom fill (and salts the others' element values).
   std::uint64_t seed{0x6d67636f6d70ULL};
+  /// Permits completing on a shrunk ring of survivors (>= kMinGpus) when a
+  /// rank's GPU is declared DOWN; the result is then flagged `partial`.
+  bool allow_shrink{false};
+  /// Total attempt budget (first try + retries). Retries re-fill the input
+  /// buffers, so a clean retry reproduces the reference digest bit-exactly.
+  std::uint32_t max_attempts{3};
 };
 
 struct CollectiveOutcome {
@@ -56,6 +73,16 @@ struct CollectiveOutcome {
   /// FNV-1a over the defined output words — the cross-backend identity
   /// anchor (compression on/off, scalar/SIMD must all agree).
   std::uint64_t data_digest{0};
+  /// kCompleted: first attempt, full ring. kDegraded: verified, but only
+  /// after retry and/or ring shrink. kFailed: no verified result.
+  CollectiveStatus status{CollectiveStatus::kCompleted};
+  /// First fault of the last aborted attempt (kind kNone when clean).
+  CollectiveError error{};
+  std::uint32_t attempts{0};
+  /// True when the result covers a shrunk ring, not all ranks.
+  bool partial{false};
+  /// Ranks participating in the final attempt (all ranks unless shrunk).
+  std::vector<std::uint32_t> surviving_ranks{};
 };
 
 /// Runs one collective on `sys` (which must be freshly constructed: the

@@ -55,7 +55,7 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
         [this] { return FabricPressure{bus_->stats().busy_cycles, engine_->now()}; });
     gpus_[g]->configure(
         gpu_endpoints_[g], [this](GpuId id) { return gpu_endpoints_.at(id.value); },
-        std::move(policy), config_.retry, config_.fault.any());
+        std::move(policy), config_.retry, config_.reliability_enabled());
     if (tracer_ != nullptr) {
       gpus_[g]->rdma().set_tracer(tracer_.get(), endpoint_track(gpu_endpoints_[g].value));
     }
@@ -65,6 +65,25 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
       const EndpointId ep{static_cast<std::uint32_t>(e)};
       tracer_->set_track_name(endpoint_track(ep.value), bus_->endpoint_name(ep));
     }
+  }
+
+  // Fail-stop fault domains. Constructed only when episodes exist so that
+  // episode-free runs schedule a bit-identical event sequence (the golden
+  // fingerprints depend on it).
+  if (!config_.episodes.empty()) {
+    episodes_ = std::make_unique<EpisodeScheduler>(
+        *engine_, config_.episodes, config_.num_gpus,
+        static_cast<std::uint32_t>(bus_->endpoint_count()),
+        [this](std::uint32_t g) { return gpu_endpoints_.at(g); });
+    health_ = std::make_unique<HealthMonitor>(
+        *engine_, static_cast<std::uint32_t>(bus_->endpoint_count()), config_.health,
+        episodes_.get());
+    episodes_->bind(health_.get());
+    bus_->set_health_monitor(health_.get());
+    health_->set_on_change([this] { bus_->on_health_change(); });
+    if (tracer_ != nullptr) health_->set_tracer(tracer_.get());
+    for (auto& gpu : gpus_) gpu->rdma().set_health_monitor(health_.get());
+    episodes_->schedule_all();
   }
 }
 
@@ -95,7 +114,7 @@ void MultiGpuSystem::run_kernel(const KernelTrace& trace) {
   // without the reliability layer. The kernel-completion callback cancels
   // the token so a pending watchdog event never extends measured time.
   Engine::CancelToken wd_token;
-  if (fault_ != nullptr && config_.watchdog_interval > 0) {
+  if (config_.reliability_enabled() && config_.watchdog_interval > 0) {
     wd_token = std::make_shared<bool>(true);
     schedule_watchdog(wd_token, bus_->stats().total_messages(), &remaining);
   }
@@ -151,6 +170,10 @@ std::string MultiGpuSystem::stall_dump(const char* why) const {
          ": in_buffer_bytes=" + std::to_string(bus_->in_buffer_bytes(ep)) +
          " out_queue=" + std::to_string(bus_->out_queue_depth(ep));
   }
+  if (health_ != nullptr) {
+    s += "\n";
+    s += health_->dump();
+  }
   return s;
 }
 
@@ -181,7 +204,9 @@ RunResult MultiGpuSystem::collect_result(std::string_view name) {
   r.trace = collector_->trace();
   r.link = collector_->link();
   r.link_errors = collector_->link_errors();
+  r.link_errors_dropped = collector_->link_errors_dropped();
   if (fault_ != nullptr) r.faults = fault_->stats();
+  if (health_ != nullptr) r.health = health_->stats();
   r.remote_read_latency = collector_->read_latency();
   r.remote_write_latency = collector_->write_latency();
   if (tracer_ != nullptr) {

@@ -48,6 +48,13 @@ class MultiGpuSystem {
   [[nodiscard]] const AddressMap& address_map() const noexcept { return *map_; }
   [[nodiscard]] Gpu& gpu(std::uint32_t g) { return *gpus_.at(g); }
 
+  /// Fabric endpoint of GPU `g` (health queries are endpoint-keyed).
+  [[nodiscard]] EndpointId gpu_endpoint(std::uint32_t g) const { return gpu_endpoints_.at(g); }
+
+  /// Health monitor; null unless fail-stop episodes are configured.
+  [[nodiscard]] HealthMonitor* health() noexcept { return health_.get(); }
+  [[nodiscard]] const HealthMonitor* health() const noexcept { return health_.get(); }
+
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::uint32_t total_cus() const noexcept {
     return config_.num_gpus * config_.gpu.num_cus;
@@ -75,6 +82,9 @@ class MultiGpuSystem {
   std::unique_ptr<Tracer> tracer_;  ///< null unless config_.trace_events > 0
   std::unique_ptr<Fabric> bus_;
   std::unique_ptr<FaultInjector> fault_;
+  /// Both null unless config_.episodes is non-empty (zero-cost when off).
+  std::unique_ptr<EpisodeScheduler> episodes_;
+  std::unique_ptr<HealthMonitor> health_;
   std::unique_ptr<CpuHost> cpu_;
   std::vector<std::unique_ptr<Gpu>> gpus_;
   std::vector<EndpointId> gpu_endpoints_;

@@ -10,7 +10,9 @@
 #include "compression/cost_model.h"
 #include "fabric/bus.h"
 #include "fabric/switch_fabric.h"
+#include "fault/episodes.h"
 #include "fault/fault_injector.h"
+#include "fault/health.h"
 #include "gpu/gpu.h"
 
 namespace mgcomp {
@@ -54,12 +56,28 @@ struct SystemConfig {
   /// the reliability layer: no injector is attached to the fabric and no
   /// retransmission timers are armed.
   FaultParams fault{};
-  /// Retransmission tuning; consulted only when fault.any().
+  /// Retransmission tuning; consulted when fault.any() or episodes exist.
   RetryParams retry{};
   /// Watchdog period in cycles: with faults enabled, a run that moves no
   /// fabric message for this long while requests are outstanding aborts
   /// with a diagnostic dump instead of spinning. 0 disables.
   Tick watchdog_interval{1u << 22};
+
+  /// Scheduled fail-stop episodes (link-down windows, flaps, GPU
+  /// fail-stop), typically from parse_fault_episodes(). Empty (the
+  /// default) constructs no EpisodeScheduler and no HealthMonitor — the
+  /// run's event schedule is bit-identical to a build without the
+  /// fail-stop subsystem. Non-empty also arms the retransmission
+  /// machinery, since timeouts are how dead wires are detected.
+  std::vector<FaultEpisode> episodes{};
+  /// Health state-machine tuning; consulted only when episodes is
+  /// non-empty.
+  HealthParams health{};
+
+  /// True when any fault machinery (stochastic or fail-stop) is active.
+  [[nodiscard]] bool reliability_enabled() const noexcept {
+    return fault.any() || !episodes.empty();
+  }
 };
 
 }  // namespace mgcomp

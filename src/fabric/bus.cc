@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "fault/fault_injector.h"
+#include "fault/health.h"
 #include "obs/tracer.h"
 
 namespace mgcomp {
@@ -33,6 +34,21 @@ void BusFabric::consume(EndpointId id, std::size_t bytes) {
   kick();
 }
 
+void BusFabric::purge_undeliverable(std::size_t idx) {
+  Endpoint& src = endpoints_[idx];
+  const bool src_dead = health_->endpoint_dead(EndpointId{static_cast<std::uint32_t>(idx)});
+  while (!src.out.empty() &&
+         (src_dead || health_->endpoint_down(src.out.front().dst))) {
+    src.out_bytes -= src.out.front().wire_bytes();
+    src.out.pop_front();
+    ++stats_.discarded_to_dead;
+    if (tracer_ != nullptr) {
+      tracer_->instant(endpoint_track(static_cast<std::uint32_t>(idx)), "discard_to_dead",
+                       "fault");
+    }
+  }
+}
+
 void BusFabric::kick() {
   if (busy_) return;
 
@@ -47,12 +63,17 @@ void BusFabric::kick() {
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t idx = (rr_next_ + i) % n;
     Endpoint& src = endpoints_[idx];
+    if (health_ != nullptr) purge_undeliverable(idx);
     if (src.out.empty()) continue;
     const Message& head = src.out.front();
     if (params_.response_priority && pass == 0 &&
         (head.type == MsgType::kReadReq || head.type == MsgType::kWriteReq)) {
       continue;
     }
+    // Stall-with-deadline: a head targeting a believed-DOWN link keeps its
+    // slot until the link recovers (on_health_change re-kicks) or the
+    // requester's retry budget / the watchdog gives up on it.
+    if (health_ != nullptr && health_->link_down(head.src, head.dst)) continue;
     Endpoint& dst = endpoints_[head.dst.value];
     if (dst.in_bytes + head.wire_bytes() > params_.input_buffer_bytes) continue;
 
@@ -94,6 +115,21 @@ void BusFabric::complete() {
     tracer_->counter(
         kFabricTrack, "utilization",
         stats_.utilization(static_cast<std::size_t>(end / BusStats::kUtilizationBucketCycles)));
+  }
+
+  // Fail-stop gate: a transmission that finished while its wire was inside
+  // a down window (or its destination GPU is physically dead) is lost. The
+  // wire time was spent; the buffer reservation is released like a normal
+  // injector drop. Detection is left to the requester's timeout machinery.
+  if (health_ != nullptr &&
+      (health_->wire_dead(msg.src, msg.dst) || health_->endpoint_dead(msg.dst))) {
+    ++stats_.down_link_drops;
+    stats_.down_link_dropped_bytes += msg.wire_bytes();
+    if (tracer_ != nullptr) {
+      tracer_->instant(kFabricTrack, "episode_drop", "fault", msg.wire_bytes());
+    }
+    consume(msg.dst, msg.wire_bytes());  // also re-kicks the bus
+    return;
   }
 
   // Link faults are applied at transmission-complete: the wire time was

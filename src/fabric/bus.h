@@ -53,6 +53,19 @@ struct BusStats {
   Tick busy_cycles{0};
   std::size_t max_out_queue_depth{0};
 
+  // Fail-stop episode accounting (all zero unless episodes are configured).
+  /// Completed transmissions lost because the wire or destination endpoint
+  /// was physically dead at delivery time.
+  std::uint64_t down_link_drops{0};
+  std::uint64_t down_link_dropped_bytes{0};
+  /// Queued messages discarded at arbitration because the destination GPU
+  /// (or the sender itself) was declared DOWN by the health monitor.
+  std::uint64_t discarded_to_dead{0};
+  /// Switch-fabric route-around: messages detoured past a DOWN link, and
+  /// the extra serialization cycles the detour cost.
+  std::uint64_t rerouted_messages{0};
+  std::uint64_t reroute_extra_cycles{0};
+
   /// Books one finished transmission (wire time spent; fault outcome not
   /// yet known). Both fabrics call this at the top of their complete().
   void record_transmit(const Message& msg, bool inter_gpu) {
@@ -177,6 +190,10 @@ class BusFabric final : public Fabric {
   void set_fault_injector(FaultInjector* injector) noexcept override {
     injector_ = injector;
   }
+  void set_health_monitor(HealthMonitor* health) noexcept override { health_ = health; }
+  /// A link recovered or a peer was declared dead: stalled heads may now be
+  /// grantable (or purgeable), so re-run arbitration.
+  void on_health_change() override { kick(); }
   void set_tracer(Tracer* tracer) noexcept override { tracer_ = tracer; }
   [[nodiscard]] std::size_t endpoint_count() const noexcept override {
     return endpoints_.size();
@@ -204,11 +221,16 @@ class BusFabric final : public Fabric {
   /// Transfer-complete handler for the in-flight message.
   void complete();
 
+  /// Pops and counts head-of-queue messages that can never be delivered
+  /// (destination GPU declared DOWN, or the sender itself is dead).
+  void purge_undeliverable(std::size_t idx);
+
   Engine* engine_;
   Params params_;
   std::vector<Endpoint> endpoints_;
   BusStats stats_;
   FaultInjector* injector_{nullptr};
+  HealthMonitor* health_{nullptr};
   Tracer* tracer_{nullptr};
   bool busy_{false};
   Message in_flight_{};

@@ -14,8 +14,9 @@
 
 namespace mgcomp {
 
-struct BusStats;     // defined in fabric/bus.h; shared by all fabrics
+struct BusStats;      // defined in fabric/bus.h; shared by all fabrics
 class FaultInjector;  // defined in fault/fault_injector.h
+class HealthMonitor;  // defined in fault/health.h
 class Tracer;         // defined in obs/tracer.h
 
 class Fabric {
@@ -47,6 +48,16 @@ class Fabric {
   /// Installs a link-fault injector consulted once per completed
   /// transmission; null (the default) models a lossless fabric.
   virtual void set_fault_injector(FaultInjector* injector) noexcept = 0;
+
+  /// Installs the fail-stop health view: physically dead wires/endpoints
+  /// (oracle) gate delivery, and believed-DOWN state drives arbitration
+  /// (bus: stall-with-deadline; switch: route-around). Null (the default)
+  /// models a fabric with no fail-stop domains.
+  virtual void set_health_monitor(HealthMonitor* health) noexcept { (void)health; }
+
+  /// Health transition hook: re-arbitrates traffic stalled behind a link
+  /// that just changed state (recovered, or a peer declared dead).
+  virtual void on_health_change() {}
 
   // Introspection for watchdog diagnostics: how full each endpoint's
   // buffers are when a run stops making progress.

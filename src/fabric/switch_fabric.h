@@ -48,6 +48,10 @@ class SwitchFabric final : public Fabric {
   void set_fault_injector(FaultInjector* injector) noexcept override {
     injector_ = injector;
   }
+  void set_health_monitor(HealthMonitor* health) noexcept override { health_ = health; }
+  /// Re-pump every source: a recovered link unblocks stalled heads, a dead
+  /// peer lets them be purged.
+  void on_health_change() override;
   void set_tracer(Tracer* tracer) noexcept override { tracer_ = tracer; }
   [[nodiscard]] std::size_t endpoint_count() const noexcept override {
     return endpoints_.size();
@@ -71,15 +75,29 @@ class SwitchFabric final : public Fabric {
     bool head_blocked{false};  ///< head-of-line waiting for dst buffer space
   };
 
+  /// Sentinel for `via`: the message took the direct src->dst wire.
+  static constexpr std::uint32_t kDirect = 0xffffffffu;
+
   /// Tries to launch transfers from `src`'s queue head.
   void pump(std::size_t src);
-  void complete(Message msg);
+  /// `via` names the intermediate endpoint of a route-around detour (or
+  /// kDirect); the delivery gate checks the wires actually traversed.
+  void complete(Message msg, std::uint32_t via);
+
+  /// Picks a detour endpoint for a believed-DOWN src->dst link: the lowest
+  /// endpoint whose links to both sides are believed usable. kDirect if no
+  /// alternate path exists.
+  [[nodiscard]] std::uint32_t pick_via(std::uint32_t src, std::uint32_t dst) const;
+
+  /// Pops and counts head-of-queue messages that can never be delivered.
+  void purge_undeliverable(std::size_t idx);
 
   Engine* engine_;
   Params params_;
   std::vector<Endpoint> endpoints_;
   BusStats stats_;
   FaultInjector* injector_{nullptr};
+  HealthMonitor* health_{nullptr};
   Tracer* tracer_{nullptr};
 };
 

@@ -1,0 +1,155 @@
+#include "fault/episodes.h"
+
+#include <charconv>
+
+#include "common/assert.h"
+#include "fault/health.h"
+
+namespace mgcomp {
+namespace {
+
+/// Strips ASCII whitespace from both ends of `s`.
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Consumes a decimal number from the front of `s` into `out`.
+template <typename T>
+bool eat_number(std::string_view& s, T* out) noexcept {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  if (ec != std::errc{} || ptr == s.data()) return false;
+  s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+  return true;
+}
+
+/// Consumes the literal character `c` from the front of `s`.
+bool eat(std::string_view& s, char c) noexcept {
+  if (s.empty() || s.front() != c) return false;
+  s.remove_prefix(1);
+  return true;
+}
+
+bool clause_error(std::string* error, std::string_view clause, const char* why) {
+  if (error != nullptr) {
+    *error = "bad episode clause '";
+    error->append(clause);
+    error->append("': ");
+    error->append(why);
+  }
+  return false;
+}
+
+bool parse_clause(std::string_view clause, std::vector<FaultEpisode>* out, std::string* error) {
+  std::string_view s = clause;
+  FaultEpisode e;
+  if (s.starts_with("down:")) {
+    e.kind = EpisodeKind::kLinkDown;
+    s.remove_prefix(5);
+  } else if (s.starts_with("flap:")) {
+    e.kind = EpisodeKind::kLinkFlap;
+    s.remove_prefix(5);
+  } else if (s.starts_with("gpufail:")) {
+    e.kind = EpisodeKind::kGpuFailStop;
+    s.remove_prefix(8);
+  } else {
+    return clause_error(error, clause, "expected down:/flap:/gpufail:");
+  }
+
+  if (e.kind == EpisodeKind::kGpuFailStop) {
+    if (!eat_number(s, &e.a)) return clause_error(error, clause, "expected GPU index");
+    if (!eat(s, '@') || !eat_number(s, &e.start)) {
+      return clause_error(error, clause, "expected @TICK");
+    }
+  } else {
+    if (!eat_number(s, &e.a) || !eat(s, '-') || !eat_number(s, &e.b)) {
+      return clause_error(error, clause, "expected A-B GPU pair");
+    }
+    if (e.a == e.b) return clause_error(error, clause, "link endpoints must differ");
+    if (!eat(s, '@') || !eat_number(s, &e.start)) {
+      return clause_error(error, clause, "expected @START");
+    }
+    if (!eat(s, '+') || !eat_number(s, &e.duration)) {
+      return clause_error(error, clause, "expected +DURATION");
+    }
+    if (e.duration == 0) return clause_error(error, clause, "duration must be nonzero");
+    if (e.kind == EpisodeKind::kLinkFlap) {
+      if (!eat(s, 'x') || !eat_number(s, &e.count)) {
+        return clause_error(error, clause, "expected xCOUNT");
+      }
+      if (e.count == 0) return clause_error(error, clause, "flap count must be nonzero");
+      if (!eat(s, '/') || !eat_number(s, &e.period)) {
+        return clause_error(error, clause, "expected /PERIOD");
+      }
+      if (e.period <= e.duration) {
+        return clause_error(error, clause, "flap period must exceed duration");
+      }
+    }
+  }
+  if (!s.empty()) return clause_error(error, clause, "trailing garbage");
+  out->push_back(e);
+  return true;
+}
+
+}  // namespace
+
+bool parse_fault_episodes(std::string_view spec, std::vector<FaultEpisode>* out,
+                          std::string* error) {
+  std::vector<FaultEpisode> parsed;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i < spec.size() && spec[i] != ';' && spec[i] != ',') continue;
+    const std::string_view clause = trim(spec.substr(begin, i - begin));
+    begin = i + 1;
+    if (clause.empty()) continue;
+    if (!parse_clause(clause, &parsed, error)) return false;
+  }
+  if (parsed.empty()) {
+    if (error != nullptr) *error = "empty --fault-episodes spec";
+    return false;
+  }
+  out->insert(out->end(), parsed.begin(), parsed.end());
+  return true;
+}
+
+EpisodeScheduler::EpisodeScheduler(Engine& engine, std::vector<FaultEpisode> episodes,
+                                   std::uint32_t num_gpus, std::uint32_t num_endpoints,
+                                   std::function<EndpointId(std::uint32_t)> gpu_endpoint)
+    : engine_(&engine),
+      episodes_(std::move(episodes)),
+      num_endpoints_(num_endpoints),
+      gpu_endpoint_(std::move(gpu_endpoint)),
+      wire_down_(static_cast<std::size_t>(num_endpoints) * num_endpoints, 0),
+      dead_(num_endpoints, 0) {
+  for (const FaultEpisode& e : episodes_) {
+    MGCOMP_CHECK_MSG(e.a < num_gpus, "fault episode references GPU out of range");
+    if (e.kind != EpisodeKind::kGpuFailStop) {
+      MGCOMP_CHECK_MSG(e.b < num_gpus, "fault episode references GPU out of range");
+    }
+  }
+}
+
+void EpisodeScheduler::schedule_all() {
+  for (const FaultEpisode& e : episodes_) {
+    if (e.kind == EpisodeKind::kGpuFailStop) {
+      const EndpointId ep = gpu_endpoint_(e.a);
+      engine_->schedule_at(e.start, [this, ep] {
+        if (dead_[ep.value] != 0) return;  // double fail-stop is a no-op
+        dead_[ep.value] = 1;
+        if (health_ != nullptr) health_->on_gpu_failstop(ep);
+      });
+      continue;
+    }
+    const std::size_t idx = pair_index(gpu_endpoint_(e.a), gpu_endpoint_(e.b));
+    const std::uint32_t windows = e.kind == EpisodeKind::kLinkFlap ? e.count : 1;
+    const Tick period = e.kind == EpisodeKind::kLinkFlap ? e.period : 0;
+    for (std::uint32_t w = 0; w < windows; ++w) {
+      const Tick start = e.start + period * w;
+      engine_->schedule_at(start, [this, idx] { ++wire_down_[idx]; });
+      engine_->schedule_at(start + e.duration, [this, idx] { --wire_down_[idx]; });
+    }
+  }
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,117 @@
+// Scheduled fail-stop episodes: link-down windows, link flaps, and GPU
+// fail-stop at a given tick.
+//
+// PR 1's FaultInjector models *transient* faults (drop / duplicate / delay /
+// bit-flip) drawn per message from a seeded RNG. Episodes are the other half
+// of the fault model: *fail-stop* domains that take a whole wire or a whole
+// GPU out of service for a deterministic window of simulated time. They are
+// specified up front (`--fault-episodes`), expanded onto the event heap at
+// system construction, and are therefore exactly reproducible run to run.
+//
+// Ground truth vs. detection: the EpisodeScheduler knows which wires and
+// endpoints are physically dead at any tick, and the fabric consults it to
+// decide that an in-flight transfer is lost. Nothing else may peek — the
+// HealthMonitor (health.h) only *learns* about a dead wire through repeated
+// RDMA timeouts and missed heartbeats, the way a real transport does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace mgcomp {
+
+class HealthMonitor;
+
+enum class EpisodeKind : std::uint8_t { kLinkDown, kLinkFlap, kGpuFailStop };
+
+[[nodiscard]] constexpr std::string_view to_string(EpisodeKind k) noexcept {
+  switch (k) {
+    case EpisodeKind::kLinkDown: return "down";
+    case EpisodeKind::kLinkFlap: return "flap";
+    case EpisodeKind::kGpuFailStop: return "gpufail";
+  }
+  return "?";
+}
+
+/// One scheduled fail-stop event, parsed from a `--fault-episodes` clause.
+/// `a`/`b` are GPU indices as written in the spec; the scheduler maps them
+/// to fabric endpoints. A flap is `count` down-windows of `duration` ticks,
+/// one every `period` ticks starting at `start`.
+struct FaultEpisode {
+  EpisodeKind kind{EpisodeKind::kLinkDown};
+  std::uint32_t a{0};
+  std::uint32_t b{0};  ///< unused for kGpuFailStop
+  Tick start{0};
+  Tick duration{0};  ///< unused for kGpuFailStop (fail-stop is permanent)
+  std::uint32_t count{1};
+  Tick period{0};  ///< window spacing for kLinkFlap; 0 otherwise
+};
+
+/// Parses a `--fault-episodes` spec into episodes. Grammar (clauses joined
+/// by ';' or ','):
+///
+///   down:A-B@START+DUR          link A<->B dead for [START, START+DUR)
+///   flap:A-B@START+DURxCNT/PER  CNT such windows, one every PER ticks
+///   gpufail:G@TICK              GPU G fail-stop (permanent) at TICK
+///
+/// Returns false and sets *error on malformed input (unknown kind, missing
+/// separators, A == B, zero duration, flap period <= duration, trailing
+/// garbage). GPU indices are range-checked later, against the system size,
+/// by the EpisodeScheduler.
+[[nodiscard]] bool parse_fault_episodes(std::string_view spec, std::vector<FaultEpisode>* out,
+                                        std::string* error);
+
+/// Owns episode ground truth and replays it onto the engine's event heap.
+/// Wires are keyed by fabric endpoint pair; a nesting count per pair makes
+/// overlapping windows compose. Construction validates GPU indices against
+/// `num_gpus` and aborts (MGCOMP_CHECK) on out-of-range references.
+class EpisodeScheduler {
+ public:
+  EpisodeScheduler(Engine& engine, std::vector<FaultEpisode> episodes, std::uint32_t num_gpus,
+                   std::uint32_t num_endpoints,
+                   std::function<EndpointId(std::uint32_t)> gpu_endpoint);
+
+  /// The HealthMonitor is constructed after the scheduler; bind it so GPU
+  /// fail-stop can start the missed-heartbeat chain.
+  void bind(HealthMonitor* health) noexcept { health_ = health; }
+
+  /// Registers every episode start/end on the engine. Call exactly once,
+  /// before the first run. All events are at absolute ticks, so the
+  /// schedule is independent of what the workload does.
+  void schedule_all();
+
+  /// Physical wire state at the current tick (order-insensitive).
+  [[nodiscard]] bool wire_dead(EndpointId x, EndpointId y) const noexcept {
+    return wire_down_[pair_index(x, y)] != 0;
+  }
+
+  /// Physical endpoint state at the current tick.
+  [[nodiscard]] bool endpoint_dead(EndpointId e) const noexcept {
+    return dead_[e.value] != 0;
+  }
+
+  [[nodiscard]] std::size_t episode_count() const noexcept { return episodes_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t pair_index(EndpointId x, EndpointId y) const noexcept {
+    const std::uint32_t lo = x.value < y.value ? x.value : y.value;
+    const std::uint32_t hi = x.value < y.value ? y.value : x.value;
+    return static_cast<std::size_t>(lo) * num_endpoints_ + hi;
+  }
+
+  Engine* engine_;
+  std::vector<FaultEpisode> episodes_;
+  std::uint32_t num_endpoints_;
+  std::function<EndpointId(std::uint32_t)> gpu_endpoint_;
+  std::vector<std::uint32_t> wire_down_;  ///< nesting count per endpoint pair
+  std::vector<std::uint8_t> dead_;        ///< per endpoint
+  HealthMonitor* health_{nullptr};
+};
+
+}  // namespace mgcomp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "fault/health.h"
 #include "obs/tracer.h"
 
 namespace mgcomp {
@@ -34,7 +35,7 @@ void RdmaEngine::quarantine_id(std::uint16_t id) {
   }
 }
 
-void RdmaEngine::remote_read(Addr addr, std::function<void()> done) {
+void RdmaEngine::remote_read(Addr addr, std::function<void(bool)> done) {
   const GpuId owner = map_->owner(addr);
   MGCOMP_CHECK_MSG(owner != self_, "remote_read called for a local address");
   const std::uint16_t id = alloc_id();
@@ -46,7 +47,7 @@ void RdmaEngine::remote_read(Addr addr, std::function<void()> done) {
   send_request(id, it->second);
 }
 
-void RdmaEngine::remote_write(Addr addr, std::function<void()> done) {
+void RdmaEngine::remote_write(Addr addr, std::function<void(bool)> done) {
   const GpuId owner = map_->owner(addr);
   MGCOMP_CHECK_MSG(owner != self_, "remote_write called for a local address");
   const std::uint16_t id = alloc_id();
@@ -130,6 +131,7 @@ void RdmaEngine::on_timeout(std::uint16_t id) {
   const auto it = pending_.find(id);
   if (it == pending_.end() || it->second.completing) return;  // stale firing
   policy_->on_link_feedback(LinkEvent::kTimeout);
+  if (health_ != nullptr) health_->on_link_error(self_ep_, it->second.dst);
   retransmit(id, it->second, /*from_nack=*/false);
 }
 
@@ -160,11 +162,14 @@ void RdmaEngine::hard_fail(std::uint16_t id, PendingRequest& req) {
   collector_->record_link_error(LinkError{self_, req.addr, req.type, req.retries});
   if (tracer_ != nullptr) tracer_->instant(track_, "hard_failure", "link", req.addr);
   policy_->on_link_feedback(LinkEvent::kHardFailure);
+  if (health_ != nullptr) health_->on_link_error(self_ep_, req.dst);
   cancel_timer(req);
   quarantine_id(id);
   auto done = std::move(req.done);
   pending_.erase(id);
-  done();  // release the CU window slot so the kernel drains
+  // Release the CU window slot so the kernel drains; ok == false tells
+  // freshness-sensitive callers (collectives) the data never arrived.
+  done(false);
 }
 
 void RdmaEngine::replay_remember(EndpointId requester, std::uint16_t id, Addr addr) {
@@ -263,9 +268,10 @@ void RdmaEngine::handle_data_ready(Message&& msg) {
       tracer_->span(track_, "remote_read", "rdma", issued, engine_->now(), msg.addr);
     }
     if (pit->second.retries > 0) quarantine_id(msg.id);
+    if (health_ != nullptr) health_->on_link_success(self_ep_, pit->second.dst);
     auto done = std::move(pit->second.done);
     pending_.erase(pit);
-    done();
+    done(true);
   };
   if (lat == 0) {
     finish();
@@ -324,9 +330,10 @@ void RdmaEngine::handle_write_ack(Message&& msg) {
     tracer_->span(track_, "remote_write", "rdma", issued, engine_->now(), it->second.addr);
   }
   if (it->second.retries > 0) quarantine_id(msg.id);
+  if (health_ != nullptr) health_->on_link_success(self_ep_, it->second.dst);
   auto done = std::move(it->second.done);
   pending_.erase(it);
-  done();
+  done(true);
 }
 
 void RdmaEngine::handle_nack(Message&& msg) {

@@ -36,6 +36,7 @@
 
 namespace mgcomp {
 
+class HealthMonitor;
 class Tracer;
 
 class RdmaEngine {
@@ -73,13 +74,27 @@ class RdmaEngine {
     reliable_ = link_faults;
   }
 
-  /// Reads the remote line containing `addr`; `done` fires when the data
-  /// (decompressed if needed) is available at this GPU.
-  void remote_read(Addr addr, std::function<void()> done);
+  /// Reads the remote line containing `addr`; `done(ok)` fires when the
+  /// data (decompressed if needed) is available at this GPU. `ok` is false
+  /// when the request exhausted its retry budget instead (the window slot
+  /// drains either way; callers that care about data freshness — the
+  /// collective layer — must check it).
+  void remote_read(Addr addr, std::function<void(bool ok)> done);
 
   /// Writes the line containing `addr` (current functional contents) to its
-  /// remote owner; `done` fires when the Write-ACK returns.
-  void remote_write(Addr addr, std::function<void()> done);
+  /// remote owner; `done(ok)` fires when the Write-ACK returns, or with
+  /// ok == false on retry exhaustion.
+  void remote_write(Addr addr, std::function<void(bool ok)> done);
+
+  /// Outcome-blind conveniences for callers whose functional state is
+  /// already correct (workload kernels): a hard failure only costs timing
+  /// fidelity there, so they complete the same way either path resolves.
+  void remote_read(Addr addr, std::function<void()> done) {
+    remote_read(addr, [d = std::move(done)](bool) { d(); });
+  }
+  void remote_write(Addr addr, std::function<void()> done) {
+    remote_write(addr, [d = std::move(done)](bool) { d(); });
+  }
 
   /// Bus delivery callback for this GPU's endpoint.
   void deliver(Message&& msg);
@@ -96,12 +111,19 @@ class RdmaEngine {
     if (policy_) policy_->set_tracer(tracer, track);
   }
 
+  /// Installs the health monitor fed by this engine's reliability layer:
+  /// timeouts and hard failures report link errors against the request's
+  /// peer, completed transfers report successes. Null (the default) keeps
+  /// the reliability path health-blind and schedule-identical to a build
+  /// without fail-stop domains.
+  void set_health_monitor(HealthMonitor* health) noexcept { health_ = health; }
+
   /// Requests currently awaiting a response.
   [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
 
  private:
   struct PendingRequest {
-    std::function<void()> done;
+    std::function<void(bool ok)> done;
     Addr addr{0};
     MsgType type{MsgType::kReadReq};
     EndpointId dst{};
@@ -175,6 +197,7 @@ class RdmaEngine {
   std::unique_ptr<CompressionPolicy> policy_;
   RetryParams retry_{};
   bool reliable_{false};
+  HealthMonitor* health_{nullptr};
   Tracer* tracer_{nullptr};
   std::uint32_t track_{0};
 

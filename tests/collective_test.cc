@@ -1,7 +1,8 @@
 // Collective layer: correctness against the single-node reference,
 // bit-identity across compression policies and fault injection,
-// determinism, golden fingerprints per SIMD backend, and the RankSpace
-// placement contract.
+// determinism, golden fingerprints per SIMD backend, the RankSpace
+// placement contract, and fail-stop recovery (retry after flap, ring
+// shrink past a dead GPU, structured failure verdicts).
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "collective/rank_space.h"
 #include "compression/simd/dispatch.h"
 #include "core/system.h"
+#include "fault/episodes.h"
 
 namespace mgcomp {
 namespace {
@@ -284,6 +286,157 @@ TEST(SystemSizeDeathTest, RejectsOutOfRangeGpuCount) {
         MultiGpuSystem sys(std::move(many));
       },
       "num_gpus");
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stop recovery: scheduled episodes against the collective layer. All
+// runs are deterministic (episodes are fixed ticks, detection budgets are
+// fixed), so exact verdicts can be asserted.
+
+/// A system with fail-stop episodes and detection budgets small enough that
+/// abort/recover cycles play out within a short collective run.
+SystemConfig chaos_config(std::uint32_t ranks, const char* spec, FabricKind fabric) {
+  SystemConfig cfg;
+  cfg.num_gpus = ranks;
+  cfg.fabric = fabric;
+  cfg.policy = make_adaptive_policy(AdaptiveParams{});
+  std::string err;
+  EXPECT_TRUE(parse_fault_episodes(spec, &cfg.episodes, &err)) << err;
+  cfg.retry.timeout = 512;
+  cfg.retry.timeout_cap = 4096;
+  cfg.retry.max_retries = 3;
+  cfg.health.down_after = 2;
+  cfg.health.up_after = 2;
+  cfg.health.probe_interval = 2048;
+  cfg.health.probe_budget = 32;
+  cfg.health.heartbeat_interval = 1024;
+  cfg.health.heartbeat_misses = 2;
+  return cfg;
+}
+
+TEST(CollectiveRecovery, FlapAbortsThenRetriesToTheReferenceDigest) {
+  // The acceptance path for link flaps: pulls crossing the flapping wire
+  // exhaust their retry budget, the attempt aborts with a structured error,
+  // the drain waits out the flap windows until the link is believed
+  // RECOVERED, and a full-ring retry from refilled inputs reproduces the
+  // clean run's digest bit-exactly.
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 64;
+  const CollectiveOutcome clean = run_case(4, ccfg, make_adaptive_policy(AdaptiveParams{}));
+  ASSERT_TRUE(clean.verified);
+  ASSERT_EQ(clean.status, CollectiveStatus::kCompleted);
+  ASSERT_EQ(clean.attempts, 1u);
+
+  ccfg.max_attempts = 6;
+  MultiGpuSystem sys(chaos_config(4, "flap:0-1@256+12288x2/12544", FabricKind::kBus));
+  const CollectiveOutcome out = run_collective(sys, ccfg);
+  EXPECT_EQ(out.status, CollectiveStatus::kDegraded);
+  EXPECT_GE(out.attempts, 2u);  // at least one attempt died to the flap
+  EXPECT_TRUE(out.verified);
+  EXPECT_FALSE(out.partial);  // recovered on the full ring, nothing shrunk
+  EXPECT_EQ(out.surviving_ranks.size(), 4u);
+  EXPECT_NE(out.error.kind, CollectiveErrorKind::kNone);
+  EXPECT_EQ(out.data_digest, clean.data_digest);
+  EXPECT_GT(out.run.health.link_down, 0u);
+}
+
+TEST(CollectiveRecovery, SwitchRouteAroundMasksASingleDeadLink) {
+  // On the switch fabric a single dead wire is survivable without aborting:
+  // once the health monitor believes the link DOWN, traffic re-routes via
+  // an intermediate endpoint and the first attempt completes.
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 64;
+  SystemConfig clean_cfg;
+  clean_cfg.num_gpus = 4;
+  clean_cfg.fabric = FabricKind::kSwitch;
+  clean_cfg.policy = make_adaptive_policy(AdaptiveParams{});
+  MultiGpuSystem clean_sys(std::move(clean_cfg));
+  const CollectiveOutcome clean = run_collective(clean_sys, ccfg);
+  ASSERT_TRUE(clean.verified);
+
+  SystemConfig cfg = chaos_config(4, "down:0-1@0+100000000", FabricKind::kSwitch);
+  cfg.retry.timeout_cap = 1u << 15;
+  cfg.retry.max_retries = 6;  // enough slack to outlive detection + reroute
+  MultiGpuSystem sys(std::move(cfg));
+  const CollectiveOutcome out = run_collective(sys, ccfg);
+  EXPECT_EQ(out.status, CollectiveStatus::kCompleted);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_TRUE(out.verified);
+  EXPECT_FALSE(out.partial);
+  EXPECT_GT(out.run.bus.rerouted_messages, 0u);
+  // Routing detours cost time, never math: the digest still matches.
+  EXPECT_EQ(out.data_digest, clean.data_digest);
+}
+
+TEST(CollectiveRecovery, GpuFailStopShrinksRingToSurvivors) {
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 48;  // divides evenly across the 3 survivors
+  ccfg.allow_shrink = true;
+  MultiGpuSystem sys(chaos_config(4, "gpufail:3@100", FabricKind::kBus));
+  const CollectiveOutcome out = run_collective(sys, ccfg);
+  EXPECT_EQ(out.status, CollectiveStatus::kDegraded);
+  EXPECT_TRUE(out.verified);  // verified against the survivors' reference
+  EXPECT_TRUE(out.partial);
+  EXPECT_GE(out.attempts, 2u);
+  ASSERT_EQ(out.surviving_ranks.size(), 3u);
+  EXPECT_EQ(out.surviving_ranks, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_GT(out.run.health.gpu_down, 0u);
+}
+
+TEST(CollectiveRecovery, GpuFailStopWithoutShrinkFailsWithTheAbortError) {
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 48;  // allow_shrink stays false
+  MultiGpuSystem sys(chaos_config(4, "gpufail:3@100", FabricKind::kBus));
+  const CollectiveOutcome out = run_collective(sys, ccfg);
+  EXPECT_EQ(out.status, CollectiveStatus::kFailed);
+  EXPECT_FALSE(out.verified);
+  EXPECT_EQ(out.attempts, 1u);  // a full-ring retry can never complete
+  EXPECT_TRUE(out.error.kind == CollectiveErrorKind::kPeerDown ||
+              out.error.kind == CollectiveErrorKind::kPullFailed)
+      << to_string(out.error.kind);
+}
+
+TEST(CollectiveRecovery, ShrinkBelowMinGpusIsRejected) {
+  // Two ranks, one fail-stops: the "ring" of survivors would be a single
+  // GPU, which is below kMinGpus — shrink is refused even when allowed.
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 32;
+  ccfg.allow_shrink = true;
+  MultiGpuSystem sys(chaos_config(2, "gpufail:1@100", FabricKind::kBus));
+  const CollectiveOutcome out = run_collective(sys, ccfg);
+  EXPECT_EQ(out.status, CollectiveStatus::kFailed);
+  EXPECT_FALSE(out.verified);
+  EXPECT_EQ(out.error.kind, CollectiveErrorKind::kShrinkRejected);
+}
+
+TEST(CollectiveRecovery, BroadcastRootDeathCannotShrinkAround) {
+  // The broadcast root holds the only defined input; when its GPU dies no
+  // subset of survivors can produce the result, shrink or not.
+  CollectiveConfig ccfg;
+  ccfg.kind = CollectiveKind::kBroadcast;
+  ccfg.root = 0;
+  ccfg.lines_per_rank = 48;
+  ccfg.allow_shrink = true;
+  MultiGpuSystem sys(chaos_config(4, "gpufail:0@100", FabricKind::kBus));
+  const CollectiveOutcome out = run_collective(sys, ccfg);
+  EXPECT_EQ(out.status, CollectiveStatus::kFailed);
+  EXPECT_FALSE(out.verified);
+  EXPECT_NE(out.error.kind, CollectiveErrorKind::kNone);
+}
+
+TEST(CollectiveRecovery, PermanentLinkLossOnTheBusExhaustsRetries) {
+  // The bus has no alternate path; with the wire dead for the whole run
+  // every full-ring attempt aborts until the budget runs out, and the
+  // verdict names the exhaustion rather than the last symptom.
+  CollectiveConfig ccfg;
+  ccfg.lines_per_rank = 32;
+  ccfg.max_attempts = 2;
+  MultiGpuSystem sys(chaos_config(4, "down:0-1@0+10000000", FabricKind::kBus));
+  const CollectiveOutcome out = run_collective(sys, ccfg);
+  EXPECT_EQ(out.status, CollectiveStatus::kFailed);
+  EXPECT_FALSE(out.verified);
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(out.error.kind, CollectiveErrorKind::kRetriesExhausted);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,14 +1,21 @@
 // Link-reliability layer: CRC integrity, deterministic fault injection,
 // retransmission/duplicate-suppression protocol, degrade-to-raw policy
-// fallback, and the stall watchdog.
+// fallback, the stall watchdog, and the fail-stop fault domains (episode
+// parsing/scheduling, health state machine, tick-exact retry backoff).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "collective/rank_space.h"
 #include "common/crc32.h"
 #include "common/types.h"
 #include "core/system.h"
+#include "fault/episodes.h"
 #include "fault/fault_injector.h"
+#include "fault/health.h"
+#include "sim/engine.h"
 #include "workloads/all_workloads.h"
 
 namespace mgcomp {
@@ -322,6 +329,252 @@ TEST(FaultSystemDeathTest, DrainFailureDumpsPerGpuOutstanding) {
         (void)run_workload(std::move(cfg), *wl);
       },
       "kernel did not drain");
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission backoff: the exponential schedule is tick-exact.
+// ---------------------------------------------------------------------------
+
+/// Drives one remote_read from GPU 0 to a GPU-1-owned line on a fully dead
+/// link and returns (hard-fail tick, backoff_cycles). With drop_rate = 1.0
+/// nothing else perturbs the clock, so the done(false) tick is exactly the
+/// sum of the armed timeouts.
+std::pair<Tick, Tick> dead_link_hard_fail(Tick timeout, Tick cap, std::uint32_t retries) {
+  SystemConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.policy = make_no_compression_policy();
+  cfg.fault.drop_rate = 1.0;
+  cfg.retry.timeout = timeout;
+  cfg.retry.timeout_cap = cap;
+  cfg.retry.max_retries = retries;
+  MultiGpuSystem sys(std::move(cfg));
+  const RankSpace space(sys.memory(), sys.address_map(), 1);
+  bool called = false;
+  bool ok = true;
+  Tick done_at = 0;
+  sys.gpu(0).rdma().remote_read(space.line_addr(1, 0), [&](bool k) {
+    called = true;
+    ok = k;
+    done_at = sys.engine().now();
+  });
+  sys.engine().run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);  // the retry budget must have been exhausted
+  return {done_at, sys.collect_result("backoff").link.backoff_cycles};
+}
+
+TEST(RetryBackoff, ExponentialScheduleIsTickExact) {
+  // Timeout T = 512, factor 2, cap far away, 3 retries: the request is
+  // declared dead at T + 2T + 4T + 8T, and the backoff counter holds the
+  // waiting added beyond the base timeout on each re-arm.
+  const auto [fail_tick, backoff] = dead_link_hard_fail(512, 1u << 20, 3);
+  EXPECT_EQ(fail_tick, 512u + 1024u + 2048u + 4096u);
+  EXPECT_EQ(backoff, (1024u - 512u) + (2048u - 512u) + (4096u - 512u));
+}
+
+TEST(RetryBackoff, TimeoutCapClampsTheSchedule) {
+  // T = 1024 doubles to 2048, then 4096 hits the 3000 ceiling: every later
+  // arm waits exactly the cap. Hard fail at 1024 + 2048 + 3*3000.
+  const auto [fail_tick, backoff] = dead_link_hard_fail(1024, 3000, 4);
+  EXPECT_EQ(fail_tick, 1024u + 2048u + 3000u * 3);
+  EXPECT_EQ(backoff, (2048u - 1024u) + (3000u - 1024u) * 3);
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stop episodes: spec parsing and the scheduler's ground truth.
+// ---------------------------------------------------------------------------
+
+TEST(EpisodeParser, ParsesEveryClauseKindWithPaddingAndBothSeparators) {
+  std::vector<FaultEpisode> eps;
+  std::string err;
+  ASSERT_TRUE(parse_fault_episodes(" down:0-1@100+200 ; flap:1-2@50+10x3/100 , gpufail:3@500",
+                                   &eps, &err))
+      << err;
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_EQ(eps[0].kind, EpisodeKind::kLinkDown);
+  EXPECT_EQ(eps[0].a, 0u);
+  EXPECT_EQ(eps[0].b, 1u);
+  EXPECT_EQ(eps[0].start, 100u);
+  EXPECT_EQ(eps[0].duration, 200u);
+  EXPECT_EQ(eps[1].kind, EpisodeKind::kLinkFlap);
+  EXPECT_EQ(eps[1].count, 3u);
+  EXPECT_EQ(eps[1].period, 100u);
+  EXPECT_EQ(eps[2].kind, EpisodeKind::kGpuFailStop);
+  EXPECT_EQ(eps[2].a, 3u);
+  EXPECT_EQ(eps[2].start, 500u);
+}
+
+TEST(EpisodeParser, RejectsMalformedSpecsWithAReason) {
+  const struct {
+    const char* spec;
+    const char* why;
+  } kBad[] = {
+      {"", "empty"},
+      {" ; , ", "empty"},
+      {"explode:0-1@0+1", "expected down:/flap:/gpufail:"},
+      {"down:1-1@0+10", "endpoints must differ"},
+      {"down:0-1@5+0", "duration must be nonzero"},
+      {"down:0-1@5", "expected +DURATION"},
+      {"down:0@5+10", "expected A-B GPU pair"},
+      {"flap:0-1@0+100x2/100", "period must exceed duration"},
+      {"flap:0-1@0+100x0/300", "count must be nonzero"},
+      {"flap:0-1@0+100x2", "expected /PERIOD"},
+      {"gpufail:2", "expected @TICK"},
+      {"gpufail:2@40+5", "trailing garbage"},
+      {"down:0-1@0+10junk", "trailing garbage"},
+      {"down:0-1@0+10;explode:2-3@0+1", "expected down:/flap:/gpufail:"},
+  };
+  for (const auto& bad : kBad) {
+    std::vector<FaultEpisode> eps;
+    std::string err;
+    EXPECT_FALSE(parse_fault_episodes(bad.spec, &eps, &err)) << bad.spec;
+    EXPECT_TRUE(eps.empty()) << bad.spec;  // a rejected spec appends nothing
+    EXPECT_NE(err.find(bad.why), std::string::npos)
+        << "spec '" << bad.spec << "' produced error '" << err << "'";
+  }
+}
+
+/// Builds a two-endpoint scheduler + monitor pair over `engine` for the
+/// health state-machine tests (GPU g maps to endpoint g).
+struct HealthRig {
+  HealthRig(Engine& engine, const char* spec, HealthParams hp)
+      : sched(engine, parse(spec), 2, 2, [](std::uint32_t g) { return EndpointId{g}; }),
+        health(engine, 2, hp, &sched) {
+    sched.bind(&health);
+    sched.schedule_all();
+  }
+  static std::vector<FaultEpisode> parse(const char* spec) {
+    std::vector<FaultEpisode> eps;
+    std::string err;
+    EXPECT_TRUE(parse_fault_episodes(spec, &eps, &err)) << err;
+    return eps;
+  }
+  EpisodeScheduler sched;
+  HealthMonitor health;
+};
+
+TEST(HealthMonitorTest, DownProbeRecoverUpCycle) {
+  // Wire dead over [100, 300). Errors reported at t=150 walk the machine
+  // UP -> SUSPECT -> DOWN; probes at 270 (still dead) and 390 (alive) find
+  // the recovery; up_after successes complete the round trip to UP.
+  Engine engine;
+  HealthParams hp;
+  hp.suspect_after = 1;
+  hp.down_after = 3;
+  hp.up_after = 2;
+  hp.probe_interval = 120;
+  hp.probe_budget = 8;
+  HealthRig rig(engine, "down:0-1@100+200", hp);
+  const EndpointId a{0};
+  const EndpointId b{1};
+  engine.schedule_at(150, [&] {
+    ASSERT_TRUE(rig.sched.wire_dead(a, b));
+    rig.health.on_link_error(a, b);
+    EXPECT_EQ(rig.health.link_state(a, b), HealthState::kSuspect);
+    rig.health.on_link_error(a, b);
+    EXPECT_EQ(rig.health.link_state(a, b), HealthState::kSuspect);
+    rig.health.on_link_error(a, b);
+    EXPECT_TRUE(rig.health.link_down(a, b));
+    EXPECT_FALSE(rig.health.link_usable(a, b));
+    // The watchdog's dump names the believed state and the oracle's view.
+    const std::string dump = rig.health.dump();
+    EXPECT_NE(dump.find("DOWN"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("wire=dead"), std::string::npos) << dump;
+  });
+  engine.run();
+  EXPECT_EQ(rig.health.link_state(a, b), HealthState::kRecovered);
+  EXPECT_EQ(rig.health.stats().link_suspect, 1u);
+  EXPECT_EQ(rig.health.stats().link_down, 1u);
+  EXPECT_EQ(rig.health.stats().link_recovered, 1u);
+  EXPECT_EQ(rig.health.stats().probes_sent, 2u);
+  rig.health.on_link_success(a, b);
+  EXPECT_EQ(rig.health.link_state(a, b), HealthState::kRecovered);
+  rig.health.on_link_success(a, b);  // up_after = 2
+  EXPECT_EQ(rig.health.link_state(a, b), HealthState::kUp);
+  EXPECT_EQ(rig.health.stats().link_up, 1u);
+  EXPECT_NE(rig.health.dump().find("all links and endpoints UP"), std::string::npos);
+}
+
+TEST(HealthMonitorTest, ProbeBudgetExhaustionMakesDownFinalAndTerminates) {
+  // The wire stays dead longer than the whole probe budget: every probe
+  // fails, the chain ends, DOWN is final — and engine.run() still returns
+  // (bounded probes are what guarantee termination).
+  Engine engine;
+  HealthParams hp;
+  hp.suspect_after = 1;
+  hp.down_after = 2;
+  hp.probe_interval = 50;
+  hp.probe_budget = 3;
+  HealthRig rig(engine, "down:0-1@0+100000", hp);
+  const EndpointId a{0};
+  const EndpointId b{1};
+  engine.schedule_at(10, [&] {
+    rig.health.on_link_error(a, b);
+    rig.health.on_link_error(a, b);
+    ASSERT_TRUE(rig.health.link_down(a, b));
+  });
+  const Tick end = engine.run();
+  EXPECT_EQ(end, 100000u);  // the window-end event, not a runaway probe chain
+  EXPECT_TRUE(rig.health.link_down(a, b));
+  EXPECT_EQ(rig.health.stats().probes_sent, 3u);
+  EXPECT_EQ(rig.health.stats().link_recovered, 0u);
+}
+
+TEST(HealthMonitorTest, GpuFailStopHeartbeatChainDeclaresDown) {
+  // Fail-stop at t=500: misses accumulate every heartbeat_interval; the
+  // first flags SUSPECT, the configured count flags DOWN (terminal).
+  Engine engine;
+  HealthParams hp;
+  hp.heartbeat_interval = 100;
+  hp.heartbeat_misses = 3;
+  HealthRig rig(engine, "gpufail:1@500", hp);
+  const EndpointId gone{1};
+  engine.schedule_at(650, [&] {
+    EXPECT_EQ(rig.health.gpu_state(gone), HealthState::kSuspect);
+    EXPECT_FALSE(rig.health.endpoint_down(gone));
+  });
+  engine.run();
+  EXPECT_TRUE(rig.sched.endpoint_dead(gone));
+  EXPECT_TRUE(rig.health.endpoint_down(gone));
+  EXPECT_FALSE(rig.health.link_usable(EndpointId{0}, gone));
+  EXPECT_EQ(rig.health.stats().gpu_suspect, 1u);
+  EXPECT_EQ(rig.health.stats().gpu_down, 1u);
+  EXPECT_EQ(rig.health.stats().heartbeat_misses, 3u);
+  EXPECT_NE(rig.health.dump().find("endpoint EP1 DOWN"), std::string::npos);
+}
+
+TEST(FaultSystemDeathTest, OutOfRangeEpisodeGpuIndexRejectedAtConstruction) {
+  // The parser cannot know the system size; the scheduler range-checks at
+  // construction instead of faulting mid-run.
+  EXPECT_DEATH(
+      {
+        SystemConfig cfg;  // default num_gpus = 4
+        std::string err;
+        ASSERT_TRUE(parse_fault_episodes("down:0-7@0+100", &cfg.episodes, &err));
+        MultiGpuSystem sys(std::move(cfg));
+      },
+      "fault episode");
+}
+
+TEST(FaultSystemDeathTest, WatchdogDumpIncludesHealthStates) {
+  // GPU 0's every wire is dead for the whole run and the retry timeout is
+  // beyond the watchdog period, so nothing moves: the stall dump must now
+  // include the HealthMonitor section (believed state + oracle view), which
+  // is how an operator tells a dead wire from a deadlocked protocol.
+  EXPECT_DEATH(
+      {
+        SystemConfig cfg;
+        std::string err;
+        ASSERT_TRUE(parse_fault_episodes(
+            "down:0-1@0+2000000000;down:0-2@0+2000000000;down:0-3@0+2000000000",
+            &cfg.episodes, &err));
+        cfg.retry.timeout = 1u << 30;
+        cfg.retry.timeout_cap = 1u << 30;
+        cfg.watchdog_interval = 1u << 16;
+        auto wl = make_workload("MT", 0.1);
+        (void)run_workload(std::move(cfg), *wl);
+      },
+      "wire=dead");
 }
 
 }  // namespace
