@@ -52,11 +52,11 @@ std::vector<bench::PolicyCase> perf_policies() {
 }
 
 Measurement measure(std::string_view abbrev, const bench::PolicyCase& c, double scale,
-                    int repeats) {
+                    int repeats, std::uint32_t shards = 1) {
   Measurement best;
   for (int rep = 0; rep < repeats; ++rep) {
     const auto t0 = Clock::now();
-    const RunResult r = bench::run(abbrev, scale, c.factory);
+    const RunResult r = bench::run(abbrev, scale, c.factory, false, 0, shards);
     const auto t1 = Clock::now();
     const double ms =
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
@@ -81,7 +81,13 @@ void append_json_string(std::string& out, std::string_view s) {
   out += '"';
 }
 
-std::string to_json(const std::vector<Measurement>& ms, double scale, int repeats) {
+/// Event-engine lanes for the sharded adaptive pass (the configuration the
+/// parallel-engine work targets; speedup is reported against the serial
+/// adaptive slice).
+constexpr std::uint32_t kShardedLanes = 4;
+
+std::string to_json(const std::vector<Measurement>& ms,
+                    const std::vector<Measurement>& sharded, double scale, int repeats) {
   std::string out = "{\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -116,17 +122,38 @@ std::string to_json(const std::vector<Measurement>& ms, double scale, int repeat
       adaptive_events += m.events;
     }
   }
+  const double adaptive_rate =
+      adaptive_ms > 0.0 ? static_cast<double>(adaptive_events) / (adaptive_ms / 1e3) : 0.0;
   std::snprintf(buf, sizeof(buf),
                 "  ],\n  \"total\": {\"wall_ms\": %.3f, \"events\": %llu, "
                 "\"events_per_sec\": %.1f},\n"
                 "  \"adaptive\": {\"wall_ms\": %.3f, \"events\": %llu, "
-                "\"events_per_sec\": %.1f}\n}\n",
+                "\"events_per_sec\": %.1f}",
                 total_ms, static_cast<unsigned long long>(total_events),
                 total_ms > 0.0 ? static_cast<double>(total_events) / (total_ms / 1e3) : 0.0,
-                adaptive_ms, static_cast<unsigned long long>(adaptive_events),
-                adaptive_ms > 0.0 ? static_cast<double>(adaptive_events) / (adaptive_ms / 1e3)
-                                  : 0.0);
+                adaptive_ms, static_cast<unsigned long long>(adaptive_events), adaptive_rate);
   out += buf;
+  if (!sharded.empty()) {
+    // The same adaptive cases re-run on the sharded engine: identical event
+    // counts (the schedule is bit-reproduced), so the rate ratio IS the
+    // wall-time speedup.
+    double sharded_ms = 0.0;
+    std::uint64_t sharded_events = 0;
+    for (const Measurement& m : sharded) {
+      sharded_ms += m.wall_ms;
+      sharded_events += m.events;
+    }
+    const double sharded_rate =
+        sharded_ms > 0.0 ? static_cast<double>(sharded_events) / (sharded_ms / 1e3) : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"adaptive_sharded\": {\"shards\": %u, \"wall_ms\": %.3f, "
+                  "\"events\": %llu, \"events_per_sec\": %.1f, "
+                  "\"speedup_vs_serial\": %.3f}",
+                  kShardedLanes, sharded_ms, static_cast<unsigned long long>(sharded_events),
+                  sharded_rate, adaptive_rate > 0.0 ? sharded_rate / adaptive_rate : 0.0);
+    out += buf;
+  }
+  out += "\n}\n";
   return out;
 }
 
@@ -156,7 +183,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string json = to_json(results, scale, repeats);
+  // Sharded pass: the adaptive slice again on the parallel engine.
+  std::vector<Measurement> sharded;
+  const bench::PolicyCase sharded_case{"adaptive", make_adaptive_policy(AdaptiveParams{})};
+  for (const auto abbrev : workload_abbrevs()) {
+    Measurement m = measure(abbrev, sharded_case, scale, repeats, kShardedLanes);
+    std::printf("%-4s %-9s %10.2f %12llu %14.0f %14.0f  (shards=%u)\n", m.workload.c_str(),
+                m.policy.c_str(), m.wall_ms, static_cast<unsigned long long>(m.events),
+                m.events_per_sec(), m.sim_ticks_per_sec(), kShardedLanes);
+    sharded.push_back(std::move(m));
+  }
+
+  const std::string json = to_json(results, sharded, scale, repeats);
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_perf: cannot open %s for writing\n", out_path.c_str());

@@ -22,6 +22,8 @@
 //     --trace-out <file.json>                 (write Chrome trace-event JSON; open in Perfetto)
 //     --trace-limit <events>                  (trace ring capacity, default 262144)
 //     --simd      scalar|sse42|avx2|neon      (pin codec kernel backend; default best)
+//     --shards    <lanes>                     (sharded event engine, 1..64;
+//                                              default 1 or $MGCOMP_SHARDS)
 //
 //   Collective mode (replaces the workload with one ring collective):
 //     --collective allreduce|allgather|reducescatter|broadcast
@@ -67,6 +69,7 @@ struct Options {
   std::string trace_out;   ///< Chrome trace-event JSON path (Perfetto)
   std::size_t trace_limit{262144};  ///< event-ring capacity for --trace-out
   std::string simd;        ///< pinned SIMD backend ("" = best available)
+  std::uint32_t shards{0};  ///< event-engine lanes (0 = config default)
   std::string collective;  ///< collective mode: op name ("" = workload mode)
   std::uint32_t coll_kb{64};       ///< collective buffer KB per rank
   std::string coll_fill{"lowrange"};
@@ -154,6 +157,11 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (v == nullptr) return false;
       o.simd = v;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.shards = static_cast<std::uint32_t>(std::atoi(v));
+      if (o.shards < 1 || o.shards > Engine::kMaxShards) return false;
     } else if (arg == "--collective") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -200,7 +208,7 @@ void usage() {
       "                [--fault-episodes SPEC] [--allow-shrink]\n"
       "                [--characterize] [--json] [--dump-trace out.csv]\n"
       "                [--trace-out out.json] [--trace-limit EVENTS]\n"
-      "                [--simd scalar|sse42|avx2|neon]\n"
+      "                [--simd scalar|sse42|avx2|neon] [--shards N]\n"
       "                [--collective allreduce|allgather|reducescatter|broadcast]\n"
       "                [--coll-kb KB] [--coll-fill zero|lowrange|ramp|random]\n"
       "                [--coll-op sum|max] [--coll-window LINES] [--coll-root RANK]\n"
@@ -223,6 +231,7 @@ int main(int argc, char** argv) {
 
   SystemConfig cfg;
   cfg.num_gpus = o.gpus;
+  cfg.shards = o.shards;
   cfg.bus.bytes_per_cycle = o.bus;
   cfg.characterize = o.characterize;
   cfg.fault.bit_error_rate = o.ber;

@@ -11,6 +11,11 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
                    "SystemConfig::num_gpus must be in [2, 16]");
 
   engine_ = std::make_unique<Engine>();
+  // Sharding must be configured before the first event is scheduled: one
+  // global domain plus one per GPU. shards == 1 (the default) keeps the
+  // original single-heap engine with zero threads.
+  const std::uint32_t shards = config_.resolved_shards();
+  if (shards > 1) engine_->configure_sharding(shards, config_.num_gpus + 1);
   mem_ = std::make_unique<GlobalMemory>();
   map_ = std::make_unique<AddressMap>(config_.num_gpus, config_.gpu.l2_banks);
   codecs_ = std::make_unique<CodecSet>();
@@ -85,6 +90,15 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
     for (auto& gpu : gpus_) gpu->rdma().set_health_monitor(health_.get());
     episodes_->schedule_all();
   }
+
+  // Parallel windows open only while a fabric transfer is in flight: the
+  // completion event at the global heap's head is then a safe cross-domain
+  // lookahead horizon. The tracer and the health monitor observe domain
+  // events directly (ring buffers, per-endpoint FSMs), so runs with either
+  // attached stay fully serial — still sharded-correct, just unparallelized.
+  if (engine_->shards() > 1 && tracer_ == nullptr && health_ == nullptr) {
+    engine_->set_window_gate([this] { return bus_->windows_safe(); });
+  }
 }
 
 MultiGpuSystem::~MultiGpuSystem() = default;
@@ -103,11 +117,15 @@ void MultiGpuSystem::run_kernel(const KernelTrace& trace) {
     assignment[w % n_cus].push_back(&trace.workgroups[w]);
   }
 
-  std::uint32_t remaining = 0;
+  // Atomic: kernel-completion callbacks run on their CU's shard lane when
+  // the engine executes a parallel window.
+  std::atomic<std::uint32_t> remaining{0};
+  std::uint32_t busy_cus = 0;
   for (std::uint32_t c = 0; c < n_cus; ++c) {
-    if (!assignment[c].empty()) ++remaining;
+    if (!assignment[c].empty()) ++busy_cus;
   }
-  if (remaining == 0) return;  // empty kernel (e.g. pure host work)
+  if (busy_cus == 0) return;  // empty kernel (e.g. pure host work)
+  remaining.store(busy_cus, std::memory_order_relaxed);
 
   // Watchdog (faults only): lossless runs cannot stall, and keeping it off
   // there means the fault-free event schedule is bit-identical to a build
@@ -115,7 +133,7 @@ void MultiGpuSystem::run_kernel(const KernelTrace& trace) {
   // the token so a pending watchdog event never extends measured time.
   Engine::CancelToken wd_token;
   if (config_.reliability_enabled() && config_.watchdog_interval > 0) {
-    wd_token = std::make_shared<bool>(true);
+    wd_token = std::make_shared<Engine::CancelState>();
     schedule_watchdog(wd_token, bus_->stats().total_messages(), &remaining);
   }
 
@@ -123,13 +141,15 @@ void MultiGpuSystem::run_kernel(const KernelTrace& trace) {
     if (assignment[c].empty()) continue;
     Gpu& gpu = *gpus_[c / config_.gpu.num_cus];
     gpu.cu(CuId{c % config_.gpu.num_cus})
-        .start_kernel(trace, std::move(assignment[c]), [&remaining, &wd_token] {
-          if (--remaining == 0 && wd_token) *wd_token = false;
+        .start_kernel(trace, std::move(assignment[c]), [this, &remaining, &wd_token] {
+          if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 && wd_token) {
+            engine_->cancel(wd_token);
+          }
         });
   }
 
   engine_->run();
-  if (remaining != 0) {
+  if (remaining.load(std::memory_order_acquire) != 0) {
     MGCOMP_CHECK_MSG(
         false, stall_dump("kernel did not drain: event queue empty with requests pending")
                    .c_str());
@@ -142,11 +162,12 @@ void MultiGpuSystem::run_kernel(const KernelTrace& trace) {
 
 void MultiGpuSystem::schedule_watchdog(Engine::CancelToken token,
                                        std::uint64_t last_messages,
-                                       const std::uint32_t* remaining) {
+                                       const std::atomic<std::uint32_t>* remaining) {
   engine_->schedule_cancellable_in(
       config_.watchdog_interval,
       [this, token, last_messages, remaining] {
-        if (*remaining == 0) return;  // completed between cancel and pop
+        // completed between cancel and pop
+        if (remaining->load(std::memory_order_acquire) == 0) return;
         const std::uint64_t now_messages = bus_->stats().total_messages();
         if (now_messages == last_messages) {
           MGCOMP_CHECK_MSG(
@@ -160,6 +181,12 @@ void MultiGpuSystem::schedule_watchdog(Engine::CancelToken token,
 std::string MultiGpuSystem::stall_dump(const char* why) const {
   std::string s(why);
   s += " @tick " + std::to_string(engine_->now());
+  // pending() counts live events only; queued() includes cancelled slots
+  // still occupying their heaps, so the gap between the two is cancelled
+  // timer debris, not real work.
+  s += "\n  engine: live_events=" + std::to_string(engine_->pending()) +
+       " queued=" + std::to_string(engine_->queued()) +
+       " shards=" + std::to_string(engine_->shards());
   for (std::uint32_t g = 0; g < config_.num_gpus; ++g) {
     s += "\n  GPU" + std::to_string(g) +
          ": outstanding=" + std::to_string(gpus_[g]->rdma().outstanding());

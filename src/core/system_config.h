@@ -6,6 +6,8 @@
 // energy.
 #pragma once
 
+#include <cstdlib>
+
 #include "adaptive/policy.h"
 #include "compression/cost_model.h"
 #include "fabric/bus.h"
@@ -73,6 +75,24 @@ struct SystemConfig {
   /// Health state-machine tuning; consulted only when episodes is
   /// non-empty.
   HealthParams health{};
+
+  /// Event-engine shard lanes (simulate --shards). 1 runs the original
+  /// single-threaded single-heap engine; N > 1 partitions events into
+  /// per-GPU domains executed by N lanes inside conservative parallel
+  /// windows — bit-identical results, faster wall clock on multicore
+  /// hosts. 0 (the default) resolves from the MGCOMP_SHARDS environment
+  /// variable, else 1.
+  std::uint32_t shards{0};
+
+  /// The effective shard count after applying the MGCOMP_SHARDS fallback.
+  [[nodiscard]] std::uint32_t resolved_shards() const noexcept {
+    if (shards != 0) return shards;
+    if (const char* env = std::getenv("MGCOMP_SHARDS")) {
+      const unsigned long v = std::strtoul(env, nullptr, 10);
+      if (v >= 1 && v <= Engine::kMaxShards) return static_cast<std::uint32_t>(v);
+    }
+    return 1;
+  }
 
   /// True when any fault machinery (stochastic or fail-stop) is active.
   [[nodiscard]] bool reliability_enabled() const noexcept {

@@ -182,6 +182,11 @@ class BusFabric final : public Fabric {
 
   [[nodiscard]] const BusStats& stats() const noexcept override { return stats_; }
   [[nodiscard]] bool idle() const noexcept { return !busy_; }
+
+  /// While a transfer occupies the bus, kick() is a no-op and the only
+  /// future delivery is the already-scheduled complete() event — sends
+  /// from GPU domains merely enqueue, so windows are safe until then.
+  [[nodiscard]] bool windows_safe() const noexcept override { return busy_; }
   [[nodiscard]] std::size_t num_endpoints() const noexcept { return endpoints_.size(); }
   [[nodiscard]] const std::string& endpoint_name(EndpointId ep) const override {
     return endpoints_.at(ep.value).name;

@@ -59,6 +59,13 @@ class Fabric {
   /// that just changed state (recovered, or a peer declared dead).
   virtual void on_health_change() {}
 
+  /// True when the sharded engine may open a parallel window right now:
+  /// the fabric guarantees that, until its next already-scheduled global
+  /// event fires, no new cross-domain delivery can be scheduled (so that
+  /// event's tick is a conservative lookahead horizon). The default is the
+  /// always-safe answer "no" — execution simply stays serial.
+  [[nodiscard]] virtual bool windows_safe() const noexcept { return false; }
+
   // Introspection for watchdog diagnostics: how full each endpoint's
   // buffers are when a run stops making progress.
   [[nodiscard]] virtual std::size_t endpoint_count() const noexcept = 0;

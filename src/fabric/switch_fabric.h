@@ -63,6 +63,12 @@ class SwitchFabric final : public Fabric {
     return endpoints_[ep.value].out.size();
   }
 
+  /// The crossbar can start a new transmission (and schedule its delivery)
+  /// the moment any send finds a free port pair, so there is no cheap
+  /// always-valid lookahead horizon; sharded runs on the switch stay
+  /// serial (future work: per-port earliest-free-tick horizon).
+  [[nodiscard]] bool windows_safe() const noexcept override { return false; }
+
  private:
   struct Endpoint {
     std::string name;

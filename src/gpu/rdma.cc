@@ -71,13 +71,13 @@ void RdmaEngine::send_request(std::uint16_t id, const PendingRequest& req) {
   m.dst = req.dst;
   m.addr = req.addr;
   m.length = kLineBytes;
-  bus_->send(std::move(m));
+  send_to_bus(std::move(m));
 }
 
 void RdmaEngine::send_payload(Addr addr, MsgType type, std::uint16_t id, EndpointId dst) {
   const Line line = mem_->read_line(addr);
   const CompressionDecision d = policy_->decide(line);
-  collector_->on_payload_sent(line, d);
+  engine_->shared([this, line, d] { collector_->on_payload_sent(line, d); });
 
   Message m;
   m.type = type;
@@ -94,15 +94,15 @@ void RdmaEngine::send_payload(Addr addr, MsgType type, std::uint16_t id, Endpoin
   m.decompress_energy_pj = d.decompress_energy_pj;
 
   if (d.compress_latency == 0) {
-    bus_->send(std::move(m));
+    send_to_bus(std::move(m));
   } else {
     // The path's compressor accepts one line per `compress_occupancy`
     // cycles; the line leaves `compress_latency` cycles after acceptance.
     Tick& unit = compressor_free_at_[type == MsgType::kWriteReq ? 1 : 0];
     const Tick start = std::max(engine_->now(), unit);
     unit = start + d.compress_occupancy;
-    engine_->schedule_at(start + d.compress_latency,
-                         [this, m = std::move(m)]() mutable { bus_->send(std::move(m)); });
+    engine_->schedule_at(domain_, start + d.compress_latency,
+                         [this, m = std::move(m)]() mutable { send_to_bus(std::move(m)); });
   }
 }
 
@@ -116,15 +116,16 @@ void RdmaEngine::arm_timer(std::uint16_t id, PendingRequest& req) {
       break;
     }
   }
-  if (req.retries > 0) collector_->link().backoff_cycles += t - retry_.timeout;
-  req.timer = engine_->schedule_cancellable_in(t, [this, id] { on_timeout(id); });
+  if (req.retries > 0) {
+    const Tick extra = t - retry_.timeout;
+    engine_->shared([this, extra] { collector_->link().backoff_cycles += extra; });
+  }
+  req.timer =
+      engine_->schedule_cancellable_in(domain_, t, [this, id] { on_timeout(id); }, req.timer);
 }
 
 void RdmaEngine::cancel_timer(PendingRequest& req) {
-  if (req.timer) {
-    *req.timer = false;
-    req.timer.reset();
-  }
+  engine_->cancel(req.timer);
 }
 
 void RdmaEngine::on_timeout(std::uint16_t id) {
@@ -141,12 +142,16 @@ void RdmaEngine::retransmit(std::uint16_t id, PendingRequest& req, bool from_nac
     return;
   }
   ++req.retries;
-  LinkStats& link = collector_->link();
-  if (from_nack) {
-    ++link.fast_retransmits;
-  } else {
-    ++link.timeout_retransmits;
-  }
+  engine_->shared([this, from_nack] {
+    LinkStats& link = collector_->link();
+    if (from_nack) {
+      ++link.fast_retransmits;
+    } else {
+      ++link.timeout_retransmits;
+    }
+  });
+  // Tracer calls stay direct: an attached tracer disables parallel windows
+  // system-wide, so this path is then always serial.
   if (tracer_ != nullptr) {
     tracer_->instant(track_, from_nack ? "fast_retransmit" : "timeout_retransmit", "link",
                      req.addr);
@@ -157,9 +162,10 @@ void RdmaEngine::retransmit(std::uint16_t id, PendingRequest& req, bool from_nac
 }
 
 void RdmaEngine::hard_fail(std::uint16_t id, PendingRequest& req) {
-  LinkStats& link = collector_->link();
-  ++link.hard_failures;
-  collector_->record_link_error(LinkError{self_, req.addr, req.type, req.retries});
+  engine_->shared([this, err = LinkError{self_, req.addr, req.type, req.retries}] {
+    ++collector_->link().hard_failures;
+    collector_->record_link_error(err);
+  });
   if (tracer_ != nullptr) tracer_->instant(track_, "hard_failure", "link", req.addr);
   policy_->on_link_feedback(LinkEvent::kHardFailure);
   if (health_ != nullptr) health_->on_link_error(self_ep_, req.dst);
@@ -230,9 +236,9 @@ void RdmaEngine::handle_read_req(Message&& msg) {
   if (reliable_) replay_remember(msg.src, msg.id, msg.addr);
   const Tick ready = owner_access_(msg.addr, /*is_write=*/false);
   const std::uint32_t req_wire = msg.wire_bytes();
-  engine_->schedule_at(ready, [this, msg = std::move(msg), req_wire] {
+  engine_->schedule_at(domain_, ready, [this, msg = std::move(msg), req_wire] {
     send_payload(msg.addr, MsgType::kDataReady, msg.id, msg.src);
-    bus_->consume(self_ep_, req_wire);
+    consume_in(req_wire);
   });
 }
 
@@ -258,12 +264,14 @@ void RdmaEngine::handle_data_ready(Message&& msg) {
   const Tick lat = msg.decompress_latency;
   const Tick occ = msg.decompress_occupancy;
   auto finish = [this, msg = std::move(msg)] {
-    collector_->on_payload_received(msg.decompress_energy_pj);
-    bus_->consume(self_ep_, msg.wire_bytes());
+    engine_->shared(
+        [this, e = msg.decompress_energy_pj] { collector_->on_payload_received(e); });
+    consume_in(msg.wire_bytes());
     const auto pit = pending_.find(msg.id);
     MGCOMP_CHECK_MSG(pit != pending_.end(), "read completion raced with retirement");
     const Tick issued = pit->second.issued;
-    collector_->record_read_latency(engine_->now() - issued);
+    const Tick took = engine_->now() - issued;
+    engine_->shared([this, took] { collector_->record_read_latency(took); });
     if (tracer_ != nullptr) {
       tracer_->span(track_, "remote_read", "rdma", issued, engine_->now(), msg.addr);
     }
@@ -279,7 +287,7 @@ void RdmaEngine::handle_data_ready(Message&& msg) {
     Tick& unit = decompressor_free_at_[0];
     const Tick start = std::max(engine_->now(), unit);
     unit = start + occ;
-    engine_->schedule_at(start + lat, std::move(finish));
+    engine_->schedule_at(domain_, start + lat, std::move(finish));
   }
 }
 
@@ -291,16 +299,17 @@ void RdmaEngine::handle_write_req(Message&& msg) {
   const Tick lat = msg.decompress_latency;
   const Tick occ = msg.decompress_occupancy;
   auto commit = [this, msg = std::move(msg)] {
-    collector_->on_payload_received(msg.decompress_energy_pj);
+    engine_->shared(
+        [this, e = msg.decompress_energy_pj] { collector_->on_payload_received(e); });
     owner_access_(msg.addr, /*is_write=*/true);  // books local bandwidth; ack is posted
-    bus_->consume(self_ep_, msg.wire_bytes());
+    consume_in(msg.wire_bytes());
 
     Message ack;
     ack.type = MsgType::kWriteAck;
     ack.id = msg.id;
     ack.src = self_ep_;
     ack.dst = msg.src;
-    bus_->send(std::move(ack));
+    send_to_bus(std::move(ack));
   };
   if (lat == 0) {
     commit();
@@ -308,7 +317,7 @@ void RdmaEngine::handle_write_req(Message&& msg) {
     Tick& unit = decompressor_free_at_[1];
     const Tick start = std::max(engine_->now(), unit);
     unit = start + occ;
-    engine_->schedule_at(start + lat, std::move(commit));
+    engine_->schedule_at(domain_, start + lat, std::move(commit));
   }
 }
 

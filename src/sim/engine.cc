@@ -1,0 +1,228 @@
+// Sharded parallel execution for the event engine: worker lanes, the
+// window gate/horizon logic, and the deterministic barrier merge. See the
+// header comment in engine.h for the design.
+#include "sim/engine.h"
+
+namespace mgcomp {
+
+thread_local Engine::ExecContext Engine::tls_{};
+
+Engine::Engine() { domains_.push_back(std::make_unique<Domain>()); }
+
+Engine::~Engine() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+      ++window_gen_;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+void Engine::configure_sharding(std::uint32_t shards, DomainId num_domains) {
+  MGCOMP_CHECK_MSG(shards >= 1 && shards <= kMaxShards, "shards must be in [1, 64]");
+  MGCOMP_CHECK_MSG(num_domains >= 1, "need at least the global domain");
+  MGCOMP_CHECK_MSG(now_ == 0 && seq_ == 0 && queued() == 0,
+                   "configure_sharding must run before any event is scheduled");
+  MGCOMP_CHECK_MSG(workers_.empty() && shard_count_ == 1,
+                   "configure_sharding may run at most once");
+  shard_count_ = shards;
+  if (shards == 1) return;  // legacy single-heap layout, zero threads
+
+  domains_.clear();
+  domains_.reserve(num_domains);
+  for (DomainId d = 0; d < num_domains; ++d) {
+    domains_.push_back(std::make_unique<Domain>());
+    domains_.back()->id = d;
+  }
+  lane_work_.resize(shards);
+  workers_.reserve(shards - 1);
+  for (std::uint32_t lane = 1; lane < shards; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+Tick Engine::run() {
+  for (;;) {
+    if (shard_count_ > 1 && try_window()) continue;
+    if (!step()) break;
+  }
+  return now_;
+}
+
+void Engine::window_push(DomainId dom, Tick t, Callback cb, CancelToken token,
+                         std::uint64_t gen) {
+  MGCOMP_CHECK_MSG(t >= tls_.now, "cannot schedule into the past");
+  Domain& home = *tls_.domain;
+  Event* ev = home.acquire();
+  ev->at = t;
+  ev->seq = kWindowBorn | home.window_births++;
+  ev->fn = std::move(cb);
+  ev->token = std::move(token);
+  ev->token_gen = gen;
+  const DomainId target = dom < domains_.size() ? dom : kGlobalDomain;
+  home.pushes.push_back(PushRec{ev, target});
+  home.live_delta += 1;
+  if (target == home.id) {
+    home.heap.push(ev);
+    return;
+  }
+  // A cross-domain event landing before the horizon would have to run
+  // inside this very window on a heap another lane owns — the conservative
+  // lookahead guarantee components must uphold.
+  MGCOMP_CHECK_MSG(t >= window_horizon_, "cross-shard schedule below the lookahead horizon");
+  MGCOMP_CHECK_MSG(++home.inbox_in_flight <= kInboxCapacity, "cross-shard inbox overflow");
+}
+
+bool Engine::try_window() {
+  if (!windows_enabled_ || !window_gate_ || !window_gate_()) return false;
+  Domain& global = *domains_[kGlobalDomain];
+  if (global.heap.empty()) return false;
+  const Tick horizon = global.heap.top()->at;
+  window_active_.clear();
+  for (std::size_t d = 1; d < domains_.size(); ++d) {
+    Domain& dom = *domains_[d];
+    if (!dom.heap.empty() && dom.heap.top()->at < horizon) window_active_.push_back(&dom);
+  }
+  // One active domain parallelizes nothing; fall back to serial steps.
+  if (window_active_.size() < 2) return false;
+  run_window(horizon);
+  return true;
+}
+
+void Engine::run_window(Tick horizon) {
+  window_horizon_ = horizon;
+  ++windows_run_;
+  for (auto& w : lane_work_) w.clear();
+  for (std::size_t i = 0; i < window_active_.size(); ++i) {
+    lane_work_[i % shard_count_].push_back(window_active_[i]);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    lanes_pending_ = shard_count_ - 1;
+    ++window_gen_;
+  }
+  cv_work_.notify_all();
+  for (Domain* d : lane_work_[0]) drain_domain(*d);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return lanes_pending_ == 0; });
+  }
+  merge_window();
+}
+
+void Engine::worker_loop(std::uint32_t lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stopping_ || window_gen_ != seen; });
+      if (stopping_) return;
+      seen = window_gen_;
+    }
+    for (Domain* d : lane_work_[lane]) drain_domain(*d);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last = --lanes_pending_ == 0;
+    }
+    if (last) cv_done_.notify_one();
+  }
+}
+
+void Engine::drain_domain(Domain& dom) {
+  tls_ = ExecContext{this, &dom, 0};
+  while (!dom.heap.empty() && dom.heap.top()->at < window_horizon_) {
+    Event* ev = dom.heap.top();
+    dom.heap.pop();
+    if (stale(ev)) {
+      dom.retired.push_back(ev);
+      continue;
+    }
+    tls_.now = ev->at;
+    if (ev->token) --ev->token->armed;
+    dom.live_delta -= 1;
+    Callback fn = std::move(ev->fn);
+    fn();
+    dom.exec_log.push_back(ExecRec{ev, static_cast<std::uint32_t>(dom.pushes.size()),
+                                   static_cast<std::uint32_t>(dom.ops.size())});
+    dom.retired.push_back(ev);
+  }
+  tls_ = ExecContext{};
+}
+
+void Engine::merge_window() {
+  // K-way merge of the per-domain execution logs back into the global
+  // (at, seq) order — the exact order the single-threaded engine would
+  // have executed these events in. Within one domain, log order is already
+  // (at, seq) order, and an event scheduled inside the window appears in
+  // its domain's log strictly after the event that scheduled it, so by the
+  // time a window-born event reaches its cursor its provisional seq has
+  // been rewritten to the definitive one (below) and every head comparison
+  // is between definitive keys.
+  const std::size_t n = window_active_.size();
+  merge_exec_.assign(n, 0);
+  merge_push_.assign(n, 0);
+  merge_op_.assign(n, 0);
+  replaying_ = true;
+  for (;;) {
+    std::size_t best = n;
+    const Event* head = nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Domain& d = *window_active_[i];
+      if (merge_exec_[i] >= d.exec_log.size()) continue;
+      const Event* e = d.exec_log[merge_exec_[i]].ev;
+      if (head == nullptr || e->at < head->at || (e->at == head->at && e->seq < head->seq)) {
+        best = i;
+        head = e;
+      }
+    }
+    if (best == n) break;
+    Domain& d = *window_active_[best];
+    const ExecRec rec = d.exec_log[merge_exec_[best]++];
+    // Definitive sequence numbers: exactly the values seq_++ would have
+    // produced had this event run on the single-threaded engine, because
+    // events merge in that engine's execution order. The rewrite is
+    // order-preserving within each heap (per-domain push order is the
+    // restriction of the global order), so no re-heapify is needed.
+    for (std::size_t& pc = merge_push_[best]; pc < rec.push_end; ++pc) {
+      d.pushes[pc].ev->seq = seq_++;
+    }
+    now_ = rec.ev->at;
+    for (std::size_t& oc = merge_op_[best]; oc < rec.op_end; ++oc) d.ops[oc]();
+    ++executed_;
+  }
+  replaying_ = false;
+
+  for (Domain* dp : window_active_) {
+    Domain& d = *dp;
+    // Drain the cross-domain inbox: splice each foreign push into its
+    // target heap (all land at or beyond the horizon, so post-window heap
+    // invariants hold) and return the source slot.
+    for (PushRec& pr : d.pushes) {
+      if (pr.target == d.id) continue;
+      Domain& t = *domains_[pr.target];
+      Event* te = t.acquire();
+      te->at = pr.ev->at;
+      te->seq = pr.ev->seq;
+      te->fn = std::move(pr.ev->fn);
+      te->token = std::move(pr.ev->token);
+      te->token_gen = pr.ev->token_gen;
+      t.heap.push(te);
+      d.release(pr.ev);
+    }
+    for (Event* ev : d.retired) d.release(ev);
+    live_ += d.live_delta;
+    d.live_delta = 0;
+    d.exec_log.clear();
+    d.pushes.clear();
+    d.ops.clear();
+    d.retired.clear();
+    d.window_births = 0;
+    d.inbox_in_flight = 0;
+  }
+}
+
+}  // namespace mgcomp

@@ -1,4 +1,4 @@
-// Minimal discrete-event simulation kernel.
+// Discrete-event simulation kernel with optional sharded parallel execution.
 //
 // The whole multi-GPU model is event-driven: components schedule callbacks
 // at absolute ticks of the 1 GHz system clock. Events at the same tick run
@@ -7,17 +7,40 @@
 //
 // Hot-path design: events live in slab-allocated chunks recycled through a
 // free list, and the priority queue orders stable Event pointers, so the
-// steady state performs zero allocations per event — the previous
-// value-typed heap paid a std::function heap allocation plus element moves
-// on every push/pop. Callbacks are InlineFunction (sim/callback.h), whose
-// inline buffer is sized for the largest Message-capturing lambda the
-// RDMA/fabric path schedules. Ordering, and therefore every simulation
-// result, is unchanged: (at, seq) remains a total order over events.
+// steady state performs zero allocations per event. Callbacks are
+// InlineFunction (sim/callback.h), whose inline buffer is sized for the
+// largest Message-capturing lambda the RDMA/fabric path schedules.
+//
+// Sharded mode (configure_sharding with shards > 1) partitions the event
+// heap into per-domain heaps: domain 0 is the global/shared domain (fabric
+// arbitration, CPU host, watchdogs, fault episodes) and domain g+1 holds
+// GPU g's private events (compute-unit pumps, local-memory latencies, RDMA
+// timers). Execution stays serial — a k-way merge across domain heads by
+// (at, seq), trivially identical to the single-heap order — except inside
+// *parallel windows*: whenever the window gate reports the fabric busy, the
+// head of the global heap is a conservative lookahead horizon (no
+// cross-domain message can arrive earlier), so every GPU domain may drain
+// its events strictly below that horizon on its own thread. Shared side
+// effects (fabric queues, the stats collector) are deferred through
+// Engine::shared() into per-domain op logs; at the window barrier the
+// master merges all executed events back into (at, seq) order, assigns the
+// definitive global sequence numbers to events born inside the window, and
+// replays the deferred ops in that exact order. Cross-domain schedules made
+// inside a window go through a bounded per-domain inbox and must land at or
+// beyond the horizon; they are spliced into their target heaps at the
+// barrier. The observable schedule — every callback's execution order,
+// now() value, and side-effect order — is bit-identical to the
+// single-threaded engine; shards=1 (the default) keeps the original
+// single-heap code path.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "common/assert.h"
@@ -30,40 +53,157 @@ class Engine {
  public:
   using Callback = InlineFunction;
 
-  /// Cancellation handle for timer-style events (retransmission timeouts,
-  /// watchdogs). Setting `*token = false` skips the event when it is popped
-  /// — crucially WITHOUT advancing now(), so a cancelled timer that
-  /// nominally outlives the last real event can never stretch the measured
-  /// execution time.
-  using CancelToken = std::shared_ptr<bool>;
+  /// Shard domain index. Domain 0 is the global/shared domain; in a system
+  /// with N GPUs, domain g+1 is GPU g's private domain. With shards == 1
+  /// every tag maps to the single legacy heap.
+  using DomainId = std::uint32_t;
+  static constexpr DomainId kGlobalDomain = 0;
 
-  /// Schedules `cb` to run at absolute tick `t` (must be >= now()).
-  void schedule_at(Tick t, Callback cb) {
+  /// Upper bound on worker lanes; far above any real machine's benefit.
+  static constexpr std::uint32_t kMaxShards = 64;
+
+  /// Cross-shard inbox bound: at most this many cross-domain schedules may
+  /// be in flight per source domain within one parallel window.
+  static constexpr std::size_t kInboxCapacity = 1u << 16;
+
+  /// Cancellation state for timer-style events (retransmission timeouts,
+  /// watchdogs). Cancel through Engine::cancel(): a cancelled event is
+  /// skipped when popped — crucially WITHOUT advancing now(), so a
+  /// cancelled timer that nominally outlives the last real event can never
+  /// stretch the measured execution time. `gen` guards re-arming: an event
+  /// fires only if its token is live AND the token generation still matches
+  /// the one it was armed under, so re-arming a cancelled token can never
+  /// resurrect the older cancelled events that share it. `armed` counts
+  /// live events currently carrying this token (live-event accounting).
+  struct CancelState {
+    std::uint64_t gen{0};
+    std::uint32_t armed{0};
+    bool live{true};
+  };
+  using CancelToken = std::shared_ptr<CancelState>;
+
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Switches the engine into sharded mode: `num_domains` per-domain heaps
+  /// (>= 1; domain 0 is global) executed by `shards` lanes (the calling
+  /// thread plus shards-1 workers). Must run before any event is scheduled
+  /// and at most once. shards == 1 keeps the legacy single-heap layout.
+  void configure_sharding(std::uint32_t shards, DomainId num_domains);
+
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shard_count_; }
+
+  /// Installs the parallel-window gate: windows open only while it returns
+  /// true (the system installs "fabric transfer in flight", which makes the
+  /// global heap's head a safe cross-domain lookahead horizon). No gate
+  /// (the default) means fully serial execution even in sharded mode.
+  void set_window_gate(std::function<bool()> gate) { window_gate_ = std::move(gate); }
+
+  /// Temporarily forbids parallel windows (execution stays serial and
+  /// bit-identical). Drivers whose callbacks mutate cross-domain state from
+  /// domain events — the collective layer — wrap engine().run() with this.
+  void set_windows_enabled(bool enabled) noexcept { windows_enabled_ = enabled; }
+
+  /// Parallel windows executed so far (diagnostics / tests).
+  [[nodiscard]] std::uint64_t windows_executed() const noexcept { return windows_run_; }
+
+  /// Schedules `cb` to run at absolute tick `t` (must be >= now()) in
+  /// domain `dom`. Components tag events touching only their own GPU's
+  /// state with that GPU's domain; untagged overloads go to the global
+  /// domain. Tags are ignored (all events share one heap) when shards == 1.
+  void schedule_at(DomainId dom, Tick t, Callback cb) {
+    if (tls_.engine == this) {
+      window_push(dom, t, std::move(cb), nullptr, 0);
+      return;
+    }
     MGCOMP_CHECK_MSG(t >= now_, "cannot schedule into the past");
-    push_event(t, std::move(cb), nullptr);
+    push_event(domain(dom), t, std::move(cb), nullptr, 0);
   }
+  void schedule_at(Tick t, Callback cb) { schedule_at(kGlobalDomain, t, std::move(cb)); }
 
   /// Schedules `cb` to run `dt` ticks from now.
-  void schedule_in(Tick dt, Callback cb) { schedule_at(now_ + dt, std::move(cb)); }
+  void schedule_in(DomainId dom, Tick dt, Callback cb) {
+    schedule_at(dom, now() + dt, std::move(cb));
+  }
+  void schedule_in(Tick dt, Callback cb) { schedule_in(kGlobalDomain, dt, std::move(cb)); }
 
   /// Like schedule_at, but returns a CancelToken (or re-arms `token` when
-  /// one is passed in, letting periodic events share a single handle).
-  CancelToken schedule_cancellable_at(Tick t, Callback cb, CancelToken token = nullptr) {
+  /// one is passed in, letting periodic events share a single handle). A
+  /// token that was cancelled is reset live on re-arm — and its generation
+  /// bumped, so events armed before the cancellation stay dead.
+  CancelToken schedule_cancellable_at(DomainId dom, Tick t, Callback cb,
+                                      CancelToken token = nullptr) {
+    rearm(token);
+    if (tls_.engine == this) {
+      window_push(dom, t, std::move(cb), token, token->gen);
+      return token;
+    }
     MGCOMP_CHECK_MSG(t >= now_, "cannot schedule into the past");
-    if (!token) token = std::make_shared<bool>(true);
-    push_event(t, std::move(cb), token);
+    push_event(domain(dom), t, std::move(cb), token, token->gen);
     return token;
   }
-
+  CancelToken schedule_cancellable_at(Tick t, Callback cb, CancelToken token = nullptr) {
+    return schedule_cancellable_at(kGlobalDomain, t, std::move(cb), std::move(token));
+  }
+  CancelToken schedule_cancellable_in(DomainId dom, Tick dt, Callback cb,
+                                      CancelToken token = nullptr) {
+    return schedule_cancellable_at(dom, now() + dt, std::move(cb), std::move(token));
+  }
   CancelToken schedule_cancellable_in(Tick dt, Callback cb, CancelToken token = nullptr) {
-    return schedule_cancellable_at(now_ + dt, std::move(cb), std::move(token));
+    return schedule_cancellable_in(kGlobalDomain, dt, std::move(cb), std::move(token));
   }
 
-  /// Current simulation time.
-  [[nodiscard]] Tick now() const noexcept { return now_; }
+  /// Cancels every event armed under `token`'s current generation. Safe to
+  /// call with a null or already-cancelled token, and from inside a
+  /// parallel window (the live-event count folds in at the barrier).
+  void cancel(const CancelToken& token) noexcept {
+    if (!token || !token->live) return;
+    token->live = false;
+    const auto armed = static_cast<std::int64_t>(token->armed);
+    token->armed = 0;
+    if (tls_.engine == this) {
+      tls_.domain->live_delta -= armed;
+    } else {
+      live_ -= armed;
+    }
+  }
 
-  /// Pending event count (cancelled-but-not-yet-popped events included).
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Runs `op` against shared (cross-domain) state: immediately when
+  /// executing serially, deferred to the window barrier — in exact (at,
+  /// seq) event order, with now() restored to the scheduling event's tick —
+  /// when called from a domain event inside a parallel window. Deferred ops
+  /// must not schedule events (checked).
+  template <typename F>
+  void shared(F&& op) {
+    if (tls_.engine == this) {
+      tls_.domain->ops.emplace_back(std::forward<F>(op));
+    } else {
+      op();
+    }
+  }
+
+  /// Current simulation time. Inside a parallel window this is the
+  /// executing event's tick on the calling lane.
+  [[nodiscard]] Tick now() const noexcept {
+    return tls_.engine == this ? tls_.now : now_;
+  }
+
+  /// Live pending events: cancelled events are subtracted the moment
+  /// cancel() runs (not when their dead heap slot is eventually popped), so
+  /// drain checks and watchdog stall dumps see true queue depth.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return live_ > 0 ? static_cast<std::size_t>(live_) : 0;
+  }
+
+  /// Raw heap occupancy, cancelled-but-unpopped slots included
+  /// (diagnostics; pending() is the meaningful depth).
+  [[nodiscard]] std::size_t queued() const noexcept {
+    std::size_t n = 0;
+    for (const auto& d : domains_) n += d->heap.size();
+    return n;
+  }
 
   /// Callbacks actually invoked so far (cancelled events excluded). The
   /// schedule is deterministic, so for a fixed config this is a
@@ -71,41 +211,29 @@ class Engine {
   /// the events/sec throughput metric.
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
 
-  /// Pops one event; returns false if the queue is empty. A cancelled event
-  /// is discarded without running and without touching now() — the return
-  /// value still reports "made progress" so run()/run_until() loops drain
-  /// naturally.
+  /// Pops one event (the global (at, seq) minimum across domains); returns
+  /// false if all heaps are empty. A cancelled event is discarded without
+  /// running and without touching now() — the return value still reports
+  /// "made progress" so run()/run_until() loops drain naturally.
   bool step() {
-    if (heap_.empty()) return false;
-    Event* ev = heap_.top();
-    heap_.pop();
-    if (ev->token && !*ev->token) {
-      release(ev);
-      return true;
-    }
-    now_ = ev->at;
-    // Move the callback out and recycle the slot *before* invoking: the
-    // callback may schedule events, and handing the slot back first lets
-    // the commonest pattern (one event schedules its successor) run
-    // entirely within one slab slot.
-    Callback fn = std::move(ev->fn);
-    release(ev);
-    fn();
-    ++executed_;
+    Domain* d = next_domain();
+    if (d == nullptr) return false;
+    pop_and_run(*d);
     return true;
   }
 
-  /// Runs until no events remain. Returns the final tick.
-  Tick run() {
-    while (step()) {
-    }
-    return now_;
-  }
+  /// Runs until no events remain (opening parallel windows when sharded
+  /// and the gate allows). Returns the final tick.
+  Tick run();
 
-  /// Runs until `deadline` or queue exhaustion, whichever first. Used by
-  /// tests to bound runaway simulations.
+  /// Runs serially until `deadline` or queue exhaustion, whichever first.
+  /// Used by tests to bound runaway simulations; never opens windows.
   Tick run_until(Tick deadline) {
-    while (!heap_.empty() && heap_.top()->at <= deadline) step();
+    for (;;) {
+      Domain* d = next_domain();
+      if (d == nullptr || d->heap.top()->at > deadline) break;
+      pop_and_run(*d);
+    }
     return now_;
   }
 
@@ -114,7 +242,8 @@ class Engine {
     Tick at{0};
     std::uint64_t seq{0};
     Callback fn;
-    CancelToken token;  ///< null for plain (non-cancellable) events
+    CancelToken token;       ///< null for plain (non-cancellable) events
+    std::uint64_t token_gen{0};  ///< token->gen this event was armed under
   };
   struct Later {
     bool operator()(const Event* a, const Event* b) const noexcept {
@@ -122,43 +251,183 @@ class Engine {
     }
   };
 
+  /// One executed event inside a parallel window: cumulative end offsets
+  /// into the domain's pushes/ops scratch delimit what it scheduled and
+  /// which shared ops it deferred.
+  struct ExecRec {
+    Event* ev;
+    std::uint32_t push_end;
+    std::uint32_t op_end;
+  };
+  /// One event scheduled inside a parallel window, and where it belongs.
+  struct PushRec {
+    Event* ev;
+    DomainId target;
+  };
+
+  struct Domain {
+    DomainId id{0};
+    std::priority_queue<Event*, std::vector<Event*>, Later> heap;
+    std::vector<std::unique_ptr<Event[]>> slabs;
+    std::vector<Event*> free_list;
+
+    // Parallel-window scratch. Thread-confined to the draining lane while
+    // a window is open; read back by the master at the barrier.
+    std::vector<ExecRec> exec_log;
+    std::vector<PushRec> pushes;
+    std::vector<Callback> ops;
+    /// Slots popped during the window. Recycling is deferred to the
+    /// barrier: the merge still reads (at, seq) through Event* and
+    /// rewrites the seq of every window-born push, so slots must stay
+    /// stable until then.
+    std::vector<Event*> retired;
+    std::uint64_t window_births{0};
+    std::size_t inbox_in_flight{0};
+    std::int64_t live_delta{0};
+
+    Event* acquire() {
+      if (free_list.empty()) {
+        slabs.push_back(std::make_unique<Event[]>(kChunkEvents));
+        Event* chunk = slabs.back().get();
+        free_list.reserve(free_list.size() + kChunkEvents);
+        for (std::size_t i = kChunkEvents; i > 0; --i) free_list.push_back(&chunk[i - 1]);
+      }
+      Event* ev = free_list.back();
+      free_list.pop_back();
+      return ev;
+    }
+    void release(Event* ev) {
+      ev->fn.reset();
+      ev->token.reset();
+      free_list.push_back(ev);
+    }
+  };
+
+  /// Per-thread execution context while draining a domain in a window.
+  struct ExecContext {
+    Engine* engine{nullptr};
+    Domain* domain{nullptr};
+    Tick now{0};
+  };
+
   /// Events per slab chunk. Chunks are never freed during a run, so every
   /// Event* stays valid for its heap lifetime.
   static constexpr std::size_t kChunkEvents = 256;
 
-  void push_event(Tick t, Callback cb, CancelToken token) {
-    Event* ev = acquire();
+  /// Provisional-sequence bit for events born inside a parallel window:
+  /// sorts after every definitive sequence number (seq_ stays far below
+  /// 2^63) and is rewritten to a definitive one at the barrier merge.
+  static constexpr std::uint64_t kWindowBorn = std::uint64_t{1} << 63;
+
+  static void rearm(CancelToken& token) {
+    if (!token) {
+      token = std::make_shared<CancelState>();
+    } else if (!token->live) {
+      token->live = true;
+      ++token->gen;
+      token->armed = 0;
+    }
+    ++token->armed;
+  }
+
+  /// True when the event was cancelled (token dead, or re-armed under a
+  /// newer generation) and must be skipped on pop.
+  static bool stale(const Event* ev) noexcept {
+    return ev->token && (!ev->token->live || ev->token_gen != ev->token->gen);
+  }
+
+  /// Domain lookup with the legacy collapse: out-of-range tags (every tag,
+  /// when shards == 1 and only the single legacy heap exists) map to the
+  /// global domain.
+  Domain& domain(DomainId dom) noexcept {
+    return *domains_[dom < domains_.size() ? dom : kGlobalDomain];
+  }
+
+  void push_event(Domain& d, Tick t, Callback cb, CancelToken token, std::uint64_t gen) {
+    MGCOMP_CHECK_MSG(!replaying_, "deferred shared op may not schedule events");
+    Event* ev = d.acquire();
     ev->at = t;
     ev->seq = seq_++;
     ev->fn = std::move(cb);
     ev->token = std::move(token);
-    heap_.push(ev);
+    ev->token_gen = gen;
+    d.heap.push(ev);
+    ++live_;
   }
 
-  Event* acquire() {
-    if (free_.empty()) {
-      slabs_.push_back(std::make_unique<Event[]>(kChunkEvents));
-      Event* chunk = slabs_.back().get();
-      free_.reserve(free_.size() + kChunkEvents);
-      for (std::size_t i = kChunkEvents; i > 0; --i) free_.push_back(&chunk[i - 1]);
+  /// Schedule from inside a parallel window (implemented in engine.cc).
+  void window_push(DomainId dom, Tick t, Callback cb, CancelToken token, std::uint64_t gen);
+
+  /// The domain holding the global (at, seq) minimum; null if all empty.
+  Domain* next_domain() noexcept {
+    Domain* best = nullptr;
+    const Event* head = nullptr;
+    for (const auto& up : domains_) {
+      if (up->heap.empty()) continue;
+      const Event* e = up->heap.top();
+      if (head == nullptr || e->at < head->at || (e->at == head->at && e->seq < head->seq)) {
+        best = up.get();
+        head = e;
+      }
     }
-    Event* ev = free_.back();
-    free_.pop_back();
-    return ev;
+    return best;
   }
 
-  void release(Event* ev) {
-    ev->fn.reset();
-    ev->token.reset();
-    free_.push_back(ev);
+  void pop_and_run(Domain& d) {
+    Event* ev = d.heap.top();
+    d.heap.pop();
+    if (stale(ev)) {
+      d.release(ev);
+      return;
+    }
+    now_ = ev->at;
+    if (ev->token) --ev->token->armed;
+    --live_;
+    // Move the callback out and recycle the slot *before* invoking: the
+    // callback may schedule events, and handing the slot back first lets
+    // the commonest pattern (one event schedules its successor) run
+    // entirely within one slab slot.
+    Callback fn = std::move(ev->fn);
+    d.release(ev);
+    fn();
+    ++executed_;
   }
 
-  std::priority_queue<Event*, std::vector<Event*>, Later> heap_;
-  std::vector<std::unique_ptr<Event[]>> slabs_;
-  std::vector<Event*> free_;
+  // Parallel-window machinery (engine.cc).
+  bool try_window();
+  void run_window(Tick horizon);
+  void drain_domain(Domain& dom);
+  void merge_window();
+  void worker_loop(std::uint32_t lane);
+
+  std::vector<std::unique_ptr<Domain>> domains_;
   Tick now_{0};
   std::uint64_t seq_{0};
   std::uint64_t executed_{0};
+  std::int64_t live_{0};
+  /// True while the barrier replays deferred shared ops (scheduling from
+  /// an op would corrupt the merged order; checked).
+  bool replaying_{false};
+
+  // Sharding state. All default-inert: shard_count_ == 1 means the legacy
+  // single-heap engine with zero threads.
+  std::uint32_t shard_count_{1};
+  bool windows_enabled_{true};
+  std::function<bool()> window_gate_;
+  Tick window_horizon_{0};
+  std::uint64_t windows_run_{0};
+  std::vector<Domain*> window_active_;
+  std::vector<std::vector<Domain*>> lane_work_;
+  std::vector<std::size_t> merge_exec_, merge_push_, merge_op_;
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_, cv_done_;
+  std::uint64_t window_gen_{0};
+  std::uint32_t lanes_pending_{0};
+  bool stopping_{false};
+
+  static thread_local ExecContext tls_;  // defined in engine.cc
 };
 
 }  // namespace mgcomp

@@ -67,7 +67,7 @@ TEST(Engine, CancelledEventNeitherRunsNorAdvancesTime) {
   const Engine::CancelToken token =
       e.schedule_cancellable_at(100, [&] { ran = true; });
   e.schedule_at(10, [&] { end = e.now(); });
-  *token = false;  // cancel before run
+  e.cancel(token);  // cancel before run
   e.run();
   EXPECT_FALSE(ran);
   EXPECT_EQ(end, 10u);
@@ -89,26 +89,77 @@ TEST(Engine, CancellableEventRunsWhenNotCancelled) {
 
 TEST(Engine, SharedTokenCancelsPeriodicChain) {
   // One token arms a self-rescheduling chain (the watchdog pattern);
-  // flipping it stops the whole chain.
+  // cancelling it stops the whole chain: the armed event pops stale and
+  // therefore never re-arms.
   Engine e;
   int fires = 0;
-  Engine::CancelToken token = std::make_shared<bool>(true);
+  Engine::CancelToken token = std::make_shared<Engine::CancelState>();
   std::function<void()> tick = [&] {
     ++fires;
-    if (fires == 3) *token = false;
     e.schedule_cancellable_in(10, tick, token);
   };
   e.schedule_cancellable_in(10, tick, token);
+  e.schedule_at(35, [&] { e.cancel(token); });
   e.run();
-  EXPECT_EQ(fires, 3);
-  EXPECT_EQ(e.now(), 30u);  // the 4th, cancelled, event did not advance time
+  EXPECT_EQ(fires, 3);  // fired at 10, 20, 30; the event at 40 was cancelled
+  EXPECT_EQ(e.now(), 35u);  // the cancelled 4th event did not advance time
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RearmedTokenFiresAfterCancellation) {
+  // Regression: re-arming a cancelled token must reset it live — the old
+  // engine kept the token dead, so the re-armed event silently never fired
+  // (a retransmission timer armed after a cancel would vanish).
+  Engine e;
+  int fires = 0;
+  Engine::CancelToken token = e.schedule_cancellable_at(10, [&] { ++fires; });
+  e.cancel(token);
+  e.schedule_cancellable_at(20, [&] { ++fires; }, token);  // re-arm
+  e.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(e.now(), 20u);
+}
+
+TEST(Engine, RearmingDoesNotResurrectOlderCancelledEvents) {
+  // The generation guard: events armed before the cancellation stay dead
+  // even though re-arming makes the shared token live again.
+  Engine e;
+  int old_fires = 0;
+  int new_fires = 0;
+  Engine::CancelToken token = e.schedule_cancellable_at(10, [&] { ++old_fires; });
+  e.schedule_cancellable_at(15, [&] { ++old_fires; }, token);
+  e.cancel(token);
+  e.schedule_cancellable_at(5, [&] { ++new_fires; }, token);  // re-arm, earlier tick
+  e.run();
+  EXPECT_EQ(old_fires, 0);
+  EXPECT_EQ(new_fires, 1);
+  EXPECT_EQ(e.now(), 5u);  // the dead events at 10/15 did not advance time
+}
+
+TEST(Engine, PendingExcludesCancelledEvents) {
+  // Satellite fix: pending() must report live events only, the moment
+  // cancel() runs — not when the dead slot is eventually popped — so drain
+  // checks and stall dumps see true queue depth.
+  Engine e;
+  e.schedule_at(10, [] {});
+  const Engine::CancelToken token = e.schedule_cancellable_at(20, [] {});
+  e.schedule_cancellable_at(30, [] {}, token);
+  EXPECT_EQ(e.pending(), 3u);
+  EXPECT_EQ(e.queued(), 3u);
+  e.cancel(token);
+  EXPECT_EQ(e.pending(), 1u);  // both token-armed events died instantly
+  EXPECT_EQ(e.queued(), 3u);   // their slots still occupy the heap
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.queued(), 0u);
+  EXPECT_EQ(e.events_executed(), 1u);
 }
 
 TEST(Engine, CountsExecutedEventsExcludingCancelled) {
   Engine e;
   for (Tick t = 1; t <= 5; ++t) e.schedule_at(t, [] {});
   const Engine::CancelToken token = e.schedule_cancellable_at(6, [] {});
-  *token = false;
+  e.cancel(token);
   e.run();
   EXPECT_EQ(e.events_executed(), 5u);
 }

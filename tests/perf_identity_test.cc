@@ -123,8 +123,7 @@ TEST_P(PerfIdentityTest, FingerprintMatchesPreRewriteImplementation) {
   cfg.characterize = c.characterize;
   cfg.trace_samples = c.trace_samples;
   auto wl = make_workload(g.workload, kScale);
-  const RunResult r = run_workload(std::move(cfg), *wl);
-  simd::set_backend(simd::best_backend());  // don't leak the override
+  const RunResult r = run_workload(cfg, *wl);
   EXPECT_EQ(run_fingerprint(r), g.fingerprint)
       << g.workload << " / " << g.label << " on backend "
       << simd::backend_name(GetParam().backend)
@@ -133,6 +132,22 @@ TEST_P(PerfIdentityTest, FingerprintMatchesPreRewriteImplementation) {
   // anything.
   EXPECT_GT(r.events_executed, 0U);
   EXPECT_GT(r.exec_ticks, 0U);
+
+  // Sharded execution must be bit-identical to single-threaded. Run the
+  // whole golden table at --shards 2 and 4 on one backend (the scalar pass
+  // keeps suite runtime bounded; the MGCOMP_SHARDS=4 CI pass covers the
+  // other backends).
+  if (GetParam().backend == simd::Backend::kScalar) {
+    for (const std::uint32_t shards : {2u, 4u}) {
+      SystemConfig sharded_cfg = cfg;
+      sharded_cfg.shards = shards;
+      auto wl2 = make_workload(g.workload, kScale);
+      const RunResult rs = run_workload(std::move(sharded_cfg), *wl2);
+      EXPECT_EQ(run_fingerprint(rs), g.fingerprint)
+          << g.workload << " / " << g.label << " diverged at --shards " << shards;
+    }
+  }
+  simd::set_backend(simd::best_backend());  // don't leak the override
 }
 
 std::string golden_name(const testing::TestParamInfo<BackendGolden>& info) {

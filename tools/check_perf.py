@@ -71,7 +71,13 @@ def compare_to_baseline(doc: dict, baseline_path: str, tolerance: float) -> None
         print(f"check_perf: WARNING: baseline scale {base.get('scale')!r} != "
               f"{doc.get('scale')!r}; rates are not directly comparable",
               file=sys.stderr)
-    for name in ("total", "adaptive"):
+    names = ["total", "adaptive"]
+    # adaptive_sharded is optional (older baselines predate the sharded
+    # engine); compare it only when both files carry it.
+    if isinstance(base.get("adaptive_sharded"), dict) and \
+            isinstance(doc.get("adaptive_sharded"), dict):
+        names.append("adaptive_sharded")
+    for name in names:
         old = aggregate_rate(base, name, baseline_path)
         new = aggregate_rate(doc, name, "current run")
         floor = old * (1.0 - tolerance)
@@ -164,6 +170,33 @@ def main() -> None:
             fail(f"{name}.wall_ms {agg.get('wall_ms')!r} != sum of rows {want_ms:.3f}")
         check_rate(f"{name}.events_per_sec", agg.get("events_per_sec", -1.0),
                    want_events, agg["wall_ms"])
+
+    sharded = doc.get("adaptive_sharded")
+    if sharded is not None:
+        if not isinstance(sharded, dict):
+            fail("adaptive_sharded is not an object")
+        if not isinstance(sharded.get("shards"), int) or sharded["shards"] < 2:
+            fail(f"adaptive_sharded.shards {sharded.get('shards')!r} must be >= 2")
+        if not isinstance(sharded.get("wall_ms"), (int, float)) or sharded["wall_ms"] <= 0:
+            fail(f"adaptive_sharded.wall_ms {sharded.get('wall_ms')!r}")
+        # The sharded engine reproduces the serial schedule bit-exactly, so
+        # the event count must equal the serial adaptive slice.
+        if sharded.get("events") != adaptive_events:
+            fail(f"adaptive_sharded.events {sharded.get('events')!r} != "
+                 f"serial adaptive events {adaptive_events} — sharded run "
+                 f"diverged from the serial schedule")
+        check_rate("adaptive_sharded.events_per_sec",
+                   sharded.get("events_per_sec", -1.0),
+                   sharded["events"], sharded["wall_ms"])
+        speedup = sharded.get("speedup_vs_serial")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            fail(f"adaptive_sharded.speedup_vs_serial {speedup!r}")
+        expected_speedup = adaptive_ms / sharded["wall_ms"]
+        if abs(speedup - expected_speedup) > max(0.01, expected_speedup * 1e-2):
+            fail(f"adaptive_sharded.speedup_vs_serial {speedup} inconsistent "
+                 f"with wall times ({expected_speedup:.3f})")
+        print(f"check_perf: OK: adaptive_sharded shards={sharded['shards']} "
+              f"speedup {speedup:.2f}x vs serial adaptive")
 
     print(f"check_perf: OK: {len(results)} cases over {len(workloads)} workloads x "
           f"{len(policies)} policies, {sum_events} events in {sum_ms:.1f} ms")
