@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include <algorithm>
 #include <string>
 
 #include "common/assert.h"
@@ -91,13 +92,21 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
     episodes_->schedule_all();
   }
 
-  // Parallel windows open only while a fabric transfer is in flight: the
-  // completion event at the global heap's head is then a safe cross-domain
-  // lookahead horizon. The tracer and the health monitor observe domain
-  // events directly (ring buffers, per-endpoint FSMs), so runs with either
-  // attached stay fully serial — still sharded-correct, just unparallelized.
-  if (engine_->shards() > 1 && tracer_ == nullptr && health_ == nullptr) {
-    engine_->set_window_gate([this] { return bus_->windows_safe(); });
+  // Parallel windows drain GPU domains below a tick-valued lookahead
+  // horizon. The fabric bounds the earliest cross-domain delivery that any
+  // window event — or one of its shared ops replayed at the barrier — could
+  // schedule: the bus from its busy-until tick, the switch from per-port
+  // earliest-free minima, both plus the minimum link serialization time. A
+  // health monitor adds its own bound (a replayed link observation can arm
+  // a DOWN probe at now + probe_interval); the tracer needs none — records
+  // made inside windows stage in per-lane rings and commit at the barrier.
+  // The engine additionally caps the horizon at the global heap's head.
+  if (engine_->shards() > 1) {
+    engine_->set_window_horizon_source([this](Tick earliest) {
+      Tick h = bus_->lookahead_horizon(earliest);
+      if (health_ != nullptr) h = std::min(h, earliest + health_->min_schedule_delay());
+      return h;
+    });
   }
 }
 

@@ -184,9 +184,15 @@ class BusFabric final : public Fabric {
   [[nodiscard]] bool idle() const noexcept { return !busy_; }
 
   /// While a transfer occupies the bus, kick() is a no-op and the only
-  /// future delivery is the already-scheduled complete() event — sends
-  /// from GPU domains merely enqueue, so windows are safe until then.
-  [[nodiscard]] bool windows_safe() const noexcept override { return busy_; }
+  /// scheduled fabric event is the in-flight complete() at busy_until_ —
+  /// sends from window events merely enqueue, and a grant issued by the
+  /// barrier replay of complete() cannot finish before busy_until_ plus
+  /// the smallest message's serialization time. Idle, a send replayed at
+  /// tick t >= `earliest` grants immediately and completes no sooner than
+  /// t + min_cycles().
+  [[nodiscard]] Tick lookahead_horizon(Tick earliest) const noexcept override {
+    return (busy_ ? busy_until_ : earliest) + min_cycles();
+  }
   [[nodiscard]] std::size_t num_endpoints() const noexcept { return endpoints_.size(); }
   [[nodiscard]] const std::string& endpoint_name(EndpointId ep) const override {
     return endpoints_.at(ep.value).name;
@@ -230,6 +236,14 @@ class BusFabric final : public Fabric {
   /// (destination GPU declared DOWN, or the sender itself is dead).
   void purge_undeliverable(std::size_t idx);
 
+  /// Serialization time of the smallest possible message — the lower bound
+  /// on any transfer's wire occupancy.
+  [[nodiscard]] Tick min_cycles() const noexcept {
+    return std::max<Tick>((kMinWireBytes + params_.bytes_per_cycle - 1) /
+                              params_.bytes_per_cycle,
+                          1);
+  }
+
   Engine* engine_;
   Params params_;
   std::vector<Endpoint> endpoints_;
@@ -238,6 +252,7 @@ class BusFabric final : public Fabric {
   HealthMonitor* health_{nullptr};
   Tracer* tracer_{nullptr};
   bool busy_{false};
+  Tick busy_until_{0};  ///< tick of the in-flight complete() while busy_
   Message in_flight_{};
   std::size_t rr_next_{0};  ///< round-robin scan start
 };

@@ -59,12 +59,19 @@ class Fabric {
   /// that just changed state (recovered, or a peer declared dead).
   virtual void on_health_change() {}
 
-  /// True when the sharded engine may open a parallel window right now:
-  /// the fabric guarantees that, until its next already-scheduled global
-  /// event fires, no new cross-domain delivery can be scheduled (so that
-  /// event's tick is a conservative lookahead horizon). The default is the
-  /// always-safe answer "no" — execution simply stays serial.
-  [[nodiscard]] virtual bool windows_safe() const noexcept { return false; }
+  /// Conservative lookahead horizon for the sharded engine's parallel
+  /// windows. `earliest` is the lowest tick at which any event inside the
+  /// candidate window could run; the fabric must return a tick H >=
+  /// `earliest` such that no send()/consume() issued by those events — or
+  /// by their deferred shared ops replayed at the window barrier — can
+  /// schedule a delivery or completion strictly before H. The engine caps
+  /// H at the global heap's head, so returning a wide bound is safe; the
+  /// default 0 is the always-safe answer "no guarantee" — execution simply
+  /// stays serial.
+  [[nodiscard]] virtual Tick lookahead_horizon(Tick earliest) const noexcept {
+    (void)earliest;
+    return 0;
+  }
 
   // Introspection for watchdog diagnostics: how full each endpoint's
   // buffers are when a run stops making progress.

@@ -63,11 +63,14 @@ class SwitchFabric final : public Fabric {
     return endpoints_[ep.value].out.size();
   }
 
-  /// The crossbar can start a new transmission (and schedule its delivery)
-  /// the moment any send finds a free port pair, so there is no cheap
-  /// always-valid lookahead horizon; sharded runs on the switch stay
-  /// serial (future work: per-port earliest-free-tick horizon).
-  [[nodiscard]] bool windows_safe() const noexcept override { return false; }
+  /// Per-port earliest-free horizon. A transfer launched by a replayed
+  /// window send starts no earlier than max(its launch tick >= `earliest`,
+  /// its source's out-port free tick, its destination's in-port free tick)
+  /// and occupies the wire for at least min_cycles(). Taking the minimum
+  /// free tick over all out ports and all in ports lower-bounds every
+  /// (src, dst) pair in O(n), and port free ticks only move forward during
+  /// a window's replay, so the bound holds for every launch in it.
+  [[nodiscard]] Tick lookahead_horizon(Tick earliest) const noexcept override;
 
  private:
   struct Endpoint {
@@ -97,6 +100,14 @@ class SwitchFabric final : public Fabric {
 
   /// Pops and counts head-of-queue messages that can never be delivered.
   void purge_undeliverable(std::size_t idx);
+
+  /// Serialization time of the smallest possible message — the lower bound
+  /// on any transfer's port occupancy.
+  [[nodiscard]] Tick min_cycles() const noexcept {
+    return std::max<Tick>((kMinWireBytes + params_.bytes_per_cycle - 1) /
+                              params_.bytes_per_cycle,
+                          1);
+  }
 
   Engine* engine_;
   Params params_;

@@ -132,7 +132,12 @@ void RdmaEngine::on_timeout(std::uint16_t id) {
   const auto it = pending_.find(id);
   if (it == pending_.end() || it->second.completing) return;  // stale firing
   policy_->on_link_feedback(LinkEvent::kTimeout);
-  if (health_ != nullptr) health_->on_link_error(self_ep_, it->second.dst);
+  // Health observations are shared state (they can re-arbitrate the fabric
+  // or arm a DOWN probe); timeout events run in this GPU's domain, so defer
+  // through the barrier replay like every other cross-domain side effect.
+  if (health_ != nullptr) {
+    engine_->shared([this, dst = it->second.dst] { health_->on_link_error(self_ep_, dst); });
+  }
   retransmit(id, it->second, /*from_nack=*/false);
 }
 
@@ -150,8 +155,9 @@ void RdmaEngine::retransmit(std::uint16_t id, PendingRequest& req, bool from_nac
       ++link.timeout_retransmits;
     }
   });
-  // Tracer calls stay direct: an attached tracer disables parallel windows
-  // system-wide, so this path is then always serial.
+  // Tracer calls stay direct: inside a parallel window the tracer stages
+  // the record in this lane's private ring and commits it at the barrier
+  // replay, so the recorded stream matches the serial engine's exactly.
   if (tracer_ != nullptr) {
     tracer_->instant(track_, from_nack ? "fast_retransmit" : "timeout_retransmit", "link",
                      req.addr);
@@ -168,7 +174,9 @@ void RdmaEngine::hard_fail(std::uint16_t id, PendingRequest& req) {
   });
   if (tracer_ != nullptr) tracer_->instant(track_, "hard_failure", "link", req.addr);
   policy_->on_link_feedback(LinkEvent::kHardFailure);
-  if (health_ != nullptr) health_->on_link_error(self_ep_, req.dst);
+  if (health_ != nullptr) {
+    engine_->shared([this, dst = req.dst] { health_->on_link_error(self_ep_, dst); });
+  }
   cancel_timer(req);
   quarantine_id(id);
   auto done = std::move(req.done);
@@ -276,7 +284,13 @@ void RdmaEngine::handle_data_ready(Message&& msg) {
       tracer_->span(track_, "remote_read", "rdma", issued, engine_->now(), msg.addr);
     }
     if (pit->second.retries > 0) quarantine_id(msg.id);
-    if (health_ != nullptr) health_->on_link_success(self_ep_, pit->second.dst);
+    // Deferred like the error path: a success can flip a RECOVERED link UP
+    // and re-arbitrate the fabric, and decompression puts this completion
+    // in the GPU's domain.
+    if (health_ != nullptr) {
+      engine_->shared(
+          [this, dst = pit->second.dst] { health_->on_link_success(self_ep_, dst); });
+    }
     auto done = std::move(pit->second.done);
     pending_.erase(pit);
     done(true);

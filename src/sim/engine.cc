@@ -1,7 +1,10 @@
 // Sharded parallel execution for the event engine: worker lanes, the
-// window gate/horizon logic, and the deterministic barrier merge. See the
-// header comment in engine.h for the design.
+// lookahead-horizon window logic, and the deterministic barrier merge. See
+// the header comment in engine.h for the design.
 #include "sim/engine.h"
+
+#include <algorithm>
+#include <cstdio>
 
 namespace mgcomp {
 
@@ -28,6 +31,17 @@ void Engine::configure_sharding(std::uint32_t shards, DomainId num_domains) {
                    "configure_sharding must run before any event is scheduled");
   MGCOMP_CHECK_MSG(workers_.empty() && shard_count_ == 1,
                    "configure_sharding may run at most once");
+  // Only the num_domains - 1 GPU domains ever drain in parallel (domain 0
+  // stays with the master between windows), so lanes beyond that would
+  // spin idle. Clamp loudly rather than silently.
+  const std::uint32_t usable = num_domains > 1 ? num_domains - 1 : 1;
+  if (shards > usable) {
+    std::fprintf(stderr,
+                 "mgcomp: engine: clamping shards %u -> %u (%u domain(s) = "
+                 "%u GPU domain(s) to drain in parallel)\n",
+                 shards, usable, num_domains, num_domains - 1);
+    shards = usable;
+  }
   shard_count_ = shards;
   if (shards == 1) return;  // legacy single-heap layout, zero threads
 
@@ -64,6 +78,7 @@ void Engine::window_push(DomainId dom, Tick t, Callback cb, CancelToken token,
   ev->token_gen = gen;
   const DomainId target = dom < domains_.size() ? dom : kGlobalDomain;
   home.pushes.push_back(PushRec{ev, target});
+  home.acts.push_back(Domain::kActPush);
   home.live_delta += 1;
   if (target == home.id) {
     home.heap.push(ev);
@@ -77,10 +92,25 @@ void Engine::window_push(DomainId dom, Tick t, Callback cb, CancelToken token,
 }
 
 bool Engine::try_window() {
-  if (!windows_enabled_ || !window_gate_ || !window_gate_()) return false;
-  Domain& global = *domains_[kGlobalDomain];
-  if (global.heap.empty()) return false;
-  const Tick horizon = global.heap.top()->at;
+  if (!windows_enabled_ || !horizon_source_) return false;
+  // Parallelism needs at least two non-empty GPU domains; find them and
+  // the earliest pending GPU tick in one cheap scan.
+  Tick earliest = 0;
+  std::size_t nonempty = 0;
+  for (std::size_t d = 1; d < domains_.size(); ++d) {
+    const Domain& dom = *domains_[d];
+    if (dom.heap.empty()) continue;
+    const Tick head = dom.heap.top()->at;
+    if (nonempty == 0 || head < earliest) earliest = head;
+    ++nonempty;
+  }
+  if (nonempty < 2) return false;
+  // The source's conservative bound, capped at the next global event
+  // (which must interleave serially with the GPU domains).
+  Tick horizon = horizon_source_(earliest);
+  const Domain& global = *domains_[kGlobalDomain];
+  if (!global.heap.empty()) horizon = std::min(horizon, global.heap.top()->at);
+  if (horizon <= earliest) return false;
   window_active_.clear();
   for (std::size_t d = 1; d < domains_.size(); ++d) {
     Domain& dom = *domains_[d];
@@ -146,8 +176,7 @@ void Engine::drain_domain(Domain& dom) {
     dom.live_delta -= 1;
     Callback fn = std::move(ev->fn);
     fn();
-    dom.exec_log.push_back(ExecRec{ev, static_cast<std::uint32_t>(dom.pushes.size()),
-                                   static_cast<std::uint32_t>(dom.ops.size())});
+    dom.exec_log.push_back(ExecRec{ev, static_cast<std::uint32_t>(dom.acts.size())});
     dom.retired.push_back(ev);
   }
   tls_ = ExecContext{};
@@ -166,6 +195,7 @@ void Engine::merge_window() {
   merge_exec_.assign(n, 0);
   merge_push_.assign(n, 0);
   merge_op_.assign(n, 0);
+  merge_act_.assign(n, 0);
   replaying_ = true;
   for (;;) {
     std::size_t best = n;
@@ -182,16 +212,24 @@ void Engine::merge_window() {
     if (best == n) break;
     Domain& d = *window_active_[best];
     const ExecRec rec = d.exec_log[merge_exec_[best]++];
-    // Definitive sequence numbers: exactly the values seq_++ would have
-    // produced had this event run on the single-threaded engine, because
-    // events merge in that engine's execution order. The rewrite is
-    // order-preserving within each heap (per-domain push order is the
-    // restriction of the global order), so no re-heapify is needed.
-    for (std::size_t& pc = merge_push_[best]; pc < rec.push_end; ++pc) {
-      d.pushes[pc].ev->seq = seq_++;
-    }
     now_ = rec.ev->at;
-    for (std::size_t& oc = merge_op_[best]; oc < rec.op_end; ++oc) d.ops[oc]();
+    // Walk the event's action log in original call order. Pushes take the
+    // definitive seq_++ values — exactly what the single-threaded engine
+    // would have assigned, because events merge in its execution order and
+    // ops (which may schedule, consuming seq numbers via push_event) run
+    // at their exact position between them. The push-seq rewrite is
+    // order-preserving within each heap (per-domain push order is the
+    // restriction of the global order, and not-yet-rewritten provisional
+    // seqs sort after every definitive one), so no re-heapify is needed.
+    std::size_t& pc = merge_push_[best];
+    std::size_t& oc = merge_op_[best];
+    for (std::size_t& ac = merge_act_[best]; ac < rec.act_end; ++ac) {
+      if (d.acts[ac] == Domain::kActPush) {
+        d.pushes[pc++].ev->seq = seq_++;
+      } else {
+        d.ops[oc++]();
+      }
+    }
     ++executed_;
   }
   replaying_ = false;
@@ -219,6 +257,7 @@ void Engine::merge_window() {
     d.exec_log.clear();
     d.pushes.clear();
     d.ops.clear();
+    d.acts.clear();
     d.retired.clear();
     d.window_births = 0;
     d.inbox_in_flight = 0;

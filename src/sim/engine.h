@@ -17,21 +17,25 @@
 // GPU g's private events (compute-unit pumps, local-memory latencies, RDMA
 // timers). Execution stays serial — a k-way merge across domain heads by
 // (at, seq), trivially identical to the single-heap order — except inside
-// *parallel windows*: whenever the window gate reports the fabric busy, the
-// head of the global heap is a conservative lookahead horizon (no
-// cross-domain message can arrive earlier), so every GPU domain may drain
-// its events strictly below that horizon on its own thread. Shared side
-// effects (fabric queues, the stats collector) are deferred through
+// *parallel windows*: the installed horizon source (the system wires in the
+// fabric's tick-valued lookahead bound, min'd with the health monitor's)
+// names a tick H such that no event below H — nor any shared op it defers —
+// can schedule a cross-domain delivery before H. The engine caps H at the
+// global heap's head, and every GPU domain then drains its events strictly
+// below H on its own thread. Shared side effects (fabric queues, the stats
+// collector, tracer commits, health observations) are deferred through
 // Engine::shared() into per-domain op logs; at the window barrier the
 // master merges all executed events back into (at, seq) order, assigns the
 // definitive global sequence numbers to events born inside the window, and
-// replays the deferred ops in that exact order. Cross-domain schedules made
-// inside a window go through a bounded per-domain inbox and must land at or
-// beyond the horizon; they are spliced into their target heaps at the
-// barrier. The observable schedule — every callback's execution order,
-// now() value, and side-effect order — is bit-identical to the
-// single-threaded engine; shards=1 (the default) keeps the original
-// single-heap code path.
+// replays each event's pushes and deferred ops interleaved in their exact
+// call order — replayed ops may themselves schedule events, which land at
+// or beyond H (checked) and receive the definitive sequence numbers of
+// their serial execution position. Cross-domain schedules made inside a
+// window go through a bounded per-domain inbox and must land at or beyond
+// the horizon; they are spliced into their target heaps at the barrier. The
+// observable schedule — every callback's execution order, now() value, and
+// side-effect order — is bit-identical to the single-threaded engine;
+// shards=1 (the default) keeps the original single-heap code path.
 #pragma once
 
 #include <condition_variable>
@@ -91,15 +95,27 @@ class Engine {
   /// (>= 1; domain 0 is global) executed by `shards` lanes (the calling
   /// thread plus shards-1 workers). Must run before any event is scheduled
   /// and at most once. shards == 1 keeps the legacy single-heap layout.
+  /// Only the num_domains - 1 GPU domains drain in parallel, so a shard
+  /// count beyond that is clamped to it with a warning rather than spinning
+  /// idle worker lanes.
   void configure_sharding(std::uint32_t shards, DomainId num_domains);
 
   [[nodiscard]] std::uint32_t shards() const noexcept { return shard_count_; }
 
-  /// Installs the parallel-window gate: windows open only while it returns
-  /// true (the system installs "fabric transfer in flight", which makes the
-  /// global heap's head a safe cross-domain lookahead horizon). No gate
-  /// (the default) means fully serial execution even in sharded mode.
-  void set_window_gate(std::function<bool()> gate) { window_gate_ = std::move(gate); }
+  /// Tick-valued lookahead bound for parallel windows. Called with the
+  /// earliest pending GPU-domain tick, it must return a tick H >= that
+  /// value such that no event executed below H — nor any shared op it
+  /// defers to the barrier — can schedule a cross-domain event landing
+  /// before H (the system installs the fabric's lookahead_horizon, min'd
+  /// with the health monitor's probe bound). The engine additionally caps
+  /// H at the global heap's head, so sources may return wide bounds.
+  using HorizonSource = std::function<Tick(Tick)>;
+
+  /// Installs the window horizon source. No source (the default) means
+  /// fully serial execution even in sharded mode.
+  void set_window_horizon_source(HorizonSource source) {
+    horizon_source_ = std::move(source);
+  }
 
   /// Temporarily forbids parallel windows (execution stays serial and
   /// bit-identical). Drivers whose callbacks mutate cross-domain state from
@@ -108,6 +124,16 @@ class Engine {
 
   /// Parallel windows executed so far (diagnostics / tests).
   [[nodiscard]] std::uint64_t windows_executed() const noexcept { return windows_run_; }
+
+  /// Number of per-domain heaps (1 until configure_sharding creates more).
+  [[nodiscard]] std::size_t domain_count() const noexcept { return domains_.size(); }
+
+  /// True while the calling thread is draining a domain inside a parallel
+  /// window (side effects on shared state must go through shared()).
+  [[nodiscard]] bool in_window() const noexcept { return tls_.engine == this; }
+
+  /// Domain the calling lane is draining; meaningful only when in_window().
+  [[nodiscard]] DomainId window_domain() const noexcept { return tls_.domain->id; }
 
   /// Schedules `cb` to run at absolute tick `t` (must be >= now()) in
   /// domain `dom`. Components tag events touching only their own GPU's
@@ -174,11 +200,13 @@ class Engine {
   /// executing serially, deferred to the window barrier — in exact (at,
   /// seq) event order, with now() restored to the scheduling event's tick —
   /// when called from a domain event inside a parallel window. Deferred ops
-  /// must not schedule events (checked).
+  /// may schedule events, but only at or beyond the window horizon
+  /// (checked): the horizon source's contract is exactly that bound.
   template <typename F>
   void shared(F&& op) {
     if (tls_.engine == this) {
       tls_.domain->ops.emplace_back(std::forward<F>(op));
+      tls_.domain->acts.push_back(Domain::kActOp);
     } else {
       op();
     }
@@ -251,13 +279,12 @@ class Engine {
     }
   };
 
-  /// One executed event inside a parallel window: cumulative end offsets
-  /// into the domain's pushes/ops scratch delimit what it scheduled and
-  /// which shared ops it deferred.
+  /// One executed event inside a parallel window: the cumulative end
+  /// offset into the domain's action log delimits the pushes and deferred
+  /// ops it issued, in their original interleaved call order.
   struct ExecRec {
     Event* ev;
-    std::uint32_t push_end;
-    std::uint32_t op_end;
+    std::uint32_t act_end;
   };
   /// One event scheduled inside a parallel window, and where it belongs.
   struct PushRec {
@@ -266,6 +293,13 @@ class Engine {
   };
 
   struct Domain {
+    /// Action-log kinds: each schedule (push) or deferred shared op a
+    /// window event issues appends one marker, so the barrier replay can
+    /// interleave seq assignment and op execution exactly as the serial
+    /// engine would have (an op may schedule; order matters).
+    static constexpr std::uint8_t kActPush = 0;
+    static constexpr std::uint8_t kActOp = 1;
+
     DomainId id{0};
     std::priority_queue<Event*, std::vector<Event*>, Later> heap;
     std::vector<std::unique_ptr<Event[]>> slabs;
@@ -276,6 +310,7 @@ class Engine {
     std::vector<ExecRec> exec_log;
     std::vector<PushRec> pushes;
     std::vector<Callback> ops;
+    std::vector<std::uint8_t> acts;
     /// Slots popped during the window. Recycling is deferred to the
     /// barrier: the merge still reads (at, seq) through Event* and
     /// rewrites the seq of every window-born push, so slots must stay
@@ -344,7 +379,12 @@ class Engine {
   }
 
   void push_event(Domain& d, Tick t, Callback cb, CancelToken token, std::uint64_t gen) {
-    MGCOMP_CHECK_MSG(!replaying_, "deferred shared op may not schedule events");
+    // A replayed shared op may schedule, but only at or beyond the window
+    // horizon: the event takes its definitive seq here (larger than any
+    // already assigned), and nothing below the horizon remains unexecuted,
+    // so the merged order is exactly the serial one.
+    MGCOMP_CHECK_MSG(!replaying_ || t >= window_horizon_,
+                     "replayed shared op scheduled below the lookahead horizon");
     Event* ev = d.acquire();
     ev->at = t;
     ev->seq = seq_++;
@@ -413,12 +453,12 @@ class Engine {
   // single-heap engine with zero threads.
   std::uint32_t shard_count_{1};
   bool windows_enabled_{true};
-  std::function<bool()> window_gate_;
+  HorizonSource horizon_source_;
   Tick window_horizon_{0};
   std::uint64_t windows_run_{0};
   std::vector<Domain*> window_active_;
   std::vector<std::vector<Domain*>> lane_work_;
-  std::vector<std::size_t> merge_exec_, merge_push_, merge_op_;
+  std::vector<std::size_t> merge_exec_, merge_push_, merge_op_, merge_act_;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

@@ -5,6 +5,8 @@
 // that parallel windows actually open during a real workload run (so the
 // shards > 1 golden-identity passes are not vacuously serial).
 #include <cstdint>
+#include <random>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -12,6 +14,7 @@
 
 #include "analysis/fingerprint.h"
 #include "core/system.h"
+#include "fault/episodes.h"
 #include "sim/engine.h"
 #include "workloads/all_workloads.h"
 
@@ -46,8 +49,8 @@ TEST(ShardedEngineTest, SameTickCrossShardOrderMatchesSerialEngine) {
 
   Trace sharded_log;
   Engine sharded;
-  sharded.configure_sharding(4, 3);
-  sharded.set_window_gate([] { return true; });
+  sharded.configure_sharding(2, 3);
+  sharded.set_window_horizon_source([](Tick earliest) { return earliest + 1'000'000; });
   schedule_same_tick_mix(sharded, sharded_log);
   sharded.run();
 
@@ -103,7 +106,7 @@ TEST(ShardedEngineTest, SelfRescheduleAtNowAcrossSyncHorizon) {
   std::vector<Chain> sharded_chains;
   Engine sharded;
   sharded.configure_sharding(2, 3);
-  sharded.set_window_gate([] { return true; });
+  sharded.set_window_horizon_source([](Tick earliest) { return earliest + 1'000'000; });
   schedule(sharded, sharded_log, sharded_chains);
   sharded.run();
 
@@ -149,7 +152,7 @@ TEST(ShardedEngineDeathTest, CrossShardScheduleBelowHorizonAborts) {
       {
         Engine e;
         e.configure_sharding(2, 3);
-        e.set_window_gate([] { return true; });
+        e.set_window_horizon_source([](Tick earliest) { return earliest + 1'000'000; });
         // Inside the window (horizon = 100), an event in domain 1 tries to
         // schedule into domain 2 at the current tick — below the lookahead
         // horizon, which would race with the lane draining domain 2.
@@ -183,6 +186,103 @@ TEST(ShardedEngineTest, SystemRunFingerprintIdenticalAcrossShardCounts) {
   EXPECT_EQ(windows1, 0U);
   EXPECT_GT(windows4, 0U);
   (void)windows2;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded sweep with the tracer (and optionally health) attached — the
+// configurations that used to fall back to fully serial execution.
+// ---------------------------------------------------------------------------
+
+struct TracedRun {
+  std::uint64_t fp;
+  std::string trace;
+  std::uint64_t windows;
+};
+
+TracedRun traced_run(std::string_view abbrev, double scale, FabricKind fabric,
+                     std::uint32_t shards, const char* episodes = nullptr) {
+  SystemConfig cfg;
+  cfg.policy = make_adaptive_policy(AdaptiveParams{});
+  cfg.fabric = fabric;
+  cfg.shards = shards;
+  cfg.trace_events = 1u << 12;
+  if (episodes != nullptr) {
+    std::string err;
+    EXPECT_TRUE(parse_fault_episodes(episodes, &cfg.episodes, &err)) << err;
+  }
+  auto wl = make_workload(abbrev, scale);
+  MultiGpuSystem sys(std::move(cfg));
+  RunResult r = sys.run(*wl);
+  return TracedRun{run_fingerprint(r), std::move(r.trace_json),
+                   sys.engine().windows_executed()};
+}
+
+class ShardedTracedSweep : public ::testing::TestWithParam<std::string_view> {};
+
+/// Property: for every workload, at a per-workload randomized scale, on
+/// both fabrics, sharded runs with the tracer attached reproduce the serial
+/// run's RunResult fingerprint AND its exported trace stream byte-for-byte
+/// (stream equality subsumes multiset equality of the recorded events).
+TEST_P(ShardedTracedSweep, FingerprintAndTraceIdenticalAcrossShardsAndFabrics) {
+  const std::string_view abbrev = GetParam();
+  // Seeded per workload: deterministic for a given binary, but the scales
+  // differ across workloads so the sweep covers varied schedule shapes.
+  std::seed_seq seed(abbrev.begin(), abbrev.end());
+  std::mt19937 rng(seed);
+  const double scale = std::uniform_real_distribution<double>(0.03, 0.08)(rng);
+  for (const FabricKind fabric : {FabricKind::kBus, FabricKind::kSwitch}) {
+    const TracedRun serial = traced_run(abbrev, scale, fabric, 1);
+    for (const std::uint32_t shards : {2u, 4u}) {
+      const TracedRun sharded = traced_run(abbrev, scale, fabric, shards);
+      const char* fname = fabric == FabricKind::kBus ? "bus" : "switch";
+      EXPECT_EQ(sharded.fp, serial.fp)
+          << abbrev << " scale " << scale << " on " << fname << " at shards " << shards;
+      EXPECT_EQ(sharded.trace, serial.trace)
+          << abbrev << " scale " << scale << " on " << fname << " at shards " << shards;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ShardedTracedSweep,
+                         ::testing::ValuesIn(workload_abbrevs()),
+                         [](const ::testing::TestParamInfo<std::string_view>& info) {
+                           return std::string(info.param);
+                         });
+
+/// Non-vacuity: with the tracer attached, parallel windows must actually
+/// open — on the crossbar (per-port horizon) as well as on the bus
+/// (busy-until horizon). Serial fallback for traced runs is gone.
+TEST(ShardedEngineTest, TracedSwitchRunOpensWindowsAndMatchesSerial) {
+  const TracedRun serial = traced_run("BS", 0.1, FabricKind::kSwitch, 1);
+  const TracedRun sharded = traced_run("BS", 0.1, FabricKind::kSwitch, 4);
+  EXPECT_GT(sharded.windows, 0U);
+  EXPECT_EQ(sharded.fp, serial.fp);
+  EXPECT_EQ(sharded.trace, serial.trace);
+}
+
+TEST(ShardedEngineTest, TracedBusRunOpensWindowsAndMatchesSerial) {
+  const TracedRun serial = traced_run("BS", 0.1, FabricKind::kBus, 1);
+  const TracedRun sharded = traced_run("BS", 0.1, FabricKind::kBus, 4);
+  EXPECT_GT(sharded.windows, 0U);
+  EXPECT_EQ(sharded.fp, serial.fp);
+  EXPECT_EQ(sharded.trace, serial.trace);
+}
+
+/// Health monitor attached (link-flap episodes feeding timeout/recovery
+/// observations from GPU domains) on top of the tracer: observations defer
+/// through Engine::shared(), the horizon mins in the probe bound, and the
+/// whole run stays bit-identical across shard counts on both fabrics.
+TEST(ShardedEngineTest, HealthMonitoredTracedRunsIdenticalAcrossShards) {
+  constexpr const char* kFlap = "flap:0-1@256+12288x2/12544";
+  for (const FabricKind fabric : {FabricKind::kBus, FabricKind::kSwitch}) {
+    const TracedRun serial = traced_run("MT", 0.05, fabric, 1, kFlap);
+    for (const std::uint32_t shards : {2u, 4u}) {
+      const TracedRun sharded = traced_run("MT", 0.05, fabric, shards, kFlap);
+      const char* fname = fabric == FabricKind::kBus ? "bus" : "switch";
+      EXPECT_EQ(sharded.fp, serial.fp) << fname << " at shards " << shards;
+      EXPECT_EQ(sharded.trace, serial.trace) << fname << " at shards " << shards;
+    }
+  }
 }
 
 }  // namespace
