@@ -32,11 +32,13 @@ struct Row {
   std::string policy;
   std::string fill;
   std::uint32_t ranks{0};
+  std::uint32_t lines_per_block{1};
   CollectiveOutcome out;
 };
 
 Row run_case(CollectiveKind kind, CollectiveFill fill, std::uint32_t ranks,
-             std::size_t lines_per_rank, const bench::PolicyCase& pc) {
+             std::size_t lines_per_rank, const bench::PolicyCase& pc,
+             std::uint32_t lines_per_block = 1) {
   SystemConfig cfg;
   cfg.num_gpus = ranks;
   cfg.policy = pc.factory;
@@ -45,8 +47,9 @@ Row run_case(CollectiveKind kind, CollectiveFill fill, std::uint32_t ranks,
   ccfg.kind = kind;
   ccfg.fill = fill;
   ccfg.lines_per_rank = lines_per_rank;
+  ccfg.lines_per_block = lines_per_block;
   Row row{std::string(to_string(kind)), pc.label, std::string(to_string(fill)), ranks,
-          run_collective(sys, ccfg)};
+          lines_per_block, run_collective(sys, ccfg)};
   return row;
 }
 
@@ -77,12 +80,15 @@ std::string to_json(const std::vector<Row>& rows, double scale) {
     append_json_string(out, r.fill);
     std::snprintf(
         buf, sizeof(buf),
-        ", \"ranks\": %u, \"bytes_per_rank\": %llu, \"verified\": %s, "
+        ", \"ranks\": %u, \"lines_per_block\": %u, \"block_transfers\": %llu, "
+        "\"bytes_per_rank\": %llu, \"verified\": %s, "
         "\"duration_cycles\": %llu, \"busy_cycles\": %llu, "
         "\"alg_bytes_per_cycle\": %.4f, \"bus_bytes_per_cycle\": %.4f, "
         "\"payload_raw_bits\": %llu, \"payload_wire_bits\": %llu, "
         "\"data_digest\": \"%016llx\", \"fingerprint\": \"%016llx\"}",
-        r.ranks, static_cast<unsigned long long>(st.bytes_per_rank),
+        r.ranks, r.lines_per_block,
+        static_cast<unsigned long long>(st.block_transfers),
+        static_cast<unsigned long long>(st.bytes_per_rank),
         r.out.verified ? "true" : "false",
         static_cast<unsigned long long>(st.duration),
         static_cast<unsigned long long>(r.out.run.bus.busy_cycles),
@@ -119,8 +125,8 @@ int main(int argc, char** argv) {
 
   std::printf("Collective bandwidth, %zu KB per rank (scale %.2f)\n\n",
               lines * kLineBytes / 1024, scale);
-  std::printf("%-14s %-9s %-9s %5s %12s %10s %10s %8s %4s\n", "collective", "policy", "fill",
-              "ranks", "cycles", "algBW", "busBW", "wire/raw", "ok");
+  std::printf("%-14s %-9s %-9s %5s %4s %12s %10s %10s %8s %4s\n", "collective", "policy",
+              "fill", "ranks", "lpb", "cycles", "algBW", "busBW", "wire/raw", "ok");
 
   std::vector<Row> rows;
   for (const std::uint32_t ranks : {4u, 8u}) {
@@ -135,14 +141,24 @@ int main(int argc, char** argv) {
     rows.push_back(
         run_case(CollectiveKind::kAllReduce, CollectiveFill::kRandom, 4, lines, pc));
   }
+  // Bulk fast path: block-size sweep on the headline all-reduce case. The
+  // lines_per_block = 1 rows are already in the grid above; the bulk rows
+  // pull page-clamped blocks through remote_read_bulk instead.
+  for (const std::uint32_t lpb : {4u, 16u, 64u}) {
+    for (const bench::PolicyCase& pc : policies) {
+      rows.push_back(
+          run_case(CollectiveKind::kAllReduce, CollectiveFill::kLowRange, 8, lines, pc, lpb));
+    }
+  }
 
   bool all_verified = true;
   for (const Row& r : rows) {
     const CollectiveStats& st = r.out.run.collective;
     const auto raw_bits = r.out.run.bus.inter_gpu_payload_raw_bits;
     const auto wire_bits = r.out.run.bus.inter_gpu_payload_wire_bits;
-    std::printf("%-14s %-9s %-9s %5u %12llu %10.3f %10.3f %8.3f %4s\n", r.collective.c_str(),
-                r.policy.c_str(), r.fill.c_str(), r.ranks,
+    std::printf("%-14s %-9s %-9s %5u %4u %12llu %10.3f %10.3f %8.3f %4s\n",
+                r.collective.c_str(), r.policy.c_str(), r.fill.c_str(), r.ranks,
+                r.lines_per_block,
                 static_cast<unsigned long long>(st.duration), st.alg_bytes_per_cycle(),
                 st.bus_bytes_per_cycle(),
                 raw_bits > 0 ? static_cast<double>(wire_bits) / static_cast<double>(raw_bits)

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "collective/collective.h"
 
 namespace {
 
@@ -106,11 +107,25 @@ Aggregate aggregate(const std::vector<Measurement>& ms) {
   return a;
 }
 
+/// The bulk-transfer headline: the same all-reduce measured with per-line
+/// pulls and with page-granularity bulk pulls. Simulated-machine numbers
+/// (algorithm bandwidth in buffer bytes per fabric cycle), deterministic
+/// for a fixed config — unlike the wall-time rows, directly comparable
+/// across machines.
+struct BulkCollective {
+  std::uint32_t ranks{0};
+  std::uint64_t lines_per_rank{0};
+  std::uint32_t lines_per_block{0};
+  double per_line_alg{0.0};
+  double bulk_alg{0.0};
+  bool verified{false};
+};
+
 std::string to_json(const std::vector<Measurement>& ms,
                     const std::vector<Measurement>& sharded,
                     const std::vector<Measurement>& switch_serial,
-                    const std::vector<Measurement>& switch_sharded, double scale,
-                    int repeats) {
+                    const std::vector<Measurement>& switch_sharded,
+                    const BulkCollective& bulk, double scale, int repeats) {
   std::string out = "{\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -192,6 +207,18 @@ std::string to_json(const std::vector<Measurement>& ms,
     out += buf;
   }
   emit_sharded("adaptive_sharded_switch", switch_sharded, switch_rate);
+  if (bulk.ranks > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"bulk_collective\": {\"ranks\": %u, \"lines_per_rank\": %llu, "
+                  "\"lines_per_block\": %u, \"per_line_alg_bytes_per_cycle\": %.4f, "
+                  "\"bulk_alg_bytes_per_cycle\": %.4f, \"alg_speedup\": %.3f, "
+                  "\"verified\": %s}",
+                  bulk.ranks, static_cast<unsigned long long>(bulk.lines_per_rank),
+                  bulk.lines_per_block, bulk.per_line_alg, bulk.bulk_alg,
+                  bulk.per_line_alg > 0.0 ? bulk.bulk_alg / bulk.per_line_alg : 0.0,
+                  bulk.verified ? "true" : "false");
+    out += buf;
+  }
   out += "\n}\n";
   return out;
 }
@@ -243,8 +270,41 @@ int main(int argc, char** argv) {
   const std::vector<Measurement> switch_sharded =
       adaptive_pass(kShardedLanes, FabricKind::kSwitch, "switch, shards=4");
 
+  // Bulk-transfer headline: all-reduce at 8 ranks on the compressible fill,
+  // per-line pulls vs page-granularity bulk pulls under the same adaptive
+  // policy on the same build. Deterministic simulated-machine numbers, so
+  // one run each suffices (no best-of repeats).
+  auto coll_lines = static_cast<std::size_t>(1024 * scale);
+  if (coll_lines < 64) coll_lines = 64;
+  const auto coll_case = [&](std::uint32_t lines_per_block) {
+    SystemConfig cfg;
+    cfg.num_gpus = 8;
+    cfg.policy = make_adaptive_policy(AdaptiveParams{});
+    MultiGpuSystem sys(std::move(cfg));
+    CollectiveConfig ccfg;
+    ccfg.kind = CollectiveKind::kAllReduce;
+    ccfg.fill = CollectiveFill::kLowRange;
+    ccfg.lines_per_rank = coll_lines;
+    ccfg.lines_per_block = lines_per_block;
+    return run_collective(sys, ccfg);
+  };
+  const CollectiveOutcome per_line = coll_case(1);
+  const CollectiveOutcome bulk_run = coll_case(64);
+  BulkCollective bulk;
+  bulk.ranks = 8;
+  bulk.lines_per_rank = coll_lines;
+  bulk.lines_per_block = 64;
+  bulk.per_line_alg = per_line.run.collective.alg_bytes_per_cycle();
+  bulk.bulk_alg = bulk_run.run.collective.alg_bytes_per_cycle();
+  bulk.verified = per_line.verified && bulk_run.verified;
+  std::printf("\nbulk all-reduce (8 ranks, lowrange): per-line %.3f B/cyc, "
+              "bulk %.3f B/cyc (%.2fx), %s\n",
+              bulk.per_line_alg, bulk.bulk_alg,
+              bulk.per_line_alg > 0.0 ? bulk.bulk_alg / bulk.per_line_alg : 0.0,
+              bulk.verified ? "verified" : "VERIFICATION FAILED");
+
   const std::string json =
-      to_json(results, sharded, switch_serial, switch_sharded, scale, repeats);
+      to_json(results, sharded, switch_serial, switch_sharded, bulk, scale, repeats);
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_perf: cannot open %s for writing\n", out_path.c_str());

@@ -31,6 +31,8 @@
 //     --coll-fill  zero|lowrange|ramp|random  (default lowrange)
 //     --coll-op    sum|max                    (default sum)
 //     --coll-window <in-flight lines per hop> (default 16)
+//     --coll-lines-per-block <lines>          (bulk pulls: lines per ring-hop
+//                                              request, 1..64; default 1 = per-line)
 //     --coll-root  <rank>                     (broadcast source, default 0)
 //     --allow-shrink                          (complete on survivors after a GPU fail-stop)
 #include <algorithm>
@@ -75,6 +77,7 @@ struct Options {
   std::string coll_fill{"lowrange"};
   std::string coll_op{"sum"};
   std::uint32_t coll_window{16};
+  std::uint32_t coll_lines_per_block{1};
   std::uint32_t coll_root{0};
 };
 
@@ -184,6 +187,11 @@ bool parse(int argc, char** argv, Options& o) {
       if (v == nullptr) return false;
       o.coll_window = static_cast<std::uint32_t>(std::atoi(v));
       if (o.coll_window == 0) return false;
+    } else if (arg == "--coll-lines-per-block") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.coll_lines_per_block = static_cast<std::uint32_t>(std::atoi(v));
+      if (o.coll_lines_per_block == 0) return false;
     } else if (arg == "--coll-root") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -212,6 +220,7 @@ void usage() {
       "                [--collective allreduce|allgather|reducescatter|broadcast]\n"
       "                [--coll-kb KB] [--coll-fill zero|lowrange|ramp|random]\n"
       "                [--coll-op sum|max] [--coll-window LINES] [--coll-root RANK]\n"
+      "                [--coll-lines-per-block LINES]\n"
       "  SPEC is ';'-separated clauses: down:A-B@START+DUR | flap:A-B@START+DURxCOUNT/PERIOD\n"
       "  | gpufail:G@START (ticks; A,B,G are GPU indices)");
 }
@@ -291,6 +300,7 @@ int main(int argc, char** argv) {
     }
     ccfg.lines_per_rank = static_cast<std::size_t>(o.coll_kb) * 1024 / kLineBytes;
     ccfg.window = o.coll_window;
+    ccfg.lines_per_block = o.coll_lines_per_block;
     ccfg.root = o.coll_root;
     ccfg.allow_shrink = o.allow_shrink;
 
@@ -477,7 +487,25 @@ int main(int argc, char** argv) {
         .field("remote_write_latency_p95", r.remote_write_latency.percentile(0.95))
         .field("remote_write_latency_p99", r.remote_write_latency.percentile(0.99))
         .field("remote_write_latency_max",
-               static_cast<std::uint64_t>(r.remote_write_latency.max()));
+               static_cast<std::uint64_t>(r.remote_write_latency.max()))
+        .field("bulk_read_latency_count", r.bulk_read_latency.count())
+        .field("bulk_read_latency_p50", r.bulk_read_latency.percentile(0.50))
+        .field("bulk_read_latency_p95", r.bulk_read_latency.percentile(0.95))
+        .field("bulk_read_latency_p99", r.bulk_read_latency.percentile(0.99))
+        .field("bulk_read_latency_max",
+               static_cast<std::uint64_t>(r.bulk_read_latency.max()))
+        .field("bulk_write_latency_count", r.bulk_write_latency.count())
+        .field("bulk_write_latency_p50", r.bulk_write_latency.percentile(0.50))
+        .field("bulk_write_latency_p95", r.bulk_write_latency.percentile(0.95))
+        .field("bulk_write_latency_p99", r.bulk_write_latency.percentile(0.99))
+        .field("bulk_write_latency_max",
+               static_cast<std::uint64_t>(r.bulk_write_latency.max()))
+        .field("bulk_payloads", r.bulk_payloads)
+        .field("bulk_raw_bytes", r.bulk_raw_bytes)
+        .field("bulk_wire_payload_bytes", r.bulk_wire_payload_bytes)
+        .field("pool_hits", r.pool_hits)
+        .field("pool_misses", r.pool_misses)
+        .field("bulk_pool_misses", r.bulk_pool_misses);
     if (!o.trace_out.empty()) {
       out.field("trace_events_recorded", r.trace_events_recorded)
           .field("trace_events_dropped", r.trace_events_dropped);
@@ -523,6 +551,27 @@ int main(int argc, char** argv) {
                 r.remote_write_latency.percentile(0.95),
                 r.remote_write_latency.percentile(0.99),
                 static_cast<unsigned long long>(r.remote_write_latency.max()));
+  }
+  if (r.bulk_read_latency.count() > 0) {
+    std::printf("bulk read latency     p50 %.0f  p95 %.0f  p99 %.0f  max %llu cycles\n",
+                r.bulk_read_latency.percentile(0.50), r.bulk_read_latency.percentile(0.95),
+                r.bulk_read_latency.percentile(0.99),
+                static_cast<unsigned long long>(r.bulk_read_latency.max()));
+  }
+  if (r.bulk_write_latency.count() > 0) {
+    std::printf("bulk write latency    p50 %.0f  p95 %.0f  p99 %.0f  max %llu cycles\n",
+                r.bulk_write_latency.percentile(0.50),
+                r.bulk_write_latency.percentile(0.95),
+                r.bulk_write_latency.percentile(0.99),
+                static_cast<unsigned long long>(r.bulk_write_latency.max()));
+  }
+  if (r.bulk_payloads > 0) {
+    std::printf("bulk payloads         %12llu (%llu -> %llu bytes on the wire, "
+                "pool misses %llu)\n",
+                static_cast<unsigned long long>(r.bulk_payloads),
+                static_cast<unsigned long long>(r.bulk_raw_bytes),
+                static_cast<unsigned long long>(r.bulk_wire_payload_bytes),
+                static_cast<unsigned long long>(r.bulk_pool_misses));
   }
 
   std::printf("\nwire payloads by codec:\n");

@@ -7,6 +7,7 @@
 #include "adaptive/penalty.h"
 #include "common/assert.h"
 #include "common/payload_pool.h"
+#include "compression/block_lzss.h"
 #include "obs/tracer.h"
 
 namespace mgcomp {
@@ -136,6 +137,39 @@ class AdaptivePolicy final : public CompressionPolicy {
       note_window_transfer();
     }
     ++stats_.wire_counts[static_cast<std::size_t>(d.wire_codec)];
+    return d;
+  }
+
+  /// Size-adaptive bulk decision: probe the block codec's exact frame size
+  /// (allocation-free) and ship the frame only when it shrinks the block.
+  /// Degrade/cool-down semantics mirror the line path — a degraded link
+  /// sends bulk raw too, and each bulk transfer advances the cool-down and
+  /// the error-rate window exactly like a line transfer.
+  [[nodiscard]] BlockDecision decide_block(const std::uint8_t* data,
+                                           std::size_t size) override {
+    BlockDecision d;
+    d.payload_bits = static_cast<std::uint32_t>(size) * 8;
+    ++stats_.bulk_transfers;
+    if (degrade_remaining_ > 0) {
+      --degrade_remaining_;
+      ++stats_.degraded_transfers;
+      if (degrade_remaining_ == 0) reset_to_sampling();
+    } else {
+      const std::size_t frame = BlockLzss::probe(data, size);
+      d.compress_latency = BlockCodecCost::compress_cycles(size);
+      d.compress_occupancy = d.compress_latency;
+      d.compress_energy_pj = BlockCodecCost::kCompressPjPerByte * static_cast<double>(size);
+      if (frame < size) {
+        d.alg = BlockCodecId::kLzss;
+        d.payload_bits = static_cast<std::uint32_t>(frame) * 8;
+        d.decompress_latency = BlockCodecCost::decompress_cycles(size);
+        d.decompress_occupancy = d.decompress_latency;
+        d.decompress_energy_pj =
+            BlockCodecCost::kDecompressPjPerByte * static_cast<double>(size);
+      }
+      note_window_transfer();
+    }
+    ++stats_.block_wire_counts[static_cast<std::size_t>(d.alg)];
     return d;
   }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "compression/block_codec.h"
 #include "compression/codec.h"
 #include "compression/codec_set.h"
 #include "compression/cost_model.h"
@@ -53,6 +54,23 @@ struct CompressionDecision {
   bool sampled{false};
 };
 
+/// Outcome of a policy's decision for one outgoing bulk (multi-line)
+/// block. Mirrors CompressionDecision, but the codec space is the block
+/// family (block_codec.h) and sizes scale with the block, not the line.
+struct BlockDecision {
+  /// Block framing to put in the message header; kRaw sends the block
+  /// uncompressed (receiver bypasses the block decompressor).
+  BlockCodecId alg{BlockCodecId::kRaw};
+  /// Payload size on the wire in bits (raw_bytes * 8 when raw).
+  std::uint32_t payload_bits{0};
+  Tick compress_latency{0};
+  Tick compress_occupancy{0};
+  Tick decompress_latency{0};
+  Tick decompress_occupancy{0};
+  double compress_energy_pj{0.0};
+  double decompress_energy_pj{0.0};
+};
+
 /// Running totals a policy keeps about its own decisions.
 struct PolicyStats {
   /// Transfers that went on the wire with each codec id (index by CodecId).
@@ -68,6 +86,10 @@ struct PolicyStats {
   std::uint64_t degrade_events{0};
   /// Transfers sent raw while degraded.
   std::uint64_t degraded_transfers{0};
+  /// Bulk (multi-line) transfers decided, total and by block framing.
+  /// These ride outside the run fingerprint (new observability fields).
+  std::uint64_t bulk_transfers{0};
+  std::array<std::uint64_t, kNumBlockCodecIds> block_wire_counts{};
 
   [[nodiscard]] std::uint64_t total_transfers() const noexcept {
     std::uint64_t t = 0;
@@ -102,6 +124,21 @@ class CompressionPolicy {
   /// Decides how to send `line`. Called once per outgoing payload, in
   /// transfer order (adaptive policies rely on this ordering).
   [[nodiscard]] virtual CompressionDecision decide(LineView line) = 0;
+
+  /// Decides how to send a bulk (multi-line) block of `size` raw bytes.
+  /// Default: raw with zero codec cost — only size-adaptive policies probe
+  /// the block codec. The decision reports sizes and costs; the caller
+  /// performs the actual encode (the probe/compress exact-size contract
+  /// guarantees the encoded frame matches payload_bits).
+  [[nodiscard]] virtual BlockDecision decide_block(const std::uint8_t* data,
+                                                   std::size_t size) {
+    (void)data;
+    BlockDecision d;
+    d.payload_bits = static_cast<std::uint32_t>(size) * 8;
+    ++stats_.bulk_transfers;
+    ++stats_.block_wire_counts[static_cast<std::size_t>(BlockCodecId::kRaw)];
+    return d;
+  }
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 

@@ -100,6 +100,23 @@ class Collector {
   /// Sender-side hook: an inter-GPU payload is leaving under decision `d`.
   void on_payload_sent(LineView line, const CompressionDecision& d);
 
+  /// Sender-side hook for the bulk path: a `raw_bytes` block is leaving
+  /// under block decision `d`. Bulk blocks are not characterized or traced
+  /// (those instruments are line-granularity by construction); they feed
+  /// the energy tally and the bulk wire accounting.
+  void on_bulk_payload_sent(std::uint32_t raw_bytes, const BlockDecision& d) {
+    compressor_energy_pj_ += d.compress_energy_pj;
+    ++bulk_payloads_;
+    bulk_raw_bytes_ += raw_bytes;
+    bulk_wire_payload_bytes_ += (d.payload_bits + 7) / 8;
+  }
+
+  [[nodiscard]] std::uint64_t bulk_payloads() const noexcept { return bulk_payloads_; }
+  [[nodiscard]] std::uint64_t bulk_raw_bytes() const noexcept { return bulk_raw_bytes_; }
+  [[nodiscard]] std::uint64_t bulk_wire_payload_bytes() const noexcept {
+    return bulk_wire_payload_bytes_;
+  }
+
   /// Receiver-side hook: a payload arrived and (if compressed) was
   /// decompressed at the given energy cost.
   void on_payload_received(double decompress_energy_pj) {
@@ -149,6 +166,18 @@ class Collector {
     return write_latency_;
   }
 
+  /// Bulk (multi-line) completions keep their own histograms: a page-sized
+  /// block legitimately takes ~64x a line's wire time, and folding those
+  /// into the line histograms would wreck their percentiles.
+  void record_bulk_read_latency(Tick cycles) { bulk_read_latency_.record(cycles); }
+  void record_bulk_write_latency(Tick cycles) { bulk_write_latency_.record(cycles); }
+  [[nodiscard]] const LatencyHistogram& bulk_read_latency() const noexcept {
+    return bulk_read_latency_;
+  }
+  [[nodiscard]] const LatencyHistogram& bulk_write_latency() const noexcept {
+    return bulk_write_latency_;
+  }
+
  private:
   const CodecSet* codecs_{nullptr};
   bool characterize_{false};
@@ -163,6 +192,11 @@ class Collector {
   std::uint64_t link_errors_dropped_{0};
   LatencyHistogram read_latency_;
   LatencyHistogram write_latency_;
+  LatencyHistogram bulk_read_latency_;
+  LatencyHistogram bulk_write_latency_;
+  std::uint64_t bulk_payloads_{0};
+  std::uint64_t bulk_raw_bytes_{0};
+  std::uint64_t bulk_wire_payload_bytes_{0};
 };
 
 }  // namespace mgcomp

@@ -30,6 +30,10 @@ struct CollectiveStats {
   std::uint64_t reduced_lines{0};   ///< line combines that applied the reduce op
   std::uint64_t bytes_per_rank{0};  ///< logical buffer size per rank
   std::uint64_t payload_bytes{0};   ///< raw payload bytes moved (line_transfers x 64)
+  /// Bulk fast-path counters (zero on per-line runs; excluded from
+  /// collective_fingerprint so recorded goldens stay valid).
+  std::uint64_t block_transfers{0};  ///< multi-line remote_read_bulk pulls issued
+  std::uint32_t lines_per_block{1};  ///< pull granularity the run was configured with
   Tick duration{0};                 ///< first hop issue to last line completion
   /// NCCL-convention bus factor: 2(n-1)/n for all-reduce, (n-1)/n for
   /// all-gather / reduce-scatter, 1 for broadcast.
@@ -95,9 +99,27 @@ struct RunResult {
   std::vector<TraceSample> trace;
 
   /// Completion-latency distributions (issue-to-retire cycles) for remote
-  /// reads and writes, aggregated across all GPUs.
+  /// reads and writes, aggregated across all GPUs. Line-granularity and
+  /// bulk (multi-line) completions are split into separate histograms —
+  /// a page-sized block's legitimate ~64x wire time would otherwise bury
+  /// the line path's percentiles.
   LatencyHistogram remote_read_latency;
   LatencyHistogram remote_write_latency;
+  LatencyHistogram bulk_read_latency;
+  LatencyHistogram bulk_write_latency;
+
+  /// Bulk fast-path wire accounting (new observability fields; excluded
+  /// from run fingerprints like every post-seed addition).
+  std::uint64_t bulk_payloads{0};
+  std::uint64_t bulk_raw_bytes{0};
+  std::uint64_t bulk_wire_payload_bytes{0};
+
+  /// Payload-pool recycling across all RDMA engines: misses are acquires
+  /// that had to allocate fresh storage; bulk_pool_misses is the subset
+  /// asking for bulk-sized buffers (steady state should be near-zero).
+  std::uint64_t pool_hits{0};
+  std::uint64_t pool_misses{0};
+  std::uint64_t bulk_pool_misses{0};
 
   /// Chrome trace-event JSON (empty unless the run had tracing enabled via
   /// SystemConfig::trace_events). Write to a file and open in Perfetto.

@@ -119,13 +119,33 @@ class ChunkTask {
     }
     while (inflight_ < rs_->cfg.window && next_line_ < num_lines_) {
       const std::size_t line = first_line_ + next_line_;
-      ++next_line_;
-      ++inflight_;
-      ++rs_->stats->line_transfers;
       const Addr src_addr = rs_->space->line_addr(hop.src, line);
       const Addr dst_addr = rs_->space->line_addr(hop.dst, line);
-      rs_->sys->gpu(hop.dst).rdma().remote_read(
-          src_addr, [this, src_addr, dst_addr](bool ok) { on_line(ok, src_addr, dst_addr); });
+      // Bulk fast path: pull up to lines_per_block lines in ONE request,
+      // clamped to the chunk tail and the source page boundary (lines are
+      // contiguous within a page and a page has a single owner). A k-line
+      // block occupies k slots of the same pull window.
+      std::size_t lines = std::min<std::size_t>(
+          std::min<std::size_t>(rs_->cfg.lines_per_block, kLinesPerPage),
+          num_lines_ - next_line_);
+      if (lines > 1) {
+        lines = std::min(lines, kLinesPerPage - line % kLinesPerPage);
+      }
+      next_line_ += lines;
+      inflight_ += static_cast<std::uint32_t>(lines);
+      rs_->stats->line_transfers += lines;
+      if (lines == 1) {
+        rs_->sys->gpu(hop.dst).rdma().remote_read(
+            src_addr,
+            [this, src_addr, dst_addr](bool ok) { on_block(ok, src_addr, dst_addr, 1); });
+      } else {
+        ++rs_->stats->block_transfers;
+        rs_->sys->gpu(hop.dst).rdma().remote_read_bulk(
+            src_addr, static_cast<std::uint32_t>(lines * kLineBytes),
+            [this, src_addr, dst_addr, lines](bool ok) {
+              on_block(ok, src_addr, dst_addr, lines);
+            });
+      }
     }
   }
 
@@ -136,39 +156,46 @@ class ChunkTask {
     rs_->error = CollectiveError{kind, hop.dst, hop.src, hop_idx_, rs_->sys->engine().now()};
   }
 
-  /// A pulled line landed at the destination: apply it to the local copy
-  /// (functionally) and book the local-DRAM write (timing).
-  void on_line(bool ok, Addr src_addr, Addr dst_addr) {
+  /// A pulled block (`lines` == 1 on the per-line path) landed at the
+  /// destination: apply each line to the local copy (functionally) and book
+  /// the local-DRAM writes (timing). Reduction stays per-line and in line
+  /// order, so bulk pulls produce bit-exact digests against per-line runs.
+  void on_block(bool ok, Addr src_addr, Addr dst_addr, std::size_t lines) {
     const Hop& hop = hops_[hop_idx_];
     if (rs_->aborted) {
-      --inflight_;  // draining a doomed attempt; result discarded
+      inflight_ -= static_cast<std::uint32_t>(lines);  // draining a doomed attempt
       return;
     }
     if (!ok) {
-      --inflight_;  // the pull exhausted its retry budget: data is stale
+      // The pull exhausted its retry budget: data is stale.
+      inflight_ -= static_cast<std::uint32_t>(lines);
       abort_attempt(CollectiveErrorKind::kPullFailed, hop);
       return;
     }
     GlobalMemory& mem = rs_->sys->memory();
-    const Line src = mem.read_line(src_addr);
-    if (hop.reduce) {
-      Line dst = mem.read_line(dst_addr);
-      for (std::size_t w = 0; w < kWordsPerLine; ++w) {
-        const std::size_t off = w * sizeof(std::uint32_t);
-        store_le<std::uint32_t>(dst, off,
-                                combine(rs_->cfg.op, load_le<std::uint32_t>(dst, off),
-                                        load_le<std::uint32_t>(src, off)));
+    for (std::size_t l = 0; l < lines; ++l) {
+      const Addr src_line = src_addr + static_cast<Addr>(l) * kLineBytes;
+      const Addr dst_line = dst_addr + static_cast<Addr>(l) * kLineBytes;
+      const Line src = mem.read_line(src_line);
+      if (hop.reduce) {
+        Line dst = mem.read_line(dst_line);
+        for (std::size_t w = 0; w < kWordsPerLine; ++w) {
+          const std::size_t off = w * sizeof(std::uint32_t);
+          store_le<std::uint32_t>(dst, off,
+                                  combine(rs_->cfg.op, load_le<std::uint32_t>(dst, off),
+                                          load_le<std::uint32_t>(src, off)));
+        }
+        mem.write_line(dst_line, dst);
+        ++rs_->stats->reduced_lines;
+      } else {
+        mem.write_line(dst_line, src);
       }
-      mem.write_line(dst_addr, dst);
-      ++rs_->stats->reduced_lines;
-    } else {
-      mem.write_line(dst_addr, src);
+      rs_->sys->gpu(hop.dst).owner_access(dst_line, /*is_write=*/true);
     }
-    rs_->sys->gpu(hop.dst).owner_access(dst_addr, /*is_write=*/true);
     rs_->last_done = std::max(rs_->last_done, rs_->sys->engine().now());
 
-    --inflight_;
-    ++completed_;
+    inflight_ -= static_cast<std::uint32_t>(lines);
+    completed_ += lines;
     if (completed_ == num_lines_) {
       if (++hop_idx_ < hops_.size()) begin_hop();
       return;
@@ -356,6 +383,7 @@ CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cf
   const std::uint32_t n = sys.config().num_gpus;
   MGCOMP_CHECK(cfg.lines_per_rank > 0);
   MGCOMP_CHECK(cfg.window > 0);
+  MGCOMP_CHECK_MSG(cfg.lines_per_block > 0, "lines_per_block must be >= 1");
   MGCOMP_CHECK_MSG(cfg.max_attempts > 0, "CollectiveConfig::max_attempts must be > 0");
   MGCOMP_CHECK_MSG(cfg.kind != CollectiveKind::kBroadcast || cfg.root < n,
                    "broadcast root out of range");
@@ -369,6 +397,7 @@ CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cf
   st.chunks = n;
   st.bytes_per_rank = cfg.lines_per_rank * kLineBytes;
   st.bus_factor = collective_bus_factor(cfg.kind, n);
+  st.lines_per_block = std::min<std::uint32_t>(cfg.lines_per_block, kLinesPerPage);
 
   std::vector<std::uint32_t> members(n);
   for (std::uint32_t r = 0; r < n; ++r) members[r] = r;

@@ -56,6 +56,11 @@ struct CollectiveConfig {
   std::uint32_t root{0};
   /// Max in-flight line reads per chunk hop (the receiver's pull window).
   std::uint32_t window{16};
+  /// Bulk fast path: lines pulled per ring-hop request. 1 (the default)
+  /// keeps the original per-line pulls bit-exactly; larger values issue
+  /// page-clamped remote_read_bulk blocks behind the same pull window
+  /// (a k-line block occupies k window slots). Capped at one page (64).
+  std::uint32_t lines_per_block{1};
   /// Seeds the kRandom fill (and salts the others' element values).
   std::uint64_t seed{0x6d67636f6d70ULL};
   /// Permits completing on a shrunk ring of survivors (>= kMinGpus) when a

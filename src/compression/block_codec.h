@@ -1,0 +1,33 @@
+// Block-codec identifier space for the bulk-transfer fast path.
+//
+// The cache-line codec family (CodecId: FPC / BDI / C-Pack+Z) operates on
+// exactly one 64-byte line; bulk messages carry up to a page of lines and
+// get their own codec family with its own id space, so the 4-bit Comp Alg
+// header field keeps its Fig. 4 meaning for line messages and a separate
+// block-alg field (riding in the Read/Write header's reserved bits) names
+// the block framing for bulk payloads.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mgcomp {
+
+/// Identifier of a block (multi-line) compression algorithm.
+enum class BlockCodecId : std::uint8_t {
+  kRaw = 0,   ///< unframed raw bytes
+  kLzss = 1,  ///< chunked LZSS frame (block_lzss.h)
+};
+
+/// Number of BlockCodecId values (sizes per-block-codec stat arrays).
+inline constexpr std::size_t kNumBlockCodecIds = 2;
+
+[[nodiscard]] constexpr std::string_view block_codec_name(BlockCodecId id) noexcept {
+  switch (id) {
+    case BlockCodecId::kRaw: return "raw";
+    case BlockCodecId::kLzss: return "block_lzss";
+  }
+  return "?";
+}
+
+}  // namespace mgcomp

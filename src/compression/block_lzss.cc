@@ -1,0 +1,244 @@
+// Chunked LZSS block codec: greedy hash-chain encoder and defensive
+// decoder. See block_lzss.h for the frame layout.
+//
+// probe() and compress_into() run the SAME encode loop (one writes, one
+// counts), so the probe's exact-size contract holds by construction. The
+// only data-dependent primitive the SIMD backends implement is
+// match_len(); candidate selection, tie-breaking (nearest candidate wins
+// ties, chains walk most-recent-first), and emission are shared scalar
+// code, which is what makes every backend's frame byte-identical.
+#include "compression/block_lzss.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.h"
+#include "compression/simd/dispatch.h"
+
+namespace mgcomp {
+namespace {
+
+constexpr std::size_t kHashBits = 12;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+constexpr std::int16_t kNoPos = -1;
+/// Hash-chain walk bound: caps worst-case encode cost on degenerate
+/// (single-byte-run) inputs without affecting determinism.
+constexpr std::size_t kMaxChain = 32;
+
+[[nodiscard]] inline std::uint32_t hash3(const std::uint8_t* p) noexcept {
+  const std::uint32_t w = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (w * 0x9E3779B1U) >> (32U - kHashBits);
+}
+
+inline void store_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v & 0xFF);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+[[nodiscard]] inline std::uint16_t load_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+struct CountSink {
+  void put(std::uint8_t) noexcept {}
+  void write(const std::uint8_t*, std::size_t) noexcept {}
+};
+
+struct WriteSink {
+  std::uint8_t* out;
+  void put(std::uint8_t b) noexcept { *out++ = b; }
+  void write(const std::uint8_t* p, std::size_t n) noexcept {
+    std::memcpy(out, p, n);
+    out += n;
+  }
+};
+
+/// Encodes one chunk's token stream into `sink`; returns its byte count.
+/// The stored-raw decision is the caller's (it needs the count first).
+template <typename Sink>
+std::size_t encode_chunk(const std::uint8_t* chunk, std::size_t n,
+                         const simd::ProbeKernels& k, Sink& sink) {
+  std::int16_t head[kHashSize];
+  std::int16_t prev[BlockLzss::kChunkBytes];
+  std::fill(std::begin(head), std::end(head), kNoPos);
+
+  const auto insert = [&](std::size_t pos) noexcept {
+    if (pos + BlockLzss::kMinMatch <= n) {
+      const std::uint32_t h = hash3(chunk + pos);
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int16_t>(pos);
+    }
+  };
+
+  std::size_t out_bytes = 0;
+  // Items buffer until a control group of 8 is full, then flush as one
+  // control byte + item bytes (a match item is at most 3 bytes).
+  std::uint8_t group[24];
+  std::size_t group_len = 0;
+  unsigned flags = 0;
+  unsigned items = 0;
+  const auto flush = [&]() {
+    if (items == 0) return;
+    sink.put(static_cast<std::uint8_t>(flags));
+    sink.write(group, group_len);
+    out_bytes += 1 + group_len;
+    flags = 0;
+    items = 0;
+    group_len = 0;
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (i + BlockLzss::kMinMatch <= n) {
+      const auto cap =
+          static_cast<std::uint32_t>(std::min(BlockLzss::kMaxMatch, n - i));
+      std::int16_t cand = head[hash3(chunk + i)];
+      for (std::size_t c = 0; c < kMaxChain && cand != kNoPos;
+           ++c, cand = prev[cand]) {
+        const std::uint32_t len =
+            k.match_len(chunk + i, chunk + static_cast<std::size_t>(cand), cap);
+        if (len > best_len) {
+          best_len = len;
+          best_off = i - static_cast<std::size_t>(cand);
+          if (len == cap) break;
+        }
+      }
+    }
+    if (best_len >= BlockLzss::kMinMatch) {
+      const std::size_t lencode = best_len - BlockLzss::kMinMatch;
+      group[group_len++] = static_cast<std::uint8_t>(best_off & 0xFF);
+      if (lencode < 15) {
+        group[group_len++] = static_cast<std::uint8_t>((best_off >> 8) << 4 | lencode);
+      } else {
+        group[group_len++] = static_cast<std::uint8_t>((best_off >> 8) << 4 | 15);
+        group[group_len++] = static_cast<std::uint8_t>(best_len - 18);
+      }
+      const std::size_t end = i + best_len;
+      for (; i < end; ++i) insert(i);
+    } else {
+      flags |= 1U << items;
+      group[group_len++] = chunk[i];
+      insert(i);
+      ++i;
+    }
+    if (++items == 8) flush();
+  }
+  flush();
+  return out_bytes;
+}
+
+/// Decodes one chunk's token stream; returns true iff it produced exactly
+/// `expect` bytes without any out-of-bounds reference.
+bool decode_chunk(const std::uint8_t* src, std::size_t e, std::uint8_t* dst,
+                  std::size_t expect) {
+  std::size_t in = 0;
+  std::size_t out = 0;
+  while (in < e) {
+    const std::uint8_t flags = src[in++];
+    for (unsigned bit = 0; bit < 8 && (in < e || out < expect); ++bit) {
+      if ((flags & (1U << bit)) != 0) {
+        if (in >= e || out >= expect) return false;
+        dst[out++] = src[in++];
+      } else {
+        if (in + 2 > e) return false;
+        const std::uint8_t b0 = src[in];
+        const std::uint8_t b1 = src[in + 1];
+        in += 2;
+        const std::size_t off =
+            static_cast<std::size_t>(b0) | (static_cast<std::size_t>(b1 >> 4) << 8);
+        std::size_t len = static_cast<std::size_t>(b1 & 0xF) + BlockLzss::kMinMatch;
+        if ((b1 & 0xF) == 15) {
+          if (in >= e) return false;
+          len = 18 + src[in++];
+        }
+        if (off == 0 || off > out || out + len > expect) return false;
+        // Byte-wise copy: matches may self-overlap (off < len).
+        for (std::size_t j = 0; j < len; ++j, ++out) dst[out] = dst[out - off];
+      }
+    }
+  }
+  return out == expect;
+}
+
+}  // namespace
+
+std::size_t BlockLzss::probe(const std::uint8_t* data, std::size_t size) {
+  MGCOMP_CHECK_MSG(size >= 1 && size <= kMaxBlockBytes, "block size out of range");
+  const simd::ProbeKernels& k = simd::kernels();
+  std::size_t total = 4;
+  for (std::size_t base = 0; base < size; base += kChunkBytes) {
+    const std::size_t cn = std::min(kChunkBytes, size - base);
+    CountSink sink;
+    const std::size_t e = encode_chunk(data + base, cn, k, sink);
+    total += 2 + std::min(e, cn);  // stored-raw fallback caps expansion
+  }
+  return total;
+}
+
+std::size_t BlockLzss::compress_into(const std::uint8_t* data, std::size_t size,
+                                     std::uint8_t* out) {
+  MGCOMP_CHECK_MSG(size >= 1 && size <= kMaxBlockBytes, "block size out of range");
+  const simd::ProbeKernels& k = simd::kernels();
+  const std::size_t chunks = (size + kChunkBytes - 1) / kChunkBytes;
+  store_u16(out, static_cast<std::uint16_t>(size & 0xFFFF));
+  store_u16(out + 2, static_cast<std::uint16_t>(chunks));
+  std::size_t pos = 4;
+  // A chunk's token stream can transiently exceed the chunk size (worst
+  // case all-literals: one control byte per 8 items), so encode into a
+  // scratch buffer and only commit the smaller of {stream, raw chunk}.
+  std::uint8_t scratch[kChunkBytes + kChunkBytes / 8];
+  for (std::size_t base = 0; base < size; base += kChunkBytes) {
+    const std::size_t cn = std::min(kChunkBytes, size - base);
+    WriteSink sink{scratch};
+    const std::size_t e = encode_chunk(data + base, cn, k, sink);
+    if (e >= cn) {
+      std::memcpy(out + pos + 2, data + base, cn);
+      store_u16(out + pos, static_cast<std::uint16_t>(0x8000U | cn));
+      pos += 2 + cn;
+    } else {
+      std::memcpy(out + pos + 2, scratch, e);
+      store_u16(out + pos, static_cast<std::uint16_t>(e));
+      pos += 2 + e;
+    }
+  }
+  return pos;
+}
+
+std::size_t BlockLzss::decompress(const std::uint8_t* frame, std::size_t frame_size,
+                                  std::uint8_t* out) {
+  if (frame_size < 4) return 0;
+  // raw_size is stored mod 2^16; 4096 fits, 0 encodes nothing valid except
+  // a hypothetical 65536 which kMaxBlockBytes already excludes.
+  const std::size_t raw_size = load_u16(frame);
+  const std::size_t chunks = load_u16(frame + 2);
+  if (raw_size == 0 || raw_size > kMaxBlockBytes ||
+      chunks != (raw_size + kChunkBytes - 1) / kChunkBytes) {
+    return 0;
+  }
+  std::size_t pos = 4;
+  std::size_t produced = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (pos + 2 > frame_size) return 0;
+    const std::uint16_t hdr = load_u16(frame + pos);
+    pos += 2;
+    const bool stored = (hdr & 0x8000U) != 0;
+    const std::size_t payload = hdr & 0x7FFFU;
+    const std::size_t expect = std::min(kChunkBytes, raw_size - produced);
+    if (pos + payload > frame_size) return 0;
+    if (stored) {
+      if (payload != expect) return 0;
+      std::memcpy(out + produced, frame + pos, payload);
+    } else {
+      if (!decode_chunk(frame + pos, payload, out + produced, expect)) return 0;
+    }
+    pos += payload;
+    produced += expect;
+  }
+  return pos == frame_size ? produced : 0;
+}
+
+}  // namespace mgcomp

@@ -1,0 +1,110 @@
+// Chunked LZSS block codec for bulk (multi-line) payloads.
+//
+// The three cache-line codecs cap the achievable ratio on page-sized
+// transfers: their dictionaries reset every 64 bytes. BlockLzss compresses
+// a whole block (up to one 4 KB page) with a classic LZSS token stream,
+// framed in independently decodable chunks the way nvcomp-style GPU codecs
+// frame their batches (SNIPPETS.md Snippet 3) — a hardware decoder can run
+// one engine per chunk in parallel, which is what the block codec's cost
+// model assumes.
+//
+// Frame layout (all little-endian, byte-aligned):
+//
+//   u16 raw_size                  total uncompressed bytes (1..kMaxBlockBytes)
+//   u16 num_chunks                ceil(raw_size / kChunkBytes)
+//   per chunk:
+//     u16 header                  bit 15: stored-raw flag
+//                                 bits 0..14: payload size in bytes
+//     payload                     raw chunk copy, or LZSS token stream
+//
+// Token stream: a control byte carries flags for the next 8 items, LSB
+// first — bit set = one literal byte follows, bit clear = a match token:
+//
+//   byte 0: offset & 0xFF                       (offset 1..kChunkBytes-1)
+//   byte 1: (offset >> 8) << 4 | length code    (code 0..14 -> len 3..17)
+//   byte 2: present when code == 15: len = 18 + byte  (18..273)
+//
+// Matches reference earlier bytes of the SAME chunk only, which is what
+// makes chunks independently decodable. A chunk whose token stream would
+// not shrink it is stored raw, so the frame never expands a chunk by more
+// than its 2-byte header.
+//
+// The match-extension loop (the dominant cost) is runtime-dispatched
+// through the ProbeKernels table (compression/simd/): candidate selection
+// is shared scalar code and match_len is an exact function of the bytes,
+// so every backend produces bit-identical frames — fuzzed by
+// tests/block_lzss_test.cc.
+//
+// probe() is the allocation-free dry run of the encoder (exact-size
+// contract, mirroring Codec::probe): it returns precisely the frame size
+// compress_into() will produce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace mgcomp {
+
+class BlockLzss {
+ public:
+  /// Independently decodable chunk size. 1 KB keeps per-chunk dictionary
+  /// reach long enough to catch page-periodic workload data while leaving
+  /// four parallel decode lanes per 4 KB block.
+  static constexpr std::size_t kChunkBytes = 1024;
+  /// Largest block: one page (64 lines).
+  static constexpr std::size_t kMaxBlockBytes = kPageBytes;
+  static constexpr std::size_t kMinMatch = 3;
+  /// Length codes 0..14 encode 3..17 directly; code 15 adds an extension
+  /// byte for 18..273.
+  static constexpr std::size_t kMaxMatch = 273;
+
+  /// Upper bound on the frame size for `raw_bytes` of input: block header
+  /// plus, per chunk, the 2-byte chunk header and at worst the raw chunk
+  /// (the stored-raw fallback caps payload expansion at zero).
+  [[nodiscard]] static constexpr std::size_t max_encoded_bytes(
+      std::size_t raw_bytes) noexcept {
+    const std::size_t chunks = (raw_bytes + kChunkBytes - 1) / kChunkBytes;
+    return 4 + chunks * 2 + raw_bytes;
+  }
+
+  /// Exact frame size compress_into() would produce, without writing a
+  /// byte. Allocation-free (the policy's size-adaptive estimate).
+  [[nodiscard]] static std::size_t probe(const std::uint8_t* data, std::size_t size);
+
+  /// Encodes `data` into `out` (capacity >= max_encoded_bytes(size));
+  /// returns the frame size, always == probe(data, size).
+  static std::size_t compress_into(const std::uint8_t* data, std::size_t size,
+                                   std::uint8_t* out);
+
+  /// Decodes a frame into `out` (capacity >= kMaxBlockBytes). Returns the
+  /// decoded size, or 0 if the frame is malformed (truncated stream,
+  /// out-of-range offset, size overflow) — decode never reads or writes
+  /// out of bounds, so corrupted frames degrade to a verification failure
+  /// rather than undefined behavior.
+  [[nodiscard]] static std::size_t decompress(const std::uint8_t* frame,
+                                              std::size_t frame_size, std::uint8_t* out);
+};
+
+/// Block-codec cost model (per byte of RAW block data, mirroring the
+/// Table III per-line costs of the line codecs). Throughputs assume one
+/// LZSS engine per chunk running in parallel, which is the point of the
+/// chunk framing; energy is dominated by the hash/match SRAM traffic.
+struct BlockCodecCost {
+  /// Compressor throughput: raw bytes consumed per cycle.
+  static constexpr std::size_t kCompressBytesPerCycle = 32;
+  /// Decompressor throughput: raw bytes produced per cycle.
+  static constexpr std::size_t kDecompressBytesPerCycle = 64;
+  static constexpr double kCompressPjPerByte = 0.30;
+  static constexpr double kDecompressPjPerByte = 0.10;
+
+  [[nodiscard]] static constexpr Tick compress_cycles(std::size_t raw_bytes) noexcept {
+    return (raw_bytes + kCompressBytesPerCycle - 1) / kCompressBytesPerCycle;
+  }
+  [[nodiscard]] static constexpr Tick decompress_cycles(std::size_t raw_bytes) noexcept {
+    return (raw_bytes + kDecompressBytesPerCycle - 1) / kDecompressBytesPerCycle;
+  }
+};
+
+}  // namespace mgcomp

@@ -13,6 +13,7 @@
 
 #include <immintrin.h>
 
+#include <bit>
 #include <cstring>
 
 namespace mgcomp::simd {
@@ -252,7 +253,27 @@ CpackKernelResult cpack_avx2(const std::uint8_t* line) {
   return r;
 }
 
-constexpr ProbeKernels kAvx2Kernels{"avx2", &fpc_avx2, &bdi_avx2, &cpack_avx2};
+/// BlockLzss match extension: 32 bytes per compare while a full vector
+/// fits under `max`, scalar tail after (never reads at or past a + max).
+std::uint32_t match_len_avx2(const std::uint8_t* a, const std::uint8_t* b,
+                             std::uint32_t max) {
+  std::uint32_t i = 0;
+  while (i + 32 <= max) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const auto ne = ~static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (ne != 0) {
+      return i + static_cast<std::uint32_t>(std::countr_zero(ne));
+    }
+    i += 32;
+  }
+  while (i < max && a[i] == b[i]) ++i;
+  return i;
+}
+
+constexpr ProbeKernels kAvx2Kernels{"avx2", &fpc_avx2, &bdi_avx2, &cpack_avx2,
+                                    &match_len_avx2};
 
 }  // namespace
 

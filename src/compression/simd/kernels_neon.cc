@@ -9,6 +9,7 @@
 
 #include <arm_neon.h>
 
+#include <bit>
 #include <cstring>
 
 namespace mgcomp::simd {
@@ -256,7 +257,28 @@ CpackKernelResult cpack_neon(const std::uint8_t* line) {
   return r;
 }
 
-constexpr ProbeKernels kNeonKernels{"neon", &fpc_neon, &bdi_neon, &cpack_neon};
+/// BlockLzss match extension: 16 bytes per compare while a full vector
+/// fits under `max`, scalar tail after (never reads at or past a + max).
+/// The shrn-by-4 narrowing turns the byte-compare mask into a 64-bit word
+/// with 4 bits per byte lane, so countr_zero / 4 is the mismatch index.
+std::uint32_t match_len_neon(const std::uint8_t* a, const std::uint8_t* b,
+                             std::uint32_t max) {
+  std::uint32_t i = 0;
+  while (i + 16 <= max) {
+    const uint8x16_t eq = vceqq_u8(vld1q_u8(a + i), vld1q_u8(b + i));
+    const uint64_t m = vget_lane_u64(
+        vreinterpret_u64_u8(vshrn_n_u16(vreinterpretq_u16_u8(eq), 4)), 0);
+    if (m != ~0ULL) {
+      return i + static_cast<std::uint32_t>(std::countr_zero(~m)) / 4;
+    }
+    i += 16;
+  }
+  while (i < max && a[i] == b[i]) ++i;
+  return i;
+}
+
+constexpr ProbeKernels kNeonKernels{"neon", &fpc_neon, &bdi_neon, &cpack_neon,
+                                    &match_len_neon};
 
 }  // namespace
 

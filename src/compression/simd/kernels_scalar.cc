@@ -64,7 +64,15 @@ CpackKernelResult cpack_scalar(const std::uint8_t* line) {
   return r;
 }
 
-constexpr ProbeKernels kScalarKernels{"scalar", &fpc_scalar, &bdi_scalar, &cpack_scalar};
+std::uint32_t match_len_scalar(const std::uint8_t* a, const std::uint8_t* b,
+                               std::uint32_t max) {
+  std::uint32_t i = 0;
+  while (i < max && a[i] == b[i]) ++i;
+  return i;
+}
+
+constexpr ProbeKernels kScalarKernels{"scalar", &fpc_scalar, &bdi_scalar, &cpack_scalar,
+                                      &match_len_scalar};
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 
 #include <nmmintrin.h>
 
+#include <bit>
 #include <cstring>
 
 namespace mgcomp::simd {
@@ -248,7 +249,27 @@ CpackKernelResult cpack_sse42(const std::uint8_t* line) {
   return r;
 }
 
-constexpr ProbeKernels kSse42Kernels{"sse42", &fpc_sse42, &bdi_sse42, &cpack_sse42};
+/// BlockLzss match extension: 16 bytes per compare while a full vector
+/// fits under `max`, scalar tail after (never reads at or past a + max).
+std::uint32_t match_len_sse42(const std::uint8_t* a, const std::uint8_t* b,
+                              std::uint32_t max) {
+  std::uint32_t i = 0;
+  while (i + 16 <= max) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const unsigned ne = 0xFFFFU & ~static_cast<unsigned>(
+                                      _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (ne != 0) {
+      return i + static_cast<std::uint32_t>(std::countr_zero(ne));
+    }
+    i += 16;
+  }
+  while (i < max && a[i] == b[i]) ++i;
+  return i;
+}
+
+constexpr ProbeKernels kSse42Kernels{"sse42", &fpc_sse42, &bdi_sse42, &cpack_sse42,
+                                     &match_len_sse42};
 
 }  // namespace
 

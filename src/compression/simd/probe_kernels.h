@@ -176,11 +176,20 @@ struct CpackKernelResult {
 
 /// One line is always exactly kLineBytes; kernels take the raw pointer so
 /// backends are free to issue unaligned vector loads over it.
+///
+/// match_len is the block-codec (BlockLzss) match extension: the length of
+/// the common prefix of `a` and `b`, capped at `max`. Both pointers address
+/// the same in-bounds block buffer and `max` never reaches past its end, so
+/// backends may read up to their vector width *within* max but must never
+/// read byte `max` or beyond. The result is an exact function of the bytes,
+/// so every backend is trivially bit-identical — the fuzzer checks anyway.
 struct ProbeKernels {
   const char* name;
   FpcWordMasks (*fpc)(const std::uint8_t* line);
   std::uint8_t (*bdi)(const std::uint8_t* line);  ///< returns BdiCodec::Pattern
   CpackKernelResult (*cpack)(const std::uint8_t* line);
+  std::uint32_t (*match_len)(const std::uint8_t* a, const std::uint8_t* b,
+                             std::uint32_t max);
 };
 
 }  // namespace mgcomp::simd

@@ -245,6 +245,11 @@ RunResult MultiGpuSystem::collect_result(std::string_view name) {
   if (health_ != nullptr) r.health = health_->stats();
   r.remote_read_latency = collector_->read_latency();
   r.remote_write_latency = collector_->write_latency();
+  r.bulk_read_latency = collector_->bulk_read_latency();
+  r.bulk_write_latency = collector_->bulk_write_latency();
+  r.bulk_payloads = collector_->bulk_payloads();
+  r.bulk_raw_bytes = collector_->bulk_raw_bytes();
+  r.bulk_wire_payload_bytes = collector_->bulk_wire_payload_bytes();
   if (tracer_ != nullptr) {
     // Close each policy's open phase span so the trace tiles the full run.
     for (auto& gpu : gpus_) gpu->rdma().policy().trace_flush();
@@ -264,6 +269,15 @@ RunResult MultiGpuSystem::collect_result(std::string_view name) {
     r.policy_stats.votes_taken += ps.votes_taken;
     r.policy_stats.degrade_events += ps.degrade_events;
     r.policy_stats.degraded_transfers += ps.degraded_transfers;
+    r.policy_stats.bulk_transfers += ps.bulk_transfers;
+    for (std::size_t i = 0; i < kNumBlockCodecIds; ++i) {
+      r.policy_stats.block_wire_counts[i] += ps.block_wire_counts[i];
+    }
+
+    const PayloadPool& pool = gpus_[g]->rdma().payload_pool();
+    r.pool_hits += pool.hits();
+    r.pool_misses += pool.misses();
+    r.bulk_pool_misses += pool.bulk_misses();
 
     const CacheStats v = gpus_[g]->l1v_stats();
     const CacheStats s = gpus_[g]->l1s_stats();

@@ -75,7 +75,13 @@ void BusFabric::kick() {
     // requester's retry budget / the watchdog gives up on it.
     if (health_ != nullptr && health_->link_down(head.src, head.dst)) continue;
     Endpoint& dst = endpoints_[head.dst.value];
-    if (dst.in_bytes + head.wire_bytes() > params_.input_buffer_bytes) continue;
+    // Jumbo grant: a bulk message can exceed the whole input buffer; it is
+    // admitted only into an EMPTY buffer (store-and-forward of one jumbo at
+    // a time), so line traffic keeps the exact credit-based admission.
+    if (dst.in_bytes + head.wire_bytes() > params_.input_buffer_bytes &&
+        !(dst.in_bytes == 0 && head.wire_bytes() > params_.input_buffer_bytes)) {
+      continue;
+    }
 
     // Grant: reserve destination buffer now so no later grant oversubscribes
     // it, and occupy the bus for the serialization time.

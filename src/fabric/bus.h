@@ -77,7 +77,9 @@ struct BusStats {
     ++inter_gpu_offered_messages;
     inter_gpu_offered_wire_bytes += msg.wire_bytes();
     if (msg.has_payload()) {
-      inter_gpu_offered_payload_raw_bits += kLineBits;
+      // length is kLineBytes on the line path, so this is kLineBits there;
+      // bulk messages book their full raw block size.
+      inter_gpu_offered_payload_raw_bits += static_cast<std::uint64_t>(msg.length) * 8;
       inter_gpu_offered_payload_wire_bits += msg.payload_bits;
     }
   }
@@ -90,7 +92,7 @@ struct BusStats {
     ++inter_gpu_messages;
     inter_gpu_wire_bytes += msg.wire_bytes();
     if (msg.has_payload()) {
-      inter_gpu_payload_raw_bits += kLineBits;
+      inter_gpu_payload_raw_bits += static_cast<std::uint64_t>(msg.length) * 8;
       inter_gpu_payload_wire_bits += msg.payload_bits;
     }
   }

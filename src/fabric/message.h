@@ -22,9 +22,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/crc32.h"
 #include "common/types.h"
+#include "compression/block_codec.h"
 #include "compression/codec.h"
 
 namespace mgcomp {
@@ -68,6 +70,14 @@ struct Message {
   std::uint32_t payload_bits{0};
   /// Functional payload (the *decoded* line) for Data-Ready/Write.
   Line data{};
+  /// Bulk (multi-line) functional payload: the decoded block bytes for a
+  /// Data-Ready/Write whose length exceeds one line. Empty on the
+  /// line-granularity path, so line messages are wire- and CRC-identical
+  /// to the pre-bulk protocol.
+  std::vector<std::uint8_t> block{};
+  /// Block framing of a bulk payload (rides in the Read/Write header's
+  /// reserved bits, alongside the CRC).
+  BlockCodecId block_alg{BlockCodecId::kRaw};
   /// Receiver-side decompression cost, precomputed by the sender's policy
   /// decision so the receiver model need not re-derive it.
   Tick decompress_latency{0};
@@ -81,6 +91,10 @@ struct Message {
   [[nodiscard]] bool has_payload() const noexcept {
     return type == MsgType::kDataReady || type == MsgType::kWriteReq;
   }
+
+  /// True for the bulk fast path: a request/response spanning multiple
+  /// lines (up to one page). Bulk payloads live in `block`, not `data`.
+  [[nodiscard]] bool is_bulk() const noexcept { return length > kLineBytes; }
 
   /// Header size in bits, per Fig. 4.
   [[nodiscard]] std::uint32_t header_bits() const noexcept {
@@ -115,7 +129,17 @@ struct Message {
   crc.update_value(m.length);
   crc.update_value(static_cast<std::uint8_t>(m.comp_alg));
   crc.update_value(m.payload_bits);
-  if (m.has_payload()) crc.update(m.data.data(), m.data.size());
+  if (m.has_payload()) {
+    if (m.is_bulk()) {
+      // Bulk path: hash the block framing id and block bytes. Line
+      // messages never reach this branch, so their CRC inputs stay
+      // byte-identical to the pre-bulk protocol.
+      crc.update_value(static_cast<std::uint8_t>(m.block_alg));
+      crc.update(m.block.data(), m.block.size());
+    } else {
+      crc.update(m.data.data(), m.data.size());
+    }
+  }
   return crc.value();
 }
 

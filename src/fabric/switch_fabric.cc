@@ -101,7 +101,10 @@ void SwitchFabric::pump(std::size_t src_idx) {
     }
     const Message& head = src.out.front();
     Endpoint& dst = endpoints_[head.dst.value];
-    if (dst.in_bytes + head.wire_bytes() > params_.input_buffer_bytes) {
+    // Same jumbo-grant rule as the bus: oversized bulk messages are
+    // admitted only into an empty input buffer.
+    if (dst.in_bytes + head.wire_bytes() > params_.input_buffer_bytes &&
+        !(dst.in_bytes == 0 && head.wire_bytes() > params_.input_buffer_bytes)) {
       src.head_blocked = true;  // wake on consume()
       return;
     }

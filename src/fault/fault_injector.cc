@@ -52,6 +52,10 @@ void FaultInjector::corrupt(Message& msg, std::uint32_t bit) noexcept {
   const std::uint32_t hdr = msg.header_bits();
   if (!msg.has_payload() || bit < hdr) {
     msg.id = static_cast<std::uint16_t>(msg.id ^ (1u << (bit % 16u)));
+  } else if (msg.is_bulk() && !msg.block.empty()) {
+    const auto bits = static_cast<std::uint32_t>(msg.block.size()) * 8;
+    const std::uint32_t p = (bit - hdr) % bits;
+    msg.block[p / 8] = static_cast<std::uint8_t>(msg.block[p / 8] ^ (1u << (p % 8u)));
   } else {
     const std::uint32_t p = (bit - hdr) % kLineBits;
     msg.data[p / 8] = static_cast<std::uint8_t>(msg.data[p / 8] ^ (1u << (p % 8u)));

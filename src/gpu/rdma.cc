@@ -35,12 +35,28 @@ void RdmaEngine::quarantine_id(std::uint16_t id) {
   }
 }
 
+namespace {
+
+/// Bulk-path shape contract: a whole number of lines, at most one page,
+/// wholly inside one page (so one owner serves it and the owner-side
+/// access loop never crosses an ownership boundary).
+void check_bulk_span(Addr addr, std::uint32_t length) {
+  MGCOMP_CHECK_MSG(addr == line_base(addr), "bulk span must start on a line boundary");
+  MGCOMP_CHECK_MSG(length > 0 && length % kLineBytes == 0,
+                   "bulk length must be a whole number of lines");
+  MGCOMP_CHECK_MSG(length <= kPageBytes, "bulk span exceeds one page");
+  MGCOMP_CHECK_MSG(page_index(addr) == page_index(addr + length - 1),
+                   "bulk span crosses a page (ownership) boundary");
+}
+
+}  // namespace
+
 void RdmaEngine::remote_read(Addr addr, std::function<void(bool)> done) {
   const GpuId owner = map_->owner(addr);
   MGCOMP_CHECK_MSG(owner != self_, "remote_read called for a local address");
   const std::uint16_t id = alloc_id();
   const auto [it, inserted] = pending_.emplace(
-      id, PendingRequest{std::move(done), line_base(addr), MsgType::kReadReq,
+      id, PendingRequest{std::move(done), line_base(addr), kLineBytes, MsgType::kReadReq,
                          gpu_endpoint_(owner), engine_->now(), 0, false, nullptr});
   MGCOMP_CHECK(inserted);
   arm_timer(id, it->second);
@@ -52,7 +68,43 @@ void RdmaEngine::remote_write(Addr addr, std::function<void(bool)> done) {
   MGCOMP_CHECK_MSG(owner != self_, "remote_write called for a local address");
   const std::uint16_t id = alloc_id();
   const auto [it, inserted] = pending_.emplace(
-      id, PendingRequest{std::move(done), line_base(addr), MsgType::kWriteReq,
+      id, PendingRequest{std::move(done), line_base(addr), kLineBytes, MsgType::kWriteReq,
+                         gpu_endpoint_(owner), engine_->now(), 0, false, nullptr});
+  MGCOMP_CHECK(inserted);
+  arm_timer(id, it->second);
+  send_request(id, it->second);
+}
+
+void RdmaEngine::remote_read_bulk(Addr addr, std::uint32_t length,
+                                  std::function<void(bool)> done) {
+  check_bulk_span(addr, length);
+  if (length == kLineBytes) {  // degenerate bulk = the line path
+    remote_read(addr, std::move(done));
+    return;
+  }
+  const GpuId owner = map_->owner(addr);
+  MGCOMP_CHECK_MSG(owner != self_, "remote_read_bulk called for a local span");
+  const std::uint16_t id = alloc_id();
+  const auto [it, inserted] = pending_.emplace(
+      id, PendingRequest{std::move(done), addr, length, MsgType::kReadReq,
+                         gpu_endpoint_(owner), engine_->now(), 0, false, nullptr});
+  MGCOMP_CHECK(inserted);
+  arm_timer(id, it->second);
+  send_request(id, it->second);
+}
+
+void RdmaEngine::remote_write_bulk(Addr addr, std::uint32_t length,
+                                   std::function<void(bool)> done) {
+  check_bulk_span(addr, length);
+  if (length == kLineBytes) {
+    remote_write(addr, std::move(done));
+    return;
+  }
+  const GpuId owner = map_->owner(addr);
+  MGCOMP_CHECK_MSG(owner != self_, "remote_write_bulk called for a local span");
+  const std::uint16_t id = alloc_id();
+  const auto [it, inserted] = pending_.emplace(
+      id, PendingRequest{std::move(done), addr, length, MsgType::kWriteReq,
                          gpu_endpoint_(owner), engine_->now(), 0, false, nullptr});
   MGCOMP_CHECK(inserted);
   arm_timer(id, it->second);
@@ -61,7 +113,7 @@ void RdmaEngine::remote_write(Addr addr, std::function<void(bool)> done) {
 
 void RdmaEngine::send_request(std::uint16_t id, const PendingRequest& req) {
   if (req.type == MsgType::kWriteReq) {
-    send_payload(req.addr, MsgType::kWriteReq, id, req.dst);
+    send_payload(req.addr, req.length, MsgType::kWriteReq, id, req.dst);
     return;
   }
   Message m;
@@ -70,38 +122,67 @@ void RdmaEngine::send_request(std::uint16_t id, const PendingRequest& req) {
   m.src = self_ep_;
   m.dst = req.dst;
   m.addr = req.addr;
-  m.length = kLineBytes;
+  m.length = req.length;
   send_to_bus(std::move(m));
 }
 
-void RdmaEngine::send_payload(Addr addr, MsgType type, std::uint16_t id, EndpointId dst) {
-  const Line line = mem_->read_line(addr);
-  const CompressionDecision d = policy_->decide(line);
-  engine_->shared([this, line, d] { collector_->on_payload_sent(line, d); });
-
+void RdmaEngine::send_payload(Addr addr, std::uint32_t length, MsgType type,
+                              std::uint16_t id, EndpointId dst) {
   Message m;
   m.type = type;
   m.id = id;
   m.src = self_ep_;
   m.dst = dst;
   m.addr = addr;
-  m.length = kLineBytes;
-  m.comp_alg = d.wire_codec;
-  m.payload_bits = d.payload_bits;
-  m.data = line;
-  m.decompress_latency = d.decompress_latency;
-  m.decompress_occupancy = d.decompress_occupancy;
-  m.decompress_energy_pj = d.decompress_energy_pj;
+  m.length = length;
 
-  if (d.compress_latency == 0) {
+  Tick compress_latency = 0;
+  Tick compress_occupancy = 0;
+  if (length == kLineBytes) {
+    const Line line = mem_->read_line(addr);
+    const CompressionDecision d = policy_->decide(line);
+    engine_->shared([this, line, d] { collector_->on_payload_sent(line, d); });
+    m.comp_alg = d.wire_codec;
+    m.payload_bits = d.payload_bits;
+    m.data = line;
+    m.decompress_latency = d.decompress_latency;
+    m.decompress_occupancy = d.decompress_occupancy;
+    m.decompress_energy_pj = d.decompress_energy_pj;
+    compress_latency = d.compress_latency;
+    compress_occupancy = d.compress_occupancy;
+  } else {
+    // Bulk block: gather the lines into a recycled pool buffer, let the
+    // policy pick the block framing from its allocation-free probe, and
+    // ship the whole block as ONE message (one event chain, one CRC). The
+    // message carries the decoded bytes — like the line path, the encoded
+    // size lives in payload_bits and only shapes wire timing.
+    std::vector<std::uint8_t> block = payload_pool_.acquire(length);
+    block.resize(length);
+    for (std::uint32_t off = 0; off < length; off += kLineBytes) {
+      const Line line = mem_->read_line(addr + off);
+      std::copy(line.begin(), line.end(), block.begin() + off);
+    }
+    const BlockDecision d = policy_->decide_block(block.data(), block.size());
+    engine_->shared([this, d, length] { collector_->on_bulk_payload_sent(length, d); });
+    m.block_alg = d.alg;
+    m.payload_bits = d.payload_bits;
+    m.block = std::move(block);
+    m.decompress_latency = d.decompress_latency;
+    m.decompress_occupancy = d.decompress_occupancy;
+    m.decompress_energy_pj = d.decompress_energy_pj;
+    compress_latency = d.compress_latency;
+    compress_occupancy = d.compress_occupancy;
+  }
+
+  if (compress_latency == 0) {
     send_to_bus(std::move(m));
   } else {
-    // The path's compressor accepts one line per `compress_occupancy`
-    // cycles; the line leaves `compress_latency` cycles after acceptance.
+    // The path's compressor accepts one payload per `compress_occupancy`
+    // cycles; the payload leaves `compress_latency` cycles after acceptance.
     Tick& unit = compressor_free_at_[type == MsgType::kWriteReq ? 1 : 0];
     const Tick start = std::max(engine_->now(), unit);
-    unit = start + d.compress_occupancy;
-    engine_->schedule_at(domain_, start + d.compress_latency,
+    unit = start + compress_occupancy;
+    engine_->schedule_at(domain_, start + compress_latency,
                          [this, m = std::move(m)]() mutable { send_to_bus(std::move(m)); });
   }
 }
@@ -186,9 +267,10 @@ void RdmaEngine::hard_fail(std::uint16_t id, PendingRequest& req) {
   done(false);
 }
 
-void RdmaEngine::replay_remember(EndpointId requester, std::uint16_t id, Addr addr) {
+void RdmaEngine::replay_remember(EndpointId requester, std::uint16_t id, Addr addr,
+                                 std::uint32_t length) {
   const std::uint64_t key = replay_key(requester, id);
-  if (replay_.insert_or_assign(key, addr).second) {
+  if (replay_.insert_or_assign(key, ReplayEntry{addr, length}).second) {
     replay_fifo_.push_back(key);
     if (replay_fifo_.size() > kReplayCap) {
       replay_.erase(replay_fifo_.front());
@@ -241,11 +323,18 @@ void RdmaEngine::handle_read_req(Message&& msg) {
   // is handed to the fabric (it models unprocessed-message backlog).
   // A duplicated/retransmitted request simply regenerates the response;
   // the requester suppresses the extra copy.
-  if (reliable_) replay_remember(msg.src, msg.id, msg.addr);
-  const Tick ready = owner_access_(msg.addr, /*is_write=*/false);
+  if (reliable_) replay_remember(msg.src, msg.id, msg.addr, msg.length);
+  // A bulk request books every line of the span on the local hierarchy; the
+  // response leaves when the slowest line is ready (the lines stream out of
+  // banked L2/DRAM in parallel, so the block is ready at the max, not the
+  // sum).
+  Tick ready = 0;
+  for (std::uint32_t off = 0; off < msg.length; off += kLineBytes) {
+    ready = std::max(ready, owner_access_(msg.addr + off, /*is_write=*/false));
+  }
   const std::uint32_t req_wire = msg.wire_bytes();
   engine_->schedule_at(domain_, ready, [this, msg = std::move(msg), req_wire] {
-    send_payload(msg.addr, MsgType::kDataReady, msg.id, msg.src);
+    send_payload(msg.addr, msg.length, MsgType::kDataReady, msg.id, msg.src);
     consume_in(req_wire);
   });
 }
@@ -271,17 +360,28 @@ void RdmaEngine::handle_data_ready(Message&& msg) {
 
   const Tick lat = msg.decompress_latency;
   const Tick occ = msg.decompress_occupancy;
-  auto finish = [this, msg = std::move(msg)] {
+  auto finish = [this, msg = std::move(msg)]() mutable {
     engine_->shared(
         [this, e = msg.decompress_energy_pj] { collector_->on_payload_received(e); });
     consume_in(msg.wire_bytes());
+    const bool bulk = msg.is_bulk();
+    // Recycle the bulk block's storage: received blocks refill this
+    // engine's pool, which its own outgoing bulk sends draw from.
+    if (bulk) payload_pool_.release(std::move(msg.block));
     const auto pit = pending_.find(msg.id);
     MGCOMP_CHECK_MSG(pit != pending_.end(), "read completion raced with retirement");
     const Tick issued = pit->second.issued;
     const Tick took = engine_->now() - issued;
-    engine_->shared([this, took] { collector_->record_read_latency(took); });
+    engine_->shared([this, took, bulk] {
+      if (bulk) {
+        collector_->record_bulk_read_latency(took);
+      } else {
+        collector_->record_read_latency(took);
+      }
+    });
     if (tracer_ != nullptr) {
-      tracer_->span(track_, "remote_read", "rdma", issued, engine_->now(), msg.addr);
+      tracer_->span(track_, bulk ? "remote_read_bulk" : "remote_read", "rdma", issued,
+                    engine_->now(), msg.addr);
     }
     if (pit->second.retries > 0) quarantine_id(msg.id);
     // Deferred like the error path: a success can flip a RECOVERED link UP
@@ -312,11 +412,15 @@ void RdmaEngine::handle_write_req(Message&& msg) {
   // needed; the requester suppresses the duplicate ACK.
   const Tick lat = msg.decompress_latency;
   const Tick occ = msg.decompress_occupancy;
-  auto commit = [this, msg = std::move(msg)] {
+  auto commit = [this, msg = std::move(msg)]() mutable {
     engine_->shared(
         [this, e = msg.decompress_energy_pj] { collector_->on_payload_received(e); });
-    owner_access_(msg.addr, /*is_write=*/true);  // books local bandwidth; ack is posted
+    // Books local bandwidth (every line of a bulk span); the ack is posted.
+    for (std::uint32_t off = 0; off < msg.length; off += kLineBytes) {
+      owner_access_(msg.addr + off, /*is_write=*/true);
+    }
     consume_in(msg.wire_bytes());
+    if (msg.is_bulk()) payload_pool_.release(std::move(msg.block));
 
     Message ack;
     ack.type = MsgType::kWriteAck;
@@ -348,9 +452,15 @@ void RdmaEngine::handle_write_ack(Message&& msg) {
   }
   cancel_timer(it->second);
   const Tick issued = it->second.issued;
-  collector_->record_write_latency(engine_->now() - issued);
+  const bool bulk = it->second.length > kLineBytes;
+  if (bulk) {
+    collector_->record_bulk_write_latency(engine_->now() - issued);
+  } else {
+    collector_->record_write_latency(engine_->now() - issued);
+  }
   if (tracer_ != nullptr) {
-    tracer_->span(track_, "remote_write", "rdma", issued, engine_->now(), it->second.addr);
+    tracer_->span(track_, bulk ? "remote_write_bulk" : "remote_write", "rdma", issued,
+                  engine_->now(), it->second.addr);
   }
   if (it->second.retries > 0) quarantine_id(msg.id);
   if (health_ != nullptr) health_->on_link_success(self_ep_, it->second.dst);
@@ -382,7 +492,8 @@ void RdmaEngine::handle_nack(Message&& msg) {
   if (rit != replay_.end()) {
     ++link.replay_hits;
     policy_->on_link_feedback(LinkEvent::kNackReceived);
-    send_payload(rit->second, MsgType::kDataReady, msg.id, msg.src);
+    send_payload(rit->second.addr, rit->second.length, MsgType::kDataReady, msg.id,
+                 msg.src);
     return;
   }
 

@@ -86,6 +86,17 @@ class RdmaEngine {
   /// ok == false on retry exhaustion.
   void remote_write(Addr addr, std::function<void(bool ok)> done);
 
+  /// Bulk fast path: one request / one response / one CRC for a block of
+  /// `length` bytes (line-aligned `addr`, a whole number of lines, at most
+  /// one page, and wholly inside one page so a single owner serves it).
+  /// The block travels as one payload message through the same policy,
+  /// fault-injection, retransmission, and payload-pool machinery as the
+  /// line path, with the size-adaptive policy choosing its block framing.
+  void remote_read_bulk(Addr addr, std::uint32_t length,
+                        std::function<void(bool ok)> done);
+  void remote_write_bulk(Addr addr, std::uint32_t length,
+                         std::function<void(bool ok)> done);
+
   /// Outcome-blind conveniences for callers whose functional state is
   /// already correct (workload kernels): a hard failure only costs timing
   /// fidelity there, so they complete the same way either path resolves.
@@ -121,10 +132,16 @@ class RdmaEngine {
   /// Requests currently awaiting a response.
   [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
 
+  /// Payload-buffer pool stats (hit/miss counters surfaced in RunResult).
+  [[nodiscard]] const PayloadPool& payload_pool() const noexcept { return payload_pool_; }
+
  private:
   struct PendingRequest {
     std::function<void(bool ok)> done;
     Addr addr{0};
+    /// Requested bytes: kLineBytes on the line path, a multiple of it on
+    /// the bulk path (retransmissions regenerate the same-size request).
+    std::uint32_t length{kLineBytes};
     MsgType type{MsgType::kReadReq};
     EndpointId dst{};
     Tick issued{0};  ///< CU issue tick, for completion-latency accounting
@@ -142,9 +159,11 @@ class RdmaEngine {
   /// requests). FIFO-bounded, far larger than any in-flight horizon.
   void quarantine_id(std::uint16_t id);
 
-  /// Runs the policy on the line at `addr` and, after the compression
+  /// Runs the policy on the payload at `addr` (`length == kLineBytes`: the
+  /// line path; larger: the bulk block path) and, after the compression
   /// latency, sends a payload-bearing message (Data-Ready or Write).
-  void send_payload(Addr addr, MsgType type, std::uint16_t id, EndpointId dst);
+  void send_payload(Addr addr, std::uint32_t length, MsgType type, std::uint16_t id,
+                    EndpointId dst);
 
   /// (Re)sends the request message for a pending entry.
   void send_request(std::uint16_t id, const PendingRequest& req);
@@ -169,7 +188,8 @@ class RdmaEngine {
                                                 std::uint16_t id) noexcept {
     return (static_cast<std::uint64_t>(requester.value) << 16) | id;
   }
-  void replay_remember(EndpointId requester, std::uint16_t id, Addr addr);
+  void replay_remember(EndpointId requester, std::uint16_t id, Addr addr,
+                       std::uint32_t length);
 
   void handle_read_req(Message&& msg);
   void handle_data_ready(Message&& msg);
@@ -225,7 +245,11 @@ class RdmaEngine {
 
   /// Owner-side Data-Ready replay cache: lets a NACKed read response be
   /// regenerated without the requester waiting out its full timeout.
-  std::unordered_map<std::uint64_t, Addr> replay_;
+  struct ReplayEntry {
+    Addr addr{0};
+    std::uint32_t length{kLineBytes};
+  };
+  std::unordered_map<std::uint64_t, ReplayEntry> replay_;
   std::deque<std::uint64_t> replay_fifo_;
   static constexpr std::size_t kReplayCap = 512;
 

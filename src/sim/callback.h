@@ -22,9 +22,10 @@ namespace mgcomp {
 class InlineFunction {
  public:
   /// Inline storage size. The largest hot-path capture is a Message plus a
-  /// couple of pointers (~144 bytes); anything bigger silently degrades to
-  /// the heap, it does not break.
-  static constexpr std::size_t kInlineBytes = 160;
+  /// couple of pointers (~176 bytes now that Message carries the bulk-path
+  /// block vector); anything bigger silently degrades to the heap, it does
+  /// not break.
+  static constexpr std::size_t kInlineBytes = 192;
 
   InlineFunction() noexcept = default;
 

@@ -1,0 +1,212 @@
+// Differential fuzzer for the BlockLzss chunked block codec.
+//
+// Contract under test (mirrors tests/simd_test.cc for the line codecs):
+// for every block in the corpus and every available SIMD backend, the
+// probe() size must equal the compress_into() size, the frame must decode
+// back to the input bit-exactly, the frame bytes themselves must be
+// identical to the scalar reference's, and the frame must respect the
+// max_encoded_bytes() bound. Corpora mix adversarial shapes (zero, runs,
+// period-N repeats straddling the chunk dictionary reach), random data,
+// and genuine workload-derived lines.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/word_io.h"
+#include "compression/block_lzss.h"
+#include "compression/simd/dispatch.h"
+#include "core/workload.h"
+#include "memory/global_memory.h"
+#include "workloads/all_workloads.h"
+
+namespace mgcomp {
+namespace {
+
+using Block = std::vector<std::uint8_t>;
+
+void append_adversarial(std::vector<Block>& blocks) {
+  // Uniform fills at several sizes, including chunk-boundary straddlers.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{64}, std::size_t{1023}, std::size_t{1024},
+                              std::size_t{1025}, std::size_t{4096}}) {
+    blocks.emplace_back(n, std::uint8_t{0x00});
+    blocks.emplace_back(n, std::uint8_t{0xFF});
+  }
+  // Period-P repeats: P below, at, and beyond the 3-byte minimum match,
+  // and at the 256-byte period of the collective low-range fill.
+  for (const std::size_t period : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                   std::size_t{7}, std::size_t{64}, std::size_t{256},
+                                   std::size_t{1023}}) {
+    Block b(4096);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = static_cast<std::uint8_t>((i % period) * 41 + 7);
+    }
+    blocks.push_back(std::move(b));
+  }
+  // The collective kLowRange word pattern (what the bulk bench compresses).
+  Block low(4096);
+  for (std::size_t i = 0; i < low.size() / 4; ++i) {
+    const std::uint32_t v = 0x1000U + ((static_cast<std::uint32_t>(i) * 7 + 13) & 0x3F);
+    std::memcpy(low.data() + i * 4, &v, 4);
+  }
+  blocks.push_back(std::move(low));
+  // A maximal match straight through the length-extension encoding.
+  Block runs(2048, std::uint8_t{0xAB});
+  for (std::size_t i = 0; i < runs.size(); i += 300) runs[i] = 0xCD;
+  blocks.push_back(std::move(runs));
+  // Incompressible: golden-ratio word mix (stored-raw fallback path).
+  Block hostile(4096);
+  for (std::size_t i = 0; i < hostile.size() / 4; ++i) {
+    const std::uint32_t v = 0x9E3779B9U * static_cast<std::uint32_t>(i + 1);
+    std::memcpy(hostile.data() + i * 4, &v, 4);
+  }
+  blocks.push_back(std::move(hostile));
+}
+
+void append_random(std::vector<Block>& blocks, int count) {
+  Rng rng(0xB10C);
+  for (int i = 0; i < count; ++i) {
+    Block b(1 + rng.below(4096));
+    switch (rng.below(4)) {
+      case 0:  // uniform random
+        for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next());
+        break;
+      case 1: {  // repeated random motif, randomly perturbed
+        const std::size_t period = 1 + rng.below(512);
+        std::vector<std::uint8_t> motif(period);
+        for (auto& byte : motif) byte = static_cast<std::uint8_t>(rng.next());
+        for (std::size_t j = 0; j < b.size(); ++j) b[j] = motif[j % period];
+        for (int p = 0; p < 8; ++p) b[rng.below(b.size())] ^= 1;
+        break;
+      }
+      case 2:  // sparse non-zero
+        for (auto& byte : b) {
+          byte = rng.chance(0.1) ? static_cast<std::uint8_t>(rng.next()) : 0;
+        }
+        break;
+      default:  // few distinct bytes (dictionary-friendly)
+        for (auto& byte : b) byte = static_cast<std::uint8_t>(0x40 + rng.below(4));
+        break;
+    }
+    blocks.push_back(std::move(b));
+  }
+}
+
+void append_workload_derived(std::vector<Block>& blocks) {
+  for (const auto abbrev : workload_abbrevs()) {
+    auto wl = make_workload(abbrev, 0.05);
+    ASSERT_NE(wl, nullptr);
+    GlobalMemory mem;
+    wl->setup(mem);
+    (void)wl->generate_kernel(0, mem);
+    Block b(64 * kLineBytes);
+    for (std::size_t i = 0; i < 64; ++i) {
+      const Line l = mem.read_line(static_cast<Addr>(i) * kLineBytes);
+      std::memcpy(b.data() + i * kLineBytes, l.data(), kLineBytes);
+    }
+    blocks.push_back(std::move(b));
+  }
+}
+
+class BlockLzssTest : public testing::Test {
+ protected:
+  void TearDown() override { simd::set_backend(simd::best_backend()); }
+};
+
+TEST_F(BlockLzssTest, AllBackendsRoundTripBitIdenticalToScalar) {
+  std::vector<Block> blocks;
+  append_adversarial(blocks);
+  append_random(blocks, 400);
+  append_workload_derived(blocks);
+
+  // Pass 1: scalar reference frames.
+  ASSERT_TRUE(simd::set_backend(simd::Backend::kScalar));
+  std::vector<Block> ref_frames(blocks.size());
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Block& b = blocks[bi];
+    const std::size_t probed = BlockLzss::probe(b.data(), b.size());
+    Block frame(BlockLzss::max_encoded_bytes(b.size()));
+    const std::size_t enc = BlockLzss::compress_into(b.data(), b.size(), frame.data());
+    ASSERT_EQ(enc, probed) << "probe/compress size drift, block " << bi;
+    ASSERT_LE(enc, BlockLzss::max_encoded_bytes(b.size())) << "bound, block " << bi;
+    frame.resize(enc);
+    Block decoded(BlockLzss::kMaxBlockBytes);
+    ASSERT_EQ(BlockLzss::decompress(frame.data(), frame.size(), decoded.data()),
+              b.size())
+        << "decode size, block " << bi;
+    ASSERT_EQ(0, std::memcmp(decoded.data(), b.data(), b.size()))
+        << "round trip, block " << bi;
+    ref_frames[bi] = std::move(frame);
+  }
+
+  // Pass 2: every backend must reproduce the scalar frames byte-for-byte.
+  for (const simd::Backend backend : simd::available_backends()) {
+    ASSERT_TRUE(simd::set_backend(backend));
+    const std::string label(simd::backend_name(backend));
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+      const Block& b = blocks[bi];
+      ASSERT_EQ(BlockLzss::probe(b.data(), b.size()), ref_frames[bi].size())
+          << label << " probe, block " << bi;
+      Block frame(BlockLzss::max_encoded_bytes(b.size()));
+      const std::size_t enc = BlockLzss::compress_into(b.data(), b.size(), frame.data());
+      ASSERT_EQ(enc, ref_frames[bi].size()) << label << " frame size, block " << bi;
+      ASSERT_EQ(0, std::memcmp(frame.data(), ref_frames[bi].data(), enc))
+          << label << " frame bytes, block " << bi;
+    }
+  }
+}
+
+TEST_F(BlockLzssTest, CompressesPeriodicDataAndBoundsHostileData) {
+  Block low(4096);
+  for (std::size_t i = 0; i < low.size() / 4; ++i) {
+    const std::uint32_t v = 0x1000U + ((static_cast<std::uint32_t>(i) * 7 + 13) & 0x3F);
+    std::memcpy(low.data() + i * 4, &v, 4);
+  }
+  const std::size_t enc = BlockLzss::probe(low.data(), low.size());
+  EXPECT_LT(enc * 3, low.size()) << "low-range fill should compress at least 3x";
+
+  Block hostile(4096);
+  Rng rng(0xDEAD);
+  for (auto& byte : hostile) byte = static_cast<std::uint8_t>(rng.next());
+  const std::size_t henc = BlockLzss::probe(hostile.data(), hostile.size());
+  EXPECT_LE(henc, BlockLzss::max_encoded_bytes(hostile.size()));
+  EXPECT_GE(henc, hostile.size());  // stored-raw floor: headers only
+}
+
+TEST_F(BlockLzssTest, DecodeRejectsMalformedFramesWithoutCrashing) {
+  Block b(2048);
+  Rng rng(0xC0FFEE);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint8_t>((i % 97) + (i / 512));
+  }
+  Block frame(BlockLzss::max_encoded_bytes(b.size()));
+  const std::size_t enc = BlockLzss::compress_into(b.data(), b.size(), frame.data());
+  frame.resize(enc);
+  Block out(BlockLzss::kMaxBlockBytes);
+
+  // Truncations at every prefix length must fail cleanly (or, for the
+  // degenerate empty tail, never report the full size).
+  for (std::size_t cut = 0; cut < enc; ++cut) {
+    EXPECT_NE(BlockLzss::decompress(frame.data(), cut, out.data()), b.size());
+  }
+  // Single-byte corruptions: decode must never crash; whatever it returns,
+  // a wrong frame may at worst decode to wrong bytes of some length (the
+  // wire CRC is what detects corruption; this guards memory safety).
+  for (std::size_t i = 0; i < enc; ++i) {
+    Block bad = frame;
+    bad[i] ^= 0x55;
+    (void)BlockLzss::decompress(bad.data(), bad.size(), out.data());
+  }
+  // Random garbage frames.
+  for (int t = 0; t < 200; ++t) {
+    Block junk(4 + rng.below(600));
+    for (auto& byte : junk) byte = static_cast<std::uint8_t>(rng.next());
+    (void)BlockLzss::decompress(junk.data(), junk.size(), out.data());
+  }
+}
+
+}  // namespace
+}  // namespace mgcomp

@@ -13,7 +13,10 @@ Beyond shape, it asserts the physics the benchmark exists to show:
     strictly fewer fabric busy cycles than raw on the all-reduce rows
     (the paper's headline effect, transplanted to collectives);
   * on the incompressible (random) fill, adaptive's wire bits stay within
-    a few percent of raw (the fallback works).
+    a few percent of raw (the fallback works);
+  * the bulk fast path (lines_per_block > 1) issues block transfers,
+    reproduces the per-line digests bit-exactly, and its best block size
+    meets or beats per-line algorithm bandwidth for the same policy.
 
 Usage: check_collective.py BENCH_COLLECTIVE.json
 """
@@ -28,6 +31,8 @@ RESULT_FIELDS = {
     "policy": str,
     "fill": str,
     "ranks": int,
+    "lines_per_block": int,
+    "block_transfers": int,
     "bytes_per_rank": int,
     "verified": bool,
     "duration_cycles": int,
@@ -99,24 +104,32 @@ def main() -> None:
         if abs(row["bus_bytes_per_cycle"] - want) > max(1e-3, want * 1e-2):
             fail(f"result {i}: bus bandwidth {row['bus_bytes_per_cycle']} "
                  f"inconsistent with factor x algBW = {want:.4f}")
-        key = (row["collective"], row["policy"], row["fill"], row["ranks"])
+        if row["lines_per_block"] < 1 or row["lines_per_block"] > 64:
+            fail(f"result {i}: lines_per_block {row['lines_per_block']} outside [1, 64]")
+        if row["lines_per_block"] == 1 and row["block_transfers"] != 0:
+            fail(f"result {i}: per-line row reports {row['block_transfers']} block transfers")
+        if row["lines_per_block"] > 1 and row["block_transfers"] == 0:
+            fail(f"result {i}: bulk row (lines_per_block "
+                 f"{row['lines_per_block']}) issued no block transfers")
+        key = (row["collective"], row["policy"], row["fill"], row["ranks"],
+               row["lines_per_block"])
         if key in seen:
             fail(f"result {i}: duplicate case {key}")
         seen[key] = row
 
-    # Compression must never change the reduced data.
-    for (coll, _, fill, ranks), row in seen.items():
-        raw = seen.get((coll, "raw", fill, ranks))
+    # Neither compression nor pull granularity may change the reduced data.
+    for (coll, _, fill, ranks, lpb), row in seen.items():
+        raw = seen.get((coll, "raw", fill, ranks, 1))
         if raw and row["data_digest"] != raw["data_digest"]:
-            fail(f"{coll}/{fill}/{ranks}: digest {row['policy']}="
+            fail(f"{coll}/{fill}/{ranks}/lpb={lpb}: digest {row['policy']}="
                  f"{row['data_digest']} != raw={raw['data_digest']}")
 
     # The headline effect: adaptive compression cuts all-reduce fabric
     # cycles on compressible data.
     checked = 0
     for ranks in sorted({k[3] for k in seen}):
-        raw = seen.get(("allreduce", "raw", "lowrange", ranks))
-        ad = seen.get(("allreduce", "adaptive", "lowrange", ranks))
+        raw = seen.get(("allreduce", "raw", "lowrange", ranks, 1))
+        ad = seen.get(("allreduce", "adaptive", "lowrange", ranks, 1))
         if not raw or not ad:
             continue
         checked += 1
@@ -129,11 +142,37 @@ def main() -> None:
     if checked == 0:
         fail("no (raw, adaptive) lowrange all-reduce pair to compare")
 
+    # Bulk fast path: under the adaptive policy (the one that compresses
+    # blocks), the best block size must meet or beat per-line algorithm
+    # bandwidth. Raw/static bulk rows document the other side of the
+    # tradeoff — uncompressed jumbos serialize store-and-forward and can
+    # lose to per-line pipelining — so only their shape is validated.
+    bulk_checked = 0
+    for (coll, policy, fill, ranks, lpb), row in seen.items():
+        if lpb == 1:
+            continue
+        base = seen.get((coll, policy, fill, ranks, 1))
+        if not base:
+            fail(f"{coll}/{policy}/{fill}/{ranks}: bulk row lpb={lpb} has no "
+                 f"per-line baseline row")
+        if policy != "adaptive":
+            continue
+        best = max(r["alg_bytes_per_cycle"]
+                   for (c, p, f2, rk, l), r in seen.items()
+                   if (c, p, f2, rk) == (coll, policy, fill, ranks) and l > 1)
+        if best < base["alg_bytes_per_cycle"]:
+            fail(f"{coll}/{policy}/{fill}/{ranks}: best bulk algBW {best:.3f} "
+                 f"below per-line {base['alg_bytes_per_cycle']:.3f}")
+        bulk_checked += 1
+    if bulk_checked:
+        print(f"check_collective: OK: {bulk_checked} adaptive bulk rows, best "
+              f"block size beats per-line bandwidth")
+
     # Incompressible fallback: adaptive within 5% of raw wire bits.
-    for (coll, _, fill, ranks), row in seen.items():
+    for (coll, _, fill, ranks, lpb), row in seen.items():
         if fill != "random" or row["policy"] != "adaptive":
             continue
-        raw = seen.get((coll, "raw", fill, ranks))
+        raw = seen.get((coll, "raw", fill, ranks, lpb))
         if raw and row["payload_wire_bits"] > raw["payload_wire_bits"] * 1.05:
             fail(f"{coll}/random/{ranks}: adaptive wire bits "
                  f"{row['payload_wire_bits']} exceed raw x1.05")
