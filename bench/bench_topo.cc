@@ -1,0 +1,214 @@
+// Topology benchmark: all-reduce bandwidth across interconnect topologies
+// (shared bus, ideal crossbar, hierarchical fat-tree / torus at several
+// trunk oversubscription ratios), schedule families (flat single ring vs
+// the hierarchical three-stage schedule) and compression policies.
+//
+// The grid is built to answer the paper-extension questions directly:
+//   * digests must be invariant across topology/schedule/policy — the
+//     fabric and schedule may only change timing, never bits;
+//   * the hierarchical schedule must beat the flat ring on oversubscribed
+//     (ratio > 1) trunks;
+//   * adaptive compression must recover a healthy multiple of the raw bus
+//     bandwidth on the 4:1 trunks, where wire bytes are most expensive.
+// tools/check_topo.py enforces all three on the emitted JSON.
+//
+//   ./bench_topo [scale] [output.json]
+//
+// Defaults: scale 1.0 (64 KB per rank), BENCH_TOPO.json in the working
+// directory. CI runs scale 0.1 and checks the JSON with
+// tools/check_topo.py. Scale >= 0.5 adds the 32-rank (8-node) tier.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "collective/collective.h"
+
+namespace {
+
+using namespace mgcomp;
+
+/// One interconnect under test. gpus_per_node is set even for the flat
+/// fabrics so a forced hierarchical schedule stays well-defined on them.
+struct Topo {
+  std::string label;
+  FabricKind fabric;
+  HierGraph graph{HierGraph::kFatTree};
+  std::uint32_t internode_bw_ratio{1};
+};
+
+struct Row {
+  std::string topology;
+  std::string policy;
+  std::string algo;
+  std::uint32_t ranks{0};
+  std::uint32_t gpus_per_node{0};
+  std::uint32_t internode_bw_ratio{1};
+  std::uint32_t trunk_lines_per_block{0};
+  CollectiveOutcome out;
+};
+
+Row run_case(const Topo& topo, std::uint32_t ranks, std::uint32_t gpus_per_node,
+             std::size_t lines_per_rank, const bench::PolicyCase& pc, CollectiveAlgo algo,
+             std::uint32_t trunk_lines_per_block = 0) {
+  SystemConfig cfg;
+  cfg.num_gpus = ranks;
+  cfg.fabric = topo.fabric;
+  cfg.hier.gpus_per_node = gpus_per_node;
+  cfg.hier.internode_bw_ratio = topo.internode_bw_ratio;
+  cfg.hier.graph = topo.graph;
+  cfg.policy = pc.factory;
+  MultiGpuSystem sys(std::move(cfg));
+  CollectiveConfig ccfg;
+  ccfg.kind = CollectiveKind::kAllReduce;
+  ccfg.fill = CollectiveFill::kLowRange;
+  ccfg.lines_per_rank = lines_per_rank;
+  ccfg.algo = algo;
+  ccfg.trunk_lines_per_block = trunk_lines_per_block;
+  Row row{topo.label,
+          pc.label,
+          std::string(to_string(algo)),
+          ranks,
+          gpus_per_node,
+          topo.internode_bw_ratio,
+          trunk_lines_per_block,
+          run_collective(sys, ccfg)};
+  return row;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  out += '"';
+}
+
+std::string to_json(const std::vector<Row>& rows, double scale) {
+  std::string out = "{\n";
+  char buf[640];
+  std::snprintf(buf, sizeof(buf),
+                "  \"schema\": \"mgcomp-bench-topo-v1\",\n  \"scale\": %g,\n"
+                "  \"results\": [\n",
+                scale);
+  out += buf;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const CollectiveStats& st = r.out.run.collective;
+    out += "    {\"topology\": ";
+    append_json_string(out, r.topology);
+    out += ", \"policy\": ";
+    append_json_string(out, r.policy);
+    out += ", \"algo\": ";
+    append_json_string(out, st.algo);
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"ranks\": %u, \"gpus_per_node\": %u, \"nodes\": %u, "
+        "\"internode_bw_ratio\": %u, \"trunk_lines_per_block\": %u, "
+        "\"bytes_per_rank\": %llu, \"verified\": %s, "
+        "\"duration_cycles\": %llu, \"busy_cycles\": %llu, "
+        "\"alg_bytes_per_cycle\": %.4f, \"bus_bytes_per_cycle\": %.4f, "
+        "\"trunk_messages\": %llu, \"trunk_wire_bytes\": %llu, "
+        "\"trunk_busy_cycles\": %llu, "
+        "\"payload_raw_bits\": %llu, \"payload_wire_bits\": %llu, "
+        "\"data_digest\": \"%016llx\", \"fingerprint\": \"%016llx\"}",
+        r.ranks, r.gpus_per_node, st.nodes, r.internode_bw_ratio, st.trunk_lines_per_block,
+        static_cast<unsigned long long>(st.bytes_per_rank),
+        r.out.verified ? "true" : "false", static_cast<unsigned long long>(st.duration),
+        static_cast<unsigned long long>(r.out.run.bus.busy_cycles),
+        st.alg_bytes_per_cycle(), st.bus_bytes_per_cycle(),
+        static_cast<unsigned long long>(r.out.run.bus.trunk_messages),
+        static_cast<unsigned long long>(r.out.run.bus.trunk_wire_bytes),
+        static_cast<unsigned long long>(r.out.run.bus.trunk_busy_cycles),
+        static_cast<unsigned long long>(r.out.run.bus.inter_gpu_payload_raw_bits),
+        static_cast<unsigned long long>(r.out.run.bus.inter_gpu_payload_wire_bits),
+        static_cast<unsigned long long>(r.out.data_digest),
+        static_cast<unsigned long long>(collective_fingerprint(r.out)));
+    out += buf;
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mgcomp::bench::reject_unknown_flags(argc, argv, 2);
+  const double scale = bench::parse_scale(argc, argv);
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_TOPO.json";
+
+  // 64 KB per rank at scale 1.0; the floor keeps every chunk of the
+  // deepest hierarchy (16 nodes x 4 GPUs) non-empty at reduced CI scale.
+  auto lines = static_cast<std::size_t>(1024 * scale);
+  if (lines < 256) lines = 256;
+
+  const Topo kTopos[] = {
+      {"bus", FabricKind::kBus},
+      {"switch", FabricKind::kSwitch},
+      {"hier-fattree-r4", FabricKind::kHier, HierGraph::kFatTree, 4},
+      {"hier-torus-r4", FabricKind::kHier, HierGraph::kTorus, 4},
+      {"hier-fattree-r1", FabricKind::kHier, HierGraph::kFatTree, 1},
+  };
+  std::vector<bench::PolicyCase> policies;
+  policies.push_back({"raw", make_no_compression_policy()});
+  policies.push_back({"adaptive", make_adaptive_policy(AdaptiveParams{.lambda = 6.0})});
+
+  std::printf("All-reduce across topologies, %zu KB per rank (scale %.2f)\n\n",
+              lines * kLineBytes / 1024, scale);
+  std::printf("%-16s %-9s %-5s %5s %4s %5s %12s %10s %10s %12s %4s\n", "topology", "policy",
+              "algo", "ranks", "gpn", "t-lpb", "cycles", "algBW", "busBW", "trunkBytes",
+              "ok");
+
+  std::vector<Row> rows;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tiers = {{8, 4}};
+  if (scale >= 0.5) tiers.push_back({32, 4});
+  for (const auto& [ranks, gpn] : tiers) {
+    for (const Topo& topo : kTopos) {
+      for (const bench::PolicyCase& pc : policies) {
+        // Flat single ring on every topology: the cross-topology baseline.
+        rows.push_back(run_case(topo, ranks, gpn, lines, pc, CollectiveAlgo::kFlat));
+        // Hierarchical schedule on the hierarchical fabrics, with the
+        // default full-page bulk blocks on the trunk phase.
+        if (topo.fabric == FabricKind::kHier) {
+          rows.push_back(run_case(topo, ranks, gpn, lines, pc, CollectiveAlgo::kHier));
+        }
+      }
+    }
+    // Per-level policy ablation: trunk phase at line granularity (line
+    // codecs end-to-end) against the default bulk blocks above.
+    for (const bench::PolicyCase& pc : policies) {
+      rows.push_back(run_case(kTopos[2], ranks, gpn, lines, pc, CollectiveAlgo::kHier,
+                              /*trunk_lines_per_block=*/1));
+    }
+  }
+
+  bool all_verified = true;
+  for (const Row& r : rows) {
+    const CollectiveStats& st = r.out.run.collective;
+    std::printf("%-16s %-9s %-5s %5u %4u %5u %12llu %10.3f %10.3f %12llu %4s\n",
+                r.topology.c_str(), r.policy.c_str(), st.algo.c_str(), r.ranks,
+                r.gpus_per_node, st.trunk_lines_per_block,
+                static_cast<unsigned long long>(st.duration), st.alg_bytes_per_cycle(),
+                st.bus_bytes_per_cycle(),
+                static_cast<unsigned long long>(r.out.run.bus.trunk_wire_bytes),
+                r.out.verified ? "yes" : "NO");
+    all_verified = all_verified && r.out.verified;
+  }
+
+  const std::string json = to_json(rows, scale);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_topo: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!all_verified) {
+    std::fprintf(stderr, "bench_topo: VERIFICATION FAILED\n");
+    return 1;
+  }
+  return 0;
+}

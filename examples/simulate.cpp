@@ -15,6 +15,13 @@
 //     --ber       <bit error rate>            (default 0; enables reliability layer)
 //     --drop      <message drop rate>         (default 0)
 //     --fabric    bus|switch                  (default bus)
+//     --topology  bus|switch|hier|hier-fattree|hier-torus
+//                                              (pins the fabric; overrides
+//                                               --fabric and MGCOMP_TOPOLOGY)
+//     --gpus-per-node <int>                    (hier node grouping, default 4;
+//                                               must divide --gpus)
+//     --internode-bw-ratio <int>               (trunk oversubscription,
+//                                               default 4)
 //     --fault-episodes SPEC                   (fail-stop schedule, e.g.
 //                                              "down:0-1@5000+20000;gpufail:2@80000";
 //                                              see parse_fault_episodes)
@@ -34,6 +41,10 @@
 //     --coll-lines-per-block <lines>          (bulk pulls: lines per ring-hop
 //                                              request, 1..64; default 1 = per-line)
 //     --coll-root  <rank>                     (broadcast source, default 0)
+//     --coll-algo  auto|flat|hier             (schedule family; auto picks
+//                                              hier on hierarchical fabrics)
+//     --coll-trunk-lines-per-block <lines>    (hier trunk-phase block size,
+//                                              1..64; default 64 = full page)
 //     --allow-shrink                          (complete on survivors after a GPU fail-stop)
 #include <algorithm>
 #include <cstdio>
@@ -63,6 +74,9 @@ struct Options {
   double ber{0.0};   ///< link bit-error rate (reliability extension)
   double drop{0.0};  ///< link message-drop rate
   std::string fabric{"bus"};
+  std::string topology;              ///< explicit fabric pin ("" = --fabric / env)
+  std::uint32_t gpus_per_node{0};    ///< hier node grouping (0 = config default)
+  std::uint32_t internode_bw_ratio{0};  ///< trunk oversubscription (0 = default)
   std::string fault_episodes;  ///< fail-stop episode spec ("" = none)
   bool allow_shrink{false};    ///< collective: shrink past dead ranks
   bool characterize{false};
@@ -79,6 +93,8 @@ struct Options {
   std::uint32_t coll_window{16};
   std::uint32_t coll_lines_per_block{1};
   std::uint32_t coll_root{0};
+  std::string coll_algo{"auto"};
+  std::uint32_t coll_trunk_lpb{0};  ///< trunk-phase block size (0 = full page)
 };
 
 bool parse(int argc, char** argv, Options& o) {
@@ -133,6 +149,20 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (v == nullptr) return false;
       o.fabric = v;
+    } else if (arg == "--topology") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.topology = v;
+    } else if (arg == "--gpus-per-node") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.gpus_per_node = static_cast<std::uint32_t>(std::atoi(v));
+      if (o.gpus_per_node == 0) return false;
+    } else if (arg == "--internode-bw-ratio") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.internode_bw_ratio = static_cast<std::uint32_t>(std::atoi(v));
+      if (o.internode_bw_ratio == 0) return false;
     } else if (arg == "--fault-episodes") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -196,6 +226,15 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next();
       if (v == nullptr) return false;
       o.coll_root = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--coll-algo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.coll_algo = v;
+    } else if (arg == "--coll-trunk-lines-per-block") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      o.coll_trunk_lpb = static_cast<std::uint32_t>(std::atoi(v));
+      if (o.coll_trunk_lpb == 0) return false;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -213,6 +252,8 @@ void usage() {
       "                [--lambda F] [--scale F] [--gpus N] [--bus B/cyc]\n"
       "                [--samples N] [--running N] [--tier chip|die|package|node]\n"
       "                [--ber RATE] [--drop RATE] [--fabric bus|switch]\n"
+      "                [--topology bus|switch|hier|hier-fattree|hier-torus]\n"
+      "                [--gpus-per-node N] [--internode-bw-ratio R]\n"
       "                [--fault-episodes SPEC] [--allow-shrink]\n"
       "                [--characterize] [--json] [--dump-trace out.csv]\n"
       "                [--trace-out out.json] [--trace-limit EVENTS]\n"
@@ -220,7 +261,8 @@ void usage() {
       "                [--collective allreduce|allgather|reducescatter|broadcast]\n"
       "                [--coll-kb KB] [--coll-fill zero|lowrange|ramp|random]\n"
       "                [--coll-op sum|max] [--coll-window LINES] [--coll-root RANK]\n"
-      "                [--coll-lines-per-block LINES]\n"
+      "                [--coll-lines-per-block LINES] [--coll-algo auto|flat|hier]\n"
+      "                [--coll-trunk-lines-per-block LINES]\n"
       "  SPEC is ';'-separated clauses: down:A-B@START+DUR | flap:A-B@START+DURxCOUNT/PERIOD\n"
       "  | gpufail:G@START (ticks; A,B,G are GPU indices)");
 }
@@ -251,6 +293,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown fabric: %s\n", o.fabric.c_str());
     return 2;
   }
+  // --topology pins the fabric explicitly (including "bus", which disables
+  // the MGCOMP_TOPOLOGY sweep); it wins over the legacy --fabric alias.
+  if (!o.topology.empty()) {
+    FabricKind kind = FabricKind::kBus;
+    HierGraph graph = cfg.hier.graph;
+    if (!parse_topology(o.topology, &kind, &graph)) {
+      std::fprintf(stderr, "unknown topology: %s\n", o.topology.c_str());
+      return 2;
+    }
+    cfg.fabric = kind;
+    cfg.hier.graph = graph;
+  }
+  if (o.gpus_per_node != 0) cfg.hier.gpus_per_node = o.gpus_per_node;
+  if (o.internode_bw_ratio != 0) cfg.hier.internode_bw_ratio = o.internode_bw_ratio;
   if (!o.fault_episodes.empty()) {
     std::string err;
     if (!parse_fault_episodes(o.fault_episodes, &cfg.episodes, &err)) {
@@ -303,6 +359,11 @@ int main(int argc, char** argv) {
     ccfg.lines_per_block = o.coll_lines_per_block;
     ccfg.root = o.coll_root;
     ccfg.allow_shrink = o.allow_shrink;
+    if (!parse_collective_algo(o.coll_algo, &ccfg.algo)) {
+      std::fprintf(stderr, "unknown collective algo: %s\n", o.coll_algo.c_str());
+      return 2;
+    }
+    ccfg.trunk_lines_per_block = o.coll_trunk_lpb;
 
     MultiGpuSystem sys(std::move(cfg));
     const CollectiveOutcome out = run_collective(sys, ccfg);
@@ -327,6 +388,12 @@ int main(int argc, char** argv) {
       JsonObject j;
       j.field("collective", st.op)
           .field("policy", o.policy)
+          .field("algo", st.algo)
+          .field("nodes", static_cast<std::uint64_t>(st.nodes))
+          .field("trunk_lines_per_block",
+                 static_cast<std::uint64_t>(st.trunk_lines_per_block))
+          .field("trunk_messages", r.bus.trunk_messages)
+          .field("trunk_wire_bytes", r.bus.trunk_wire_bytes)
           .field("ranks", static_cast<std::uint64_t>(st.ranks))
           .field("bytes_per_rank", st.bytes_per_rank)
           .field("verified", static_cast<std::uint64_t>(out.verified ? 1 : 0))
@@ -361,11 +428,18 @@ int main(int argc, char** argv) {
           .field("health_probes_sent", r.health.probes_sent);
       std::printf("%s\n", j.to_string().c_str());
     } else {
-      std::printf("%s, %u ranks, %llu KB/rank, policy %s, fill %s: %s\n",
+      std::printf("%s, %u ranks, %llu KB/rank, policy %s, fill %s, algo %s: %s\n",
                   st.op.c_str(), st.ranks,
                   static_cast<unsigned long long>(st.bytes_per_rank / 1024),
-                  o.policy.c_str(), o.coll_fill.c_str(),
+                  o.policy.c_str(), o.coll_fill.c_str(), st.algo.c_str(),
                   std::string(to_string(out.status)).c_str());
+      if (r.bus.trunk_messages > 0) {
+        std::printf("  trunk traffic         %12llu bytes in %llu messages "
+                    "(%llu busy cycles)\n",
+                    static_cast<unsigned long long>(r.bus.trunk_wire_bytes),
+                    static_cast<unsigned long long>(r.bus.trunk_messages),
+                    static_cast<unsigned long long>(r.bus.trunk_busy_cycles));
+      }
       if (out.status != CollectiveStatus::kCompleted) {
         std::printf("  recovery              attempts %u, error %s "
                     "(rank %u <- peer %u, step %llu, tick %llu)%s\n",

@@ -34,6 +34,11 @@ struct CollectiveStats {
   /// collective_fingerprint so recorded goldens stay valid).
   std::uint64_t block_transfers{0};  ///< multi-line remote_read_bulk pulls issued
   std::uint32_t lines_per_block{1};  ///< pull granularity the run was configured with
+  /// Topology-aware schedule bookkeeping (flat defaults on single-ring
+  /// runs; also excluded from collective_fingerprint).
+  std::string algo{"flat"};            ///< "flat" or "hier"
+  std::uint32_t nodes{1};              ///< node groups the schedule spanned
+  std::uint32_t trunk_lines_per_block{0};  ///< inter-node pull granularity (hier only)
   Tick duration{0};                 ///< first hop issue to last line completion
   /// NCCL-convention bus factor: 2(n-1)/n for all-reduce, (n-1)/n for
   /// all-gather / reduce-scatter, 1 for broadcast.

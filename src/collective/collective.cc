@@ -88,8 +88,16 @@ struct RunState {
 /// that pipelining is what makes the ring schedule bandwidth-optimal.
 class ChunkTask {
  public:
-  ChunkTask(RunState& rs, std::vector<Hop> hops, std::size_t first_line, std::size_t num_lines)
-      : rs_(&rs), hops_(std::move(hops)), first_line_(first_line), num_lines_(num_lines) {}
+  /// `lines_per_block` is this chain's pull granularity — the hierarchical
+  /// schedule pulls page-sized blocks on its trunk phase while the
+  /// intra-node phases keep the config's line granularity.
+  ChunkTask(RunState& rs, std::vector<Hop> hops, std::size_t first_line, std::size_t num_lines,
+            std::uint32_t lines_per_block)
+      : rs_(&rs),
+        hops_(std::move(hops)),
+        first_line_(first_line),
+        num_lines_(num_lines),
+        lines_per_block_(std::max<std::uint32_t>(lines_per_block, 1)) {}
 
   void start() {
     if (num_lines_ == 0 || hops_.empty()) return;  // empty tail chunk
@@ -126,8 +134,7 @@ class ChunkTask {
       // contiguous within a page and a page has a single owner). A k-line
       // block occupies k slots of the same pull window.
       std::size_t lines = std::min<std::size_t>(
-          std::min<std::size_t>(rs_->cfg.lines_per_block, kLinesPerPage),
-          num_lines_ - next_line_);
+          std::min<std::size_t>(lines_per_block_, kLinesPerPage), num_lines_ - next_line_);
       if (lines > 1) {
         lines = std::min(lines, kLinesPerPage - line % kLinesPerPage);
       }
@@ -207,6 +214,7 @@ class ChunkTask {
   std::vector<Hop> hops_;
   std::size_t first_line_;
   std::size_t num_lines_;
+  std::uint32_t lines_per_block_;
   std::size_t hop_idx_{0};
   std::size_t next_line_{0};
   std::size_t completed_{0};
@@ -296,6 +304,58 @@ bool verify_outputs(MultiGpuSystem& sys, RankSpace& space, const CollectiveConfi
   return ok;
 }
 
+/// Builds the three-stage hierarchical all-reduce over all `n` ranks in
+/// `g`-rank node groups. Stage A (intra-node): each node reduce-scatters
+/// its members' buffers into g per-slot chunks, so rank k*g+j ends up with
+/// the node-reduced chunk j. Stage B (inter-node): for each slot j the
+/// node leaders {k*g+j} run a flat all-reduce of chunk j at trunk
+/// granularity — the only stage that crosses the oversubscribed trunks,
+/// moving 1/g of the flat schedule's inter-node bytes. Stage C
+/// (intra-node): each node all-gathers the g globally-reduced chunks back
+/// to every member. Wrapping u32 sum/max are associative and commutative,
+/// so the result is bit-exact against the flat single-ring schedule.
+void build_hier_stages(RunState& rs, std::uint32_t n, std::uint32_t g, std::uint32_t trunk_lpb,
+                       std::vector<std::vector<std::unique_ptr<ChunkTask>>>& stages) {
+  const std::uint32_t num_nodes = n / g;
+  const std::size_t total = rs.cfg.lines_per_rank;
+  const std::size_t ic = (total + g - 1) / g;  // intra-node chunk, lines
+  stages.resize(3);
+  for (std::uint32_t node = 0; node < num_nodes; ++node) {
+    std::vector<std::uint32_t> local(g);
+    for (std::uint32_t j = 0; j < g; ++j) local[j] = node * g + j;
+    for (std::uint32_t j = 0; j < g; ++j) {
+      const std::size_t first = std::min<std::size_t>(static_cast<std::size_t>(j) * ic, total);
+      const std::size_t count = std::min(ic, total - first);
+      // Stage A: chunk j's reduce chain ends at member slot j.
+      stages[0].push_back(std::make_unique<ChunkTask>(
+          rs, ring_chain(local, (j + 1) % g, /*reduce=*/true), first, count,
+          rs.cfg.lines_per_block));
+      // Stage C: slot j fans chunk j back out around the node ring.
+      stages[2].push_back(std::make_unique<ChunkTask>(
+          rs, ring_chain(local, j, /*reduce=*/false), first, count, rs.cfg.lines_per_block));
+    }
+  }
+  for (std::uint32_t j = 0; j < g; ++j) {
+    std::vector<std::uint32_t> leaders(num_nodes);
+    for (std::uint32_t k = 0; k < num_nodes; ++k) leaders[k] = k * g + j;
+    const std::size_t first = std::min<std::size_t>(static_cast<std::size_t>(j) * ic, total);
+    const std::size_t count = std::min(ic, total - first);
+    const std::size_t sub = (count + num_nodes - 1) / num_nodes;
+    for (std::uint32_t s = 0; s < num_nodes; ++s) {
+      const std::size_t sub_first = std::min(first + static_cast<std::size_t>(s) * sub,
+                                             first + count);
+      const std::size_t sub_count = std::min(sub, first + count - sub_first);
+      // Stage B: spliced reduce-scatter + all-gather chains, exactly the
+      // flat all-reduce shape but over the leader ring at trunk blocks.
+      std::vector<Hop> hops = ring_chain(leaders, (s + 1) % num_nodes, /*reduce=*/true);
+      const std::vector<Hop> gather = ring_chain(leaders, s, /*reduce=*/false);
+      hops.insert(hops.end(), gather.begin(), gather.end());
+      stages[1].push_back(
+          std::make_unique<ChunkTask>(rs, std::move(hops), sub_first, sub_count, trunk_lpb));
+    }
+  }
+}
+
 /// Members (ascending rank ids) whose GPUs the health monitor still
 /// believes alive.
 std::vector<std::uint32_t> alive_members(const MultiGpuSystem& sys,
@@ -357,6 +417,18 @@ std::string_view to_string(ReduceOp op) noexcept {
   return op == ReduceOp::kSum ? "sum" : "max";
 }
 
+std::string_view to_string(CollectiveAlgo algo) noexcept {
+  switch (algo) {
+    case CollectiveAlgo::kAuto:
+      return "auto";
+    case CollectiveAlgo::kFlat:
+      return "flat";
+    case CollectiveAlgo::kHier:
+      return "hier";
+  }
+  return "?";
+}
+
 bool parse_collective_kind(std::string_view s, CollectiveKind* out) noexcept {
   for (const CollectiveKind k : {CollectiveKind::kAllReduce, CollectiveKind::kAllGather,
                                  CollectiveKind::kReduceScatter, CollectiveKind::kBroadcast}) {
@@ -379,6 +451,17 @@ bool parse_collective_fill(std::string_view s, CollectiveFill* out) noexcept {
   return false;
 }
 
+bool parse_collective_algo(std::string_view s, CollectiveAlgo* out) noexcept {
+  for (const CollectiveAlgo a :
+       {CollectiveAlgo::kAuto, CollectiveAlgo::kFlat, CollectiveAlgo::kHier}) {
+    if (s == to_string(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
 CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cfg) {
   const std::uint32_t n = sys.config().num_gpus;
   MGCOMP_CHECK(cfg.lines_per_rank > 0);
@@ -387,6 +470,26 @@ CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cf
   MGCOMP_CHECK_MSG(cfg.max_attempts > 0, "CollectiveConfig::max_attempts must be > 0");
   MGCOMP_CHECK_MSG(cfg.kind != CollectiveKind::kBroadcast || cfg.root < n,
                    "broadcast root out of range");
+
+  // Schedule-family selection. The hierarchical schedule needs a real
+  // node grouping (1 < g < n dividing n) and only exists for all-reduce;
+  // kAuto additionally requires the fabric to actually be hierarchical —
+  // on flat fabrics the node grouping buys nothing, so auto stays flat.
+  const ResolvedTopology& topo = sys.topology();
+  const std::uint32_t gpn = topo.hier.gpus_per_node;
+  const bool hier_capable = cfg.kind == CollectiveKind::kAllReduce && gpn > 1 && gpn < n &&
+                            n % gpn == 0;
+  if (cfg.algo == CollectiveAlgo::kHier) {
+    MGCOMP_CHECK_MSG(hier_capable,
+                     "CollectiveAlgo::kHier requires an all-reduce with "
+                     "1 < gpus_per_node < num_gpus and gpus_per_node | num_gpus");
+  }
+  const bool use_hier =
+      cfg.algo == CollectiveAlgo::kHier ||
+      (cfg.algo == CollectiveAlgo::kAuto && hier_capable && topo.fabric == FabricKind::kHier);
+  const std::uint32_t trunk_lpb = std::min<std::uint32_t>(
+      cfg.trunk_lines_per_block == 0 ? kLinesPerPage : cfg.trunk_lines_per_block,
+      kLinesPerPage);
 
   RankSpace space(sys.memory(), sys.address_map(), cfg.lines_per_rank,
                   "coll:" + std::string(to_string(cfg.kind)));
@@ -420,6 +523,14 @@ CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cf
 
     RunState rs{&sys, &space, cfg, &st, sys.engine().now(), sys.health()};
 
+    // A shrunk ring breaks the node grouping, so a shrink retry falls back
+    // to the flat schedule (the hierarchical fabric forbids fail-stop
+    // episodes anyway, so this only triggers when the algo was forced).
+    const bool hier_attempt = use_hier && members.size() == n;
+    st.algo = hier_attempt ? "hier" : "flat";
+    st.nodes = hier_attempt ? n / gpn : 1;
+    st.trunk_lines_per_block = hier_attempt ? trunk_lpb : 0;
+
     // Broadcast's chain starts at the root's member slot (== cfg.root on a
     // full ring; recomputed after a shrink).
     std::uint32_t root_slot = 0;
@@ -429,37 +540,50 @@ CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cf
       root_slot = static_cast<std::uint32_t>(it - members.begin());
     }
 
-    // One task per (chunk, phase chain). Owned here; callbacks borrow raw
-    // pointers that stay valid until engine().run() returns.
-    std::vector<std::unique_ptr<ChunkTask>> tasks;
-    for (std::uint32_t c = 0; c < m; ++c) {
-      const std::size_t first = std::min<std::size_t>(
-          static_cast<std::size_t>(c) * chunk_lines, cfg.lines_per_rank);
-      const std::size_t count = std::min(chunk_lines, cfg.lines_per_rank - first);
-      switch (cfg.kind) {
-        case CollectiveKind::kReduceScatter:
-          // Start at slot c+1 so the chain's final destination is slot c.
-          tasks.push_back(std::make_unique<ChunkTask>(
-              rs, ring_chain(members, (c + 1) % m, /*reduce=*/true), first, count));
-          break;
-        case CollectiveKind::kAllGather:
-          tasks.push_back(std::make_unique<ChunkTask>(
-              rs, ring_chain(members, c, /*reduce=*/false), first, count));
-          break;
-        case CollectiveKind::kAllReduce: {
-          // Reduce-scatter phase then all-gather phase, spliced into one hop
-          // list per chunk: the gather chain starts at slot c, exactly where
-          // the reduce chain deposited chunk c's full reduction.
-          std::vector<Hop> hops = ring_chain(members, (c + 1) % m, /*reduce=*/true);
-          const std::vector<Hop> gather = ring_chain(members, c, /*reduce=*/false);
-          hops.insert(hops.end(), gather.begin(), gather.end());
-          tasks.push_back(std::make_unique<ChunkTask>(rs, std::move(hops), first, count));
-          break;
+    // One task per (chunk, phase chain), grouped into stages that drain
+    // one after another (the flat schedule is a single stage; the
+    // hierarchical one needs barriers between its levels because stage
+    // N+1's sources are only reduced once stage N fully lands). Tasks are
+    // owned here; callbacks borrow raw pointers that stay valid until the
+    // stage's engine().run() returns.
+    std::vector<std::vector<std::unique_ptr<ChunkTask>>> stages;
+    if (hier_attempt) {
+      build_hier_stages(rs, n, gpn, trunk_lpb, stages);
+    } else {
+      stages.resize(1);
+      for (std::uint32_t c = 0; c < m; ++c) {
+        const std::size_t first = std::min<std::size_t>(
+            static_cast<std::size_t>(c) * chunk_lines, cfg.lines_per_rank);
+        const std::size_t count = std::min(chunk_lines, cfg.lines_per_rank - first);
+        switch (cfg.kind) {
+          case CollectiveKind::kReduceScatter:
+            // Start at slot c+1 so the chain's final destination is slot c.
+            stages[0].push_back(std::make_unique<ChunkTask>(
+                rs, ring_chain(members, (c + 1) % m, /*reduce=*/true), first, count,
+                cfg.lines_per_block));
+            break;
+          case CollectiveKind::kAllGather:
+            stages[0].push_back(std::make_unique<ChunkTask>(
+                rs, ring_chain(members, c, /*reduce=*/false), first, count,
+                cfg.lines_per_block));
+            break;
+          case CollectiveKind::kAllReduce: {
+            // Reduce-scatter phase then all-gather phase, spliced into one
+            // hop list per chunk: the gather chain starts at slot c, exactly
+            // where the reduce chain deposited chunk c's full reduction.
+            std::vector<Hop> hops = ring_chain(members, (c + 1) % m, /*reduce=*/true);
+            const std::vector<Hop> gather = ring_chain(members, c, /*reduce=*/false);
+            hops.insert(hops.end(), gather.begin(), gather.end());
+            stages[0].push_back(std::make_unique<ChunkTask>(rs, std::move(hops), first, count,
+                                                            cfg.lines_per_block));
+            break;
+          }
+          case CollectiveKind::kBroadcast:
+            stages[0].push_back(std::make_unique<ChunkTask>(
+                rs, ring_chain(members, root_slot, /*reduce=*/false), first, count,
+                cfg.lines_per_block));
+            break;
         }
-        case CollectiveKind::kBroadcast:
-          tasks.push_back(std::make_unique<ChunkTask>(
-              rs, ring_chain(members, root_slot, /*reduce=*/false), first, count));
-          break;
       }
     }
     // Collective completion callbacks run from GPU-domain events but
@@ -467,10 +591,13 @@ CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cf
     // runs must stay serial here: suspend parallel windows for the drain.
     // Serial sharded execution is a k-way merge in (tick, seq) order —
     // bit-identical to the single-heap engine.
-    for (auto& t : tasks) t->start();
-    sys.engine().set_windows_enabled(false);
-    sys.engine().run();
-    sys.engine().set_windows_enabled(true);
+    for (auto& stage : stages) {
+      if (rs.aborted) break;  // a doomed attempt skips its later stages
+      for (auto& t : stage) t->start();
+      sys.engine().set_windows_enabled(false);
+      sys.engine().run();
+      sys.engine().set_windows_enabled(true);
+    }
     last_done = rs.last_done;
 
     if (!rs.aborted) {

@@ -38,6 +38,14 @@ namespace mgcomp {
 enum class CollectiveKind : std::uint8_t { kAllReduce, kAllGather, kReduceScatter, kBroadcast };
 inline constexpr std::size_t kNumCollectiveKinds = 4;
 
+/// Schedule family. kFlat is the original single-ring schedule over all
+/// ranks. kHier is the topology-aware all-reduce (intra-node
+/// reduce-scatter, inter-node exchange among node leaders, intra-node
+/// all-gather) that keeps the bulk of the traffic off the oversubscribed
+/// trunks. kAuto picks kHier exactly when it helps: an all-reduce on a
+/// multi-node hierarchical fabric; everything else stays flat.
+enum class CollectiveAlgo : std::uint8_t { kAuto, kFlat, kHier };
+
 enum class ReduceOp : std::uint8_t { kSum, kMax };
 
 /// Initial buffer contents, chosen to span the compressibility range:
@@ -61,6 +69,15 @@ struct CollectiveConfig {
   /// page-clamped remote_read_bulk blocks behind the same pull window
   /// (a k-line block occupies k window slots). Capped at one page (64).
   std::uint32_t lines_per_block{1};
+  /// Schedule family; kAuto adapts to the system's resolved topology.
+  CollectiveAlgo algo{CollectiveAlgo::kAuto};
+  /// Pull granularity of the hierarchical schedule's inter-node phase. The
+  /// trunk level defaults to full-page bulk blocks (0 resolves to 64
+  /// lines) so trunk traffic flows through the chunked block codec, while
+  /// the intra-node phases keep `lines_per_block` (default 1: line
+  /// codecs) — the per-level compression split of the hier schedule.
+  /// Ignored by the flat schedule. Capped at one page.
+  std::uint32_t trunk_lines_per_block{0};
   /// Seeds the kRandom fill (and salts the others' element values).
   std::uint64_t seed{0x6d67636f6d70ULL};
   /// Permits completing on a shrunk ring of survivors (>= kMinGpus) when a
@@ -104,11 +121,14 @@ CollectiveOutcome run_collective(MultiGpuSystem& sys, const CollectiveConfig& cf
 [[nodiscard]] std::string_view to_string(CollectiveKind kind) noexcept;
 [[nodiscard]] std::string_view to_string(CollectiveFill fill) noexcept;
 [[nodiscard]] std::string_view to_string(ReduceOp op) noexcept;
+[[nodiscard]] std::string_view to_string(CollectiveAlgo algo) noexcept;
 
 /// Parses "allreduce" / "allgather" / "reducescatter" / "broadcast".
 [[nodiscard]] bool parse_collective_kind(std::string_view s, CollectiveKind* out) noexcept;
 /// Parses "zero" / "lowrange" / "ramp" / "random".
 [[nodiscard]] bool parse_collective_fill(std::string_view s, CollectiveFill* out) noexcept;
+/// Parses "auto" / "flat" / "hier".
+[[nodiscard]] bool parse_collective_algo(std::string_view s, CollectiveAlgo* out) noexcept;
 
 /// Digest of a collective run: data digest + verification + the collective
 /// counters + the timing-relevant RunResult core. Separate from

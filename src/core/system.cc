@@ -9,7 +9,18 @@ namespace mgcomp {
 
 MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config)) {
   MGCOMP_CHECK_MSG(config_.num_gpus >= kMinGpus && config_.num_gpus <= kMaxGpus,
-                   "SystemConfig::num_gpus must be in [2, 16]");
+                   "SystemConfig::num_gpus must be in [2, 64]");
+  topo_ = config_.resolved_topology();
+  if (topo_.fabric == FabricKind::kHier) {
+    MGCOMP_CHECK_MSG(topo_.hier.gpus_per_node >= 1 &&
+                         topo_.hier.gpus_per_node <= config_.num_gpus &&
+                         config_.num_gpus % topo_.hier.gpus_per_node == 0,
+                     "SystemConfig::hier.gpus_per_node must divide num_gpus");
+    MGCOMP_CHECK_MSG(topo_.hier.internode_bw_ratio >= 1,
+                     "SystemConfig::hier.internode_bw_ratio must be >= 1");
+    MGCOMP_CHECK_MSG(config_.episodes.empty(),
+                     "hierarchical fabric has no fail-stop episode support");
+  }
 
   engine_ = std::make_unique<Engine>();
   // Sharding must be configured before the first event is scheduled: one
@@ -24,12 +35,24 @@ MultiGpuSystem::MultiGpuSystem(SystemConfig config) : config_(std::move(config))
   if (config_.characterize) collector_->enable_characterization(*codecs_);
   if (config_.trace_samples > 0) collector_->enable_trace(*codecs_, config_.trace_samples);
 
-  if (config_.fabric == FabricKind::kSwitch) {
-    bus_ = std::make_unique<SwitchFabric>(
-        *engine_, SwitchFabric::Params{.bytes_per_cycle = config_.bus.bytes_per_cycle,
-                                       .input_buffer_bytes = config_.bus.input_buffer_bytes});
-  } else {
-    bus_ = std::make_unique<BusFabric>(*engine_, config_.bus);
+  switch (topo_.fabric) {
+    case FabricKind::kSwitch:
+      bus_ = std::make_unique<SwitchFabric>(
+          *engine_,
+          SwitchFabric::Params{.bytes_per_cycle = config_.bus.bytes_per_cycle,
+                               .input_buffer_bytes = config_.bus.input_buffer_bytes});
+      break;
+    case FabricKind::kHier:
+      bus_ = std::make_unique<HierFabric>(
+          *engine_,
+          HierFabric::Params{.bytes_per_cycle = config_.bus.bytes_per_cycle,
+                             .input_buffer_bytes = config_.bus.input_buffer_bytes,
+                             .topo = topo_.hier});
+      break;
+    case FabricKind::kAuto:  // resolved_topology() never returns kAuto
+    case FabricKind::kBus:
+      bus_ = std::make_unique<BusFabric>(*engine_, config_.bus);
+      break;
   }
   if (config_.fault.any()) {
     fault_ = std::make_unique<FaultInjector>(config_.fault);

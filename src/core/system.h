@@ -57,6 +57,11 @@ class MultiGpuSystem {
   [[nodiscard]] const HealthMonitor* health() const noexcept { return health_.get(); }
 
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+
+  /// The fabric/topology the system was actually built with (kAuto and the
+  /// MGCOMP_TOPOLOGY / MGCOMP_GPUS_PER_NODE overrides already resolved).
+  /// The collective layer keys its algorithm selection off this.
+  [[nodiscard]] const ResolvedTopology& topology() const noexcept { return topo_; }
   [[nodiscard]] std::uint32_t total_cus() const noexcept {
     return config_.num_gpus * config_.gpu.num_cus;
   }
@@ -75,6 +80,7 @@ class MultiGpuSystem {
   [[nodiscard]] std::string stall_dump(const char* why) const;
 
   SystemConfig config_;
+  ResolvedTopology topo_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<GlobalMemory> mem_;
   std::unique_ptr<AddressMap> map_;

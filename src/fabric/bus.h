@@ -66,6 +66,14 @@ struct BusStats {
   std::uint64_t rerouted_messages{0};
   std::uint64_t reroute_extra_cycles{0};
 
+  // Hierarchical-fabric trunk accounting (all zero on the flat fabrics).
+  // Not folded into run_fingerprint / collective_fingerprint, so recorded
+  // goldens on bus/switch configs stay valid.
+  std::uint64_t trunk_messages{0};     ///< completed transmissions that crossed nodes
+  std::uint64_t trunk_wire_bytes{0};   ///< wire bytes those messages carried
+  std::uint64_t trunk_hops{0};         ///< directed trunk links traversed in total
+  Tick trunk_busy_cycles{0};           ///< trunk-link occupancy (sum over links)
+
   /// Books one finished transmission (wire time spent; fault outcome not
   /// yet known). Both fabrics call this at the top of their complete().
   void record_transmit(const Message& msg, bool inter_gpu) {

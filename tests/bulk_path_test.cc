@@ -141,6 +141,9 @@ TEST(BulkRdma, PayloadPoolRecyclesBulkBuffers) {
 CollectiveOutcome run_bulk(std::uint32_t ranks, std::uint32_t lines_per_block,
                            double ber = 0.0, std::uint32_t shards = 0) {
   SystemConfig cfg;
+  // Pinned: the golden fingerprint below encodes bus-fabric timing, which
+  // a CI topology sweep (MGCOMP_TOPOLOGY=...) must not re-route.
+  cfg.fabric = FabricKind::kBus;
   cfg.num_gpus = ranks;
   cfg.policy = make_adaptive_policy(AdaptiveParams{});
   cfg.fault.bit_error_rate = ber;

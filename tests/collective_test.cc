@@ -187,6 +187,10 @@ TEST(CollectiveStatsTest, RingScheduleShape) {
   for (const std::uint32_t ranks : kRankCounts) {
     CollectiveConfig ccfg;
     ccfg.lines_per_rank = 64;  // divisible by every tested rank count
+    // This asserts the *flat* ring's exact shape, so pin the algo: under a
+    // CI topology sweep (MGCOMP_TOPOLOGY=hier) kAuto would pick the
+    // hierarchical schedule at rank counts the node size divides.
+    ccfg.algo = CollectiveAlgo::kFlat;
     const CollectiveOutcome out = run_case(ranks, ccfg, make_no_compression_policy());
     const CollectiveStats& st = out.run.collective;
     ASSERT_TRUE(out.verified);
@@ -260,7 +264,7 @@ TEST(RankSpaceTest, LinesAreDistinct) {
 }
 
 // ---------------------------------------------------------------------------
-// Configurable system size: the full [2,16] range builds and runs; out-of-
+// Configurable system size: the full [2,64] range builds and runs; out-of-
 // range configs are rejected at construction.
 
 TEST(SystemSizeTest, SixteenGpuCollective) {
@@ -282,7 +286,7 @@ TEST(SystemSizeDeathTest, RejectsOutOfRangeGpuCount) {
   EXPECT_DEATH(
       {
         SystemConfig many;
-        many.num_gpus = 17;
+        many.num_gpus = 65;
         MultiGpuSystem sys(std::move(many));
       },
       "num_gpus");
@@ -469,8 +473,12 @@ TEST_P(CollectiveGoldenTest, FingerprintsPinned) {
     CollectiveConfig ccfg;
     ccfg.kind = g.kind;
     ccfg.lines_per_rank = 100;  // ragged for 3 and 8 ranks
-    const CollectiveOutcome out =
-        run_case(g.ranks, ccfg, make_adaptive_policy(AdaptiveParams{}));
+    // Fingerprints encode bus-fabric timing: pin it so a CI topology sweep
+    // (MGCOMP_TOPOLOGY=...) can't re-route the goldens onto another fabric.
+    SystemConfig cfg = config_for(g.ranks, make_adaptive_policy(AdaptiveParams{}));
+    cfg.fabric = FabricKind::kBus;
+    MultiGpuSystem sys(std::move(cfg));
+    const CollectiveOutcome out = run_collective(sys, ccfg);
     ASSERT_TRUE(out.verified);
     EXPECT_EQ(collective_fingerprint(out), g.fingerprint)
         << to_string(g.kind) << " ranks=" << g.ranks << " backend="

@@ -119,6 +119,9 @@ TEST_P(PerfIdentityTest, FingerprintMatchesPreRewriteImplementation) {
   ASSERT_TRUE(simd::set_backend(GetParam().backend));
   const CaseSetup c = setup_for(g.label);
   SystemConfig cfg;
+  // The recorded fingerprints are bus-fabric timing: pin it so a CI
+  // topology sweep (MGCOMP_TOPOLOGY=...) can't re-route the goldens.
+  cfg.fabric = FabricKind::kBus;
   cfg.policy = c.factory;
   cfg.characterize = c.characterize;
   cfg.trace_samples = c.trace_samples;

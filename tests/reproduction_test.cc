@@ -18,12 +18,21 @@ namespace {
 
 constexpr double kScale = 0.25;
 
+/// Every run in this suite reproduces paper results measured on the shared
+/// bus (Table VII), so the fabric is pinned: a CI topology sweep
+/// (MGCOMP_TOPOLOGY=...) must not re-route the science assertions.
+SystemConfig bus_config() {
+  SystemConfig cfg;
+  cfg.fabric = FabricKind::kBus;
+  return cfg;
+}
+
 /// Characterization results per workload, computed once for the suite.
 const std::map<std::string, Characterization>& characterizations() {
   static const auto* kResults = [] {
     auto* m = new std::map<std::string, Characterization>();
     for (const auto abbrev : workload_abbrevs()) {
-      SystemConfig cfg;
+      SystemConfig cfg = bus_config();
       cfg.characterize = true;
       auto wl = make_workload(abbrev, kScale);
       (*m)[std::string(abbrev)] = run_workload(std::move(cfg), *wl).characterization;
@@ -99,11 +108,11 @@ struct Normalized {
 };
 
 Normalized run_normalized(std::string_view wl, PolicyFactory policy) {
-  SystemConfig base_cfg;
+  SystemConfig base_cfg = bus_config();
   auto base_wl = make_workload(wl, kScale);
   const RunResult base = run_workload(std::move(base_cfg), *base_wl);
 
-  SystemConfig cfg;
+  SystemConfig cfg = bus_config();
   cfg.policy = std::move(policy);
   auto w = make_workload(wl, kScale);
   const RunResult r = run_workload(std::move(cfg), *w);
@@ -177,11 +186,11 @@ TEST(Fig6Shape, LambdaZeroMinimizesTrafficButNotTime) {
 
 TEST(Fig7Shape, AdaptiveSavesLinkEnergyEverywhereCompressible) {
   for (const auto wl : workload_abbrevs()) {
-    SystemConfig base_cfg;
+    SystemConfig base_cfg = bus_config();
     auto base_wl = make_workload(wl, kScale);
     const RunResult base = run_workload(std::move(base_cfg), *base_wl);
 
-    SystemConfig cfg;
+    SystemConfig cfg = bus_config();
     cfg.policy = make_adaptive_policy(AdaptiveParams{.lambda = 6.0});
     auto w = make_workload(wl, kScale);
     const RunResult r = run_workload(std::move(cfg), *w);

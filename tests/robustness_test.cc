@@ -124,8 +124,13 @@ TEST(RobustnessDeathTest, CorruptCpackDictionaryIndexAborts) {
 TEST(TimingBounds, ExecutionCoversBusSerialization) {
   // The shared bus moves at most 20 B/cycle, so exec time can never be
   // less than total wire bytes / 20 (and busy cycles account exactly).
+  // Both bounds are single-shared-medium semantics — parallel fabrics
+  // (switch/hier under the MGCOMP_TOPOLOGY sweep) accumulate busy cycles
+  // across concurrent links — so pin the bus explicitly.
   BitonicSortWorkload wl(BitonicSortWorkload::Params{.n = 16384});
-  const RunResult r = run_workload(SystemConfig{}, wl);
+  SystemConfig cfg;
+  cfg.fabric = FabricKind::kBus;
+  const RunResult r = run_workload(std::move(cfg), wl);
   EXPECT_GE(r.exec_ticks, r.bus.busy_cycles);
   EXPECT_GE(static_cast<double>(r.bus.busy_cycles),
             static_cast<double>(r.bus.total_wire_bytes()) / 20.0);

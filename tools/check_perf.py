@@ -83,9 +83,13 @@ def compare_to_baseline(doc: dict, baseline_path: str, tolerance: float) -> None
         cores = cur.get("cores")
         shards = cur.get("shards")
         if isinstance(cores, int) and isinstance(shards, int) and cores < shards:
-            print(f"check_perf: NOTE: skipping {name} baseline compare — "
-                  f"builder has {cores} core(s) for {shards} shard lanes, so "
-                  f"the rate measures overhead, not speedup", file=sys.stderr)
+            msg = (f"skipping {name} baseline compare — builder has {cores} "
+                   f"core(s) for {shards} shard lanes, so the rate measures "
+                   f"overhead, not speedup")
+            print(f"check_perf: NOTE: {msg}", file=sys.stderr)
+            # Surface the skip in the GitHub Actions run summary so a
+            # starved builder is visible without digging through logs.
+            print(f"::notice title=check_perf baseline compare skipped::{msg}")
             continue
         names.append(name)
     for name in names:
